@@ -1,0 +1,41 @@
+# Developer entry points. The module is stdlib-only; plain `go build`,
+# `go test`, and `go run` work everywhere — these targets just name the
+# common flows.
+
+GO ?= go
+
+.PHONY: all build test race bench experiments examples fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper's evaluation.
+experiments:
+	$(GO) run ./cmd/mpfbench -exp all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/supplychain
+	$(GO) run ./examples/bayesnet
+	$(GO) run ./examples/workload
+	$(GO) run ./examples/sqlshell
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

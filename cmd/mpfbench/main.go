@@ -1,0 +1,52 @@
+// Command mpfbench regenerates the paper's evaluation tables and figures
+// (§7) from the reproduction's engine, printing one text table per
+// experiment.
+//
+// Usage:
+//
+//	mpfbench -exp all                 # every experiment, paper order
+//	mpfbench -exp fig7 -scale 0.05    # one experiment at a chosen scale
+//	mpfbench -list                    # list experiment ids
+//
+// Absolute numbers depend on hardware; the shapes (who wins, by what
+// factor, where crossovers fall) are the reproduction target recorded in
+// EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpf/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (or 'all')")
+	scale := flag.Float64("scale", 0, "supply-chain scale factor (0 = default 0.05)")
+	seed := flag.Int64("seed", 1, "random seed")
+	quick := flag.Bool("quick", false, "reduced sweeps for a fast pass")
+	frames := flag.Int("frames", 0, "buffer pool frames (0 = default 256)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Quick: *quick, PoolFrames: *frames}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		tbl, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpfbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		tbl.Render(os.Stdout)
+	}
+}

@@ -1,0 +1,105 @@
+// Command mpfgen emits a generated dataset as a SQL script (CREATE
+// TABLE / INSERT / CREATE MPFVIEW) consumable by mpfcli -script, or as
+// CSV (one file per table on stdout with headers).
+//
+// Usage:
+//
+//	mpfgen -dataset supplychain -scale 0.01 > supply.sql
+//	mpfgen -dataset star -tables 5 -format csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mpf/internal/gen"
+	"mpf/internal/relation"
+)
+
+func main() {
+	dataset := flag.String("dataset", "supplychain", "supplychain, star, linear, multistar")
+	scale := flag.Float64("scale", 0.01, "supply-chain scale")
+	density := flag.Float64("density", 0.5, "ctdeals density")
+	tables := flag.Int("tables", 5, "synthetic view table count")
+	domain := flag.Int("domain", 10, "synthetic view domain size")
+	seed := flag.Int64("seed", 1, "random seed")
+	format := flag.String("format", "sql", "sql or csv")
+	flag.Parse()
+
+	var ds *gen.Dataset
+	var err error
+	switch *dataset {
+	case "supplychain":
+		ds, err = gen.SupplyChain(gen.SupplyChainConfig{Scale: *scale, CtdealsDensity: *density, Seed: *seed})
+	case "star":
+		ds, err = gen.Synthetic(gen.SyntheticConfig{Kind: gen.Star, Tables: *tables, Domain: *domain, Seed: *seed})
+	case "linear":
+		ds, err = gen.Synthetic(gen.SyntheticConfig{Kind: gen.Linear, Tables: *tables, Domain: *domain, Seed: *seed})
+	case "multistar":
+		ds, err = gen.Synthetic(gen.SyntheticConfig{Kind: gen.MultiStar, Tables: *tables, Domain: *domain, Seed: *seed})
+	default:
+		err = fmt.Errorf("unknown dataset %q", *dataset)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpfgen:", err)
+		os.Exit(1)
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	switch *format {
+	case "sql":
+		writeSQL(w, ds)
+	case "csv":
+		writeCSV(w, ds)
+	default:
+		fmt.Fprintf(os.Stderr, "mpfgen: unknown format %q\n", *format)
+		os.Exit(1)
+	}
+}
+
+func writeSQL(w *bufio.Writer, ds *gen.Dataset) {
+	for _, r := range ds.Relations {
+		var cols []string
+		for _, a := range r.Attrs() {
+			cols = append(cols, fmt.Sprintf("%s domain %d", a.Name, a.Domain))
+		}
+		fmt.Fprintf(w, "create table %s (%s);\n", r.Name(), strings.Join(cols, ", "))
+		for i := 0; i < r.Len(); i++ {
+			var vals []string
+			for _, v := range r.Row(i) {
+				vals = append(vals, fmt.Sprintf("%d", v))
+			}
+			vals = append(vals, fmt.Sprintf("%g", r.Measure(i)))
+			fmt.Fprintf(w, "insert into %s values (%s);\n", r.Name(), strings.Join(vals, ", "))
+		}
+	}
+	fmt.Fprintf(w, "create mpfview %s as select * from %s;\n", ds.Name, strings.Join(ds.ViewTables, ", "))
+}
+
+func writeCSV(w *bufio.Writer, ds *gen.Dataset) {
+	for _, r := range ds.Relations {
+		fmt.Fprintf(w, "# table %s\n", r.Name())
+		writeCSVRelation(w, r)
+	}
+}
+
+func writeCSVRelation(w *bufio.Writer, r *relation.Relation) {
+	var header []string
+	for _, a := range r.Attrs() {
+		header = append(header, a.Name)
+	}
+	header = append(header, "f")
+	fmt.Fprintln(w, strings.Join(header, ","))
+	for i := 0; i < r.Len(); i++ {
+		var vals []string
+		for _, v := range r.Row(i) {
+			vals = append(vals, fmt.Sprintf("%d", v))
+		}
+		vals = append(vals, fmt.Sprintf("%g", r.Measure(i)))
+		fmt.Fprintln(w, strings.Join(vals, ","))
+	}
+}

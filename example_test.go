@@ -1,0 +1,69 @@
+package mpf_test
+
+import (
+	"fmt"
+
+	"mpf"
+)
+
+// ExampleDatabase_Query builds a two-relation MPF view and runs a basic
+// aggregate query over the product join.
+func ExampleDatabase_Query() {
+	db, _ := mpf.Open(mpf.Config{})
+	defer db.Close()
+
+	price, _ := mpf.FromRows("price",
+		[]mpf.Attr{{Name: "part", Domain: 2}, {Name: "supplier", Domain: 2}},
+		[][]int32{{0, 0}, {1, 1}}, []float64{10, 20})
+	qty, _ := mpf.FromRows("qty",
+		[]mpf.Attr{{Name: "part", Domain: 2}, {Name: "warehouse", Domain: 2}},
+		[][]int32{{0, 0}, {0, 1}, {1, 0}}, []float64{5, 3, 2})
+	db.CreateTable(price)
+	db.CreateTable(qty)
+	db.CreateView("spend", []string{"price", "qty"})
+
+	res, _ := db.Query(&mpf.QuerySpec{View: "spend", GroupVars: []string{"warehouse"}})
+	res.Relation.Sort()
+	for i := 0; i < res.Relation.Len(); i++ {
+		fmt.Printf("warehouse %d: %.0f\n", res.Relation.Value(i, 0), res.Relation.Measure(i))
+	}
+	// Output:
+	// warehouse 0: 90
+	// warehouse 1: 30
+}
+
+// ExampleOptimizerByName selects an evaluation strategy by its report
+// name, as the SQL `using` clause does.
+func ExampleOptimizerByName() {
+	o, err := mpf.OptimizerByName("ve(deg)+ext")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(o.Name())
+	// Output: ve(deg)+ext
+}
+
+// ExampleDatabase_Query_constrainedDomain shows the §3.1 constrained
+// domain form: aggregate under an equality predicate on a non-query
+// variable.
+func ExampleDatabase_Query_constrainedDomain() {
+	db, _ := mpf.Open(mpf.Config{})
+	defer db.Close()
+	r, _ := mpf.CompleteRelation("costs",
+		[]mpf.Attr{{Name: "route", Domain: 2}, {Name: "carrier", Domain: 2}},
+		func(v []int32) float64 { return float64(1 + v[0] + 10*v[1]) })
+	db.CreateTable(r)
+	db.CreateView("v", []string{"costs"})
+	res, _ := db.Query(&mpf.QuerySpec{
+		View:      "v",
+		GroupVars: []string{"route"},
+		Where:     mpf.Predicate{"carrier": 1},
+	})
+	res.Relation.Sort()
+	for i := 0; i < res.Relation.Len(); i++ {
+		fmt.Printf("route %d: %.0f\n", res.Relation.Value(i, 0), res.Relation.Measure(i))
+	}
+	// Output:
+	// route 0: 11
+	// route 1: 12
+}

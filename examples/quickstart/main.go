@@ -1,0 +1,97 @@
+// Quickstart: define two functional relations, combine them into an MPF
+// view, and run a basic MPF query with two different optimizers.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpf"
+)
+
+func main() {
+	db, err := mpf.Open(mpf.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// price(part, supplier | f): what each supplier charges per part.
+	price, err := mpf.FromRows("price",
+		[]mpf.Attr{{Name: "part", Domain: 3}, {Name: "supplier", Domain: 2}},
+		[][]int32{{0, 0}, {0, 1}, {1, 0}, {2, 1}},
+		[]float64{10, 12, 7, 30})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// qty(part, warehouse | f): units stored per warehouse.
+	qty, err := mpf.FromRows("qty",
+		[]mpf.Attr{{Name: "part", Domain: 3}, {Name: "warehouse", Domain: 2}},
+		[][]int32{{0, 0}, {1, 0}, {1, 1}, {2, 1}},
+		[]float64{100, 50, 25, 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, r := range []*mpf.Relation{price, qty} {
+		if err := db.CreateTable(r); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// spend = price ⋈* qty: spend per (part, supplier, warehouse) is
+	// price × quantity; the product join multiplies measures.
+	if err := db.CreateView("spend", []string{"price", "qty"}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Basic MPF query: total spend per warehouse.
+	//   select warehouse, SUM(f) from spend group by warehouse
+	res, err := db.Query(&mpf.QuerySpec{View: "spend", GroupVars: []string{"warehouse"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("total spend per warehouse:")
+	fmt.Print(res.Relation.String())
+	fmt.Printf("plan (optimizer: default nonlinear CS+, %v to plan):\n%s\n", res.Optimize, res.Plan)
+
+	// The same query under Variable Elimination; answers must agree.
+	ve, err := mpf.OptimizerByName("ve(deg)+ext")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res2, err := db.Query(&mpf.QuerySpec{
+		View: "spend", GroupVars: []string{"warehouse"}, Optimizer: ve,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ve(deg)+ext agrees: %v\n", equal(res.Relation, res2.Relation))
+
+	// Constrained domain: spend per warehouse for part 1 only.
+	res3, err := db.Query(&mpf.QuerySpec{
+		View:      "spend",
+		GroupVars: []string{"warehouse"},
+		Where:     mpf.Predicate{"part": 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("spend per warehouse for part 1:")
+	fmt.Print(res3.Relation.String())
+}
+
+func equal(a, b *mpf.Relation) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	a.Sort()
+	b.Sort()
+	for i := 0; i < a.Len(); i++ {
+		if a.Measure(i) != b.Measure(i) {
+			return false
+		}
+	}
+	return true
+}

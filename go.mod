@@ -1,0 +1,3 @@
+module mpf
+
+go 1.23

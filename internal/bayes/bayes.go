@@ -1,0 +1,580 @@
+// Package bayes implements the Bayesian-network substrate of §4: discrete
+// BNs with conditional probability tables, their representation as MPF
+// views over functional relations, ancestral sampling, parameter
+// estimation from data (the counting task §4 notes the MPF setting also
+// supports), and exact inference oracles for testing the MPF machinery.
+package bayes
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"mpf/internal/graph"
+	"mpf/internal/relation"
+	"mpf/internal/semiring"
+)
+
+// Node is one random variable of a network: a categorical variable with a
+// conditional probability table given its parents.
+type Node struct {
+	Name    string
+	Domain  int
+	Parents []string
+	// CPT holds Pr(node = v | parents = p) in row-major order: parent
+	// assignments vary first (in Parents order, last parent fastest),
+	// then the node's own value fastest of all. Its length is
+	// Π parentDomains × Domain and each conditional row sums to 1.
+	CPT []float64
+}
+
+// Network is a discrete Bayesian network. Nodes must be added in
+// topological order (parents before children), which also guarantees
+// acyclicity.
+type Network struct {
+	nodes  []*Node
+	byName map[string]*Node
+}
+
+// New returns an empty network.
+func New() *Network {
+	return &Network{byName: make(map[string]*Node)}
+}
+
+// AddNode appends a node whose parents must already exist. The CPT length
+// must equal the product of parent domains times the node's domain, and
+// every conditional distribution must sum to 1 (tolerance 1e-6).
+func (n *Network) AddNode(name string, domain int, parents []string, cpt []float64) error {
+	if name == "" {
+		return fmt.Errorf("bayes: empty node name")
+	}
+	if domain < 2 {
+		return fmt.Errorf("bayes: node %s needs domain >= 2, got %d", name, domain)
+	}
+	if _, dup := n.byName[name]; dup {
+		return fmt.Errorf("bayes: duplicate node %s", name)
+	}
+	rows := 1
+	for _, p := range parents {
+		pn, ok := n.byName[p]
+		if !ok {
+			return fmt.Errorf("bayes: node %s has unknown parent %s (add parents first)", name, p)
+		}
+		rows *= pn.Domain
+	}
+	if len(cpt) != rows*domain {
+		return fmt.Errorf("bayes: node %s CPT has %d entries, want %d", name, len(cpt), rows*domain)
+	}
+	for r := 0; r < rows; r++ {
+		sum := 0.0
+		for v := 0; v < domain; v++ {
+			pv := cpt[r*domain+v]
+			if pv < 0 || pv > 1+1e-9 {
+				return fmt.Errorf("bayes: node %s CPT entry %d out of [0,1]: %v", name, r*domain+v, pv)
+			}
+			sum += pv
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			return fmt.Errorf("bayes: node %s CPT row %d sums to %v, want 1", name, r, sum)
+		}
+	}
+	node := &Node{
+		Name:    name,
+		Domain:  domain,
+		Parents: append([]string(nil), parents...),
+		CPT:     append([]float64(nil), cpt...),
+	}
+	n.nodes = append(n.nodes, node)
+	n.byName[name] = node
+	return nil
+}
+
+// Nodes returns the nodes in topological (insertion) order.
+func (n *Network) Nodes() []*Node { return n.nodes }
+
+// Node returns the named node.
+func (n *Network) Node(name string) (*Node, bool) {
+	nd, ok := n.byName[name]
+	return nd, ok
+}
+
+// Vars returns all variable names in topological order.
+func (n *Network) Vars() []string {
+	out := make([]string, len(n.nodes))
+	for i, nd := range n.nodes {
+		out[i] = nd.Name
+	}
+	return out
+}
+
+// Relations converts the network into the local functional relations of
+// its MPF view (§4): one complete FR per node over (parents, node) whose
+// measure is the conditional probability. Their product join is the joint
+// distribution.
+func (n *Network) Relations() ([]*relation.Relation, error) {
+	out := make([]*relation.Relation, 0, len(n.nodes))
+	for _, nd := range n.nodes {
+		attrs := make([]relation.Attr, 0, len(nd.Parents)+1)
+		for _, p := range nd.Parents {
+			attrs = append(attrs, relation.Attr{Name: p, Domain: n.byName[p].Domain})
+		}
+		attrs = append(attrs, relation.Attr{Name: nd.Name, Domain: nd.Domain})
+		idx := 0
+		r, err := relation.Complete("cpt_"+nd.Name, attrs, func([]int32) float64 {
+			v := nd.CPT[idx]
+			idx++
+			return v
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Joint materializes the full joint distribution by brute force; the
+// oracle for inference tests. Exponential in the number of variables.
+func (n *Network) Joint() (*relation.Relation, error) {
+	rels, err := n.Relations()
+	if err != nil {
+		return nil, err
+	}
+	j, err := relation.ProductJoinAll(semiring.SumProduct, rels...)
+	if err != nil {
+		return nil, err
+	}
+	j.SetName("joint")
+	return j, nil
+}
+
+// cptRow returns the base offset of the CPT row for the given parent
+// values.
+func (n *Network) cptRow(nd *Node, parentVals []int32) int {
+	row := 0
+	for i, p := range nd.Parents {
+		row = row*n.byName[p].Domain + int(parentVals[i])
+	}
+	return row * nd.Domain
+}
+
+// Sample draws one complete assignment by ancestral sampling.
+func (n *Network) Sample(rng *rand.Rand) map[string]int32 {
+	out := make(map[string]int32, len(n.nodes))
+	for _, nd := range n.nodes {
+		pv := make([]int32, len(nd.Parents))
+		for i, p := range nd.Parents {
+			pv[i] = out[p]
+		}
+		base := n.cptRow(nd, pv)
+		u := rng.Float64()
+		acc := 0.0
+		val := int32(nd.Domain - 1)
+		for v := 0; v < nd.Domain; v++ {
+			acc += nd.CPT[base+v]
+			if u < acc {
+				val = int32(v)
+				break
+			}
+		}
+		out[nd.Name] = val
+	}
+	return out
+}
+
+// SampleRelation draws count samples and returns them as a functional
+// relation over all variables whose measure counts occurrences — the raw
+// material for parameter estimation (§4).
+func (n *Network) SampleRelation(rng *rand.Rand, count int) (*relation.Relation, error) {
+	attrs := make([]relation.Attr, len(n.nodes))
+	for i, nd := range n.nodes {
+		attrs[i] = relation.Attr{Name: nd.Name, Domain: nd.Domain}
+	}
+	counts := make(map[string]int)
+	rows := make(map[string][]int32)
+	buf := make([]int32, len(attrs))
+	for s := 0; s < count; s++ {
+		sample := n.Sample(rng)
+		for i, nd := range n.nodes {
+			buf[i] = sample[nd.Name]
+		}
+		k := fmt.Sprint(buf)
+		if _, ok := counts[k]; !ok {
+			rows[k] = append([]int32(nil), buf...)
+		}
+		counts[k]++
+	}
+	r, err := relation.New("samples", attrs)
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := r.Append(rows[k], float64(counts[k])); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// EstimateParameters re-estimates every CPT from a count relation (as
+// produced by SampleRelation) over at least the network's variables,
+// using add-alpha (Laplace when alpha=1) smoothing. The counting itself
+// is an MPF computation: marginalize the count relation onto
+// (parents, node) and onto (parents) and divide. A new network with the
+// same structure is returned.
+func (n *Network) EstimateParameters(data *relation.Relation, alpha float64) (*Network, error) {
+	if alpha < 0 {
+		return nil, fmt.Errorf("bayes: negative smoothing %v", alpha)
+	}
+	out := New()
+	for _, nd := range n.nodes {
+		family := append(append([]string(nil), nd.Parents...), nd.Name)
+		for _, v := range family {
+			if !data.HasVar(v) {
+				return nil, fmt.Errorf("bayes: data lacks variable %s", v)
+			}
+		}
+		famCounts, err := relation.Marginalize(semiring.SumProduct, data, family)
+		if err != nil {
+			return nil, err
+		}
+		// Index counts by (parents, value).
+		counts := make(map[string]float64, famCounts.Len())
+		cols := make([]int, len(family))
+		for i, v := range family {
+			cols[i] = famCounts.ColIndex(v)
+		}
+		keyOf := func(vals []int32) string {
+			b := make([]byte, 0, 4*len(cols))
+			for _, c := range cols {
+				x := vals[c]
+				b = append(b, byte(x), byte(x>>8), byte(x>>16), byte(x>>24))
+			}
+			return string(b)
+		}
+		for i := 0; i < famCounts.Len(); i++ {
+			counts[keyOf(famCounts.Row(i))] = famCounts.Measure(i)
+		}
+		// Build the CPT with smoothing.
+		rows := 1
+		pd := make([]int, len(nd.Parents))
+		for i, p := range nd.Parents {
+			pd[i] = n.byName[p].Domain
+			rows *= pd[i]
+		}
+		cpt := make([]float64, rows*nd.Domain)
+		pv := make([]int32, len(nd.Parents))
+		lookup := make([]int32, len(family))
+		for row := 0; row < rows; row++ {
+			rem := row
+			for i := len(pd) - 1; i >= 0; i-- {
+				pv[i] = int32(rem % pd[i])
+				rem /= pd[i]
+			}
+			total := alpha * float64(nd.Domain)
+			vals := make([]float64, nd.Domain)
+			for v := 0; v < nd.Domain; v++ {
+				copy(lookup, pv)
+				lookup[len(family)-1] = int32(v)
+				cnt := countFor(counts, famCounts, family, lookup)
+				vals[v] = cnt + alpha
+				total += cnt
+			}
+			if total == 0 {
+				// No data and no smoothing: fall back to uniform.
+				for v := 0; v < nd.Domain; v++ {
+					cpt[row*nd.Domain+v] = 1 / float64(nd.Domain)
+				}
+				continue
+			}
+			for v := 0; v < nd.Domain; v++ {
+				cpt[row*nd.Domain+v] = vals[v] / total
+			}
+		}
+		if err := out.AddNode(nd.Name, nd.Domain, nd.Parents, cpt); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// countFor looks up the count for a family assignment (0 when absent).
+func countFor(counts map[string]float64, fam *relation.Relation, family []string, vals []int32) float64 {
+	b := make([]byte, 0, 4*len(family))
+	// The count map was keyed in fam's column order for the family list;
+	// vals is already in family order, so re-key identically.
+	reordered := make([]int32, fam.Arity())
+	for i, v := range family {
+		reordered[fam.ColIndex(v)] = vals[i]
+	}
+	for _, v := range family {
+		x := reordered[fam.ColIndex(v)]
+		b = append(b, byte(x), byte(x>>8), byte(x>>16), byte(x>>24))
+	}
+	return counts[string(b)]
+}
+
+// EstimateFromFamilyCounts re-estimates the CPTs from per-family count
+// relations instead of a single joint count table: counts[v] must be a
+// functional relation over (Parents(v), v) whose measure counts
+// occurrences. This is the decomposed-counting path §4 describes — when
+// the data lives in multiple tables under a join dependency, the family
+// counts are themselves MPF queries over those tables, so estimation
+// never materializes a joint table. Smoothing is add-alpha as in
+// EstimateParameters.
+func (n *Network) EstimateFromFamilyCounts(counts map[string]*relation.Relation, alpha float64) (*Network, error) {
+	if alpha < 0 {
+		return nil, fmt.Errorf("bayes: negative smoothing %v", alpha)
+	}
+	out := New()
+	for _, nd := range n.nodes {
+		fam, ok := counts[nd.Name]
+		if !ok {
+			return nil, fmt.Errorf("bayes: no count relation for %s", nd.Name)
+		}
+		family := append(append([]string(nil), nd.Parents...), nd.Name)
+		for _, v := range family {
+			if !fam.HasVar(v) {
+				return nil, fmt.Errorf("bayes: count relation for %s lacks variable %s", nd.Name, v)
+			}
+		}
+		// Aggregate in case the count relation carries extra variables.
+		famCounts, err := relation.Marginalize(semiring.SumProduct, fam, family)
+		if err != nil {
+			return nil, err
+		}
+		cpt, err := n.cptFromCounts(nd, famCounts, family, alpha)
+		if err != nil {
+			return nil, err
+		}
+		if err := out.AddNode(nd.Name, nd.Domain, nd.Parents, cpt); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// cptFromCounts turns a family count relation into a smoothed CPT.
+func (n *Network) cptFromCounts(nd *Node, famCounts *relation.Relation, family []string, alpha float64) ([]float64, error) {
+	lookup := make(map[string]float64, famCounts.Len())
+	cols := make([]int, len(family))
+	for i, v := range family {
+		cols[i] = famCounts.ColIndex(v)
+	}
+	keyOf := func(vals []int32) string {
+		b := make([]byte, 0, 4*len(cols))
+		for _, c := range cols {
+			x := vals[c]
+			b = append(b, byte(x), byte(x>>8), byte(x>>16), byte(x>>24))
+		}
+		return string(b)
+	}
+	for i := 0; i < famCounts.Len(); i++ {
+		lookup[keyOf(famCounts.Row(i))] = famCounts.Measure(i)
+	}
+	rows := 1
+	pd := make([]int, len(nd.Parents))
+	for i, p := range nd.Parents {
+		pd[i] = n.byName[p].Domain
+		rows *= pd[i]
+	}
+	cpt := make([]float64, rows*nd.Domain)
+	assign := make([]int32, len(family))
+	reordered := make([]int32, famCounts.Arity())
+	for row := 0; row < rows; row++ {
+		rem := row
+		for i := len(pd) - 1; i >= 0; i-- {
+			assign[i] = int32(rem % pd[i])
+			rem /= pd[i]
+		}
+		total := alpha * float64(nd.Domain)
+		vals := make([]float64, nd.Domain)
+		for v := 0; v < nd.Domain; v++ {
+			assign[len(family)-1] = int32(v)
+			for i, fv := range family {
+				reordered[famCounts.ColIndex(fv)] = assign[i]
+			}
+			b := make([]byte, 0, 4*len(cols))
+			for _, c := range cols {
+				x := reordered[c]
+				b = append(b, byte(x), byte(x>>8), byte(x>>16), byte(x>>24))
+			}
+			cnt := lookup[string(b)]
+			vals[v] = cnt + alpha
+			total += cnt
+		}
+		if total == 0 {
+			for v := 0; v < nd.Domain; v++ {
+				cpt[row*nd.Domain+v] = 1 / float64(nd.Domain)
+			}
+			continue
+		}
+		for v := 0; v < nd.Domain; v++ {
+			cpt[row*nd.Domain+v] = vals[v] / total
+		}
+	}
+	return cpt, nil
+}
+
+// ExactMarginal computes Pr(target | evidence) by variable elimination
+// over the network's functional relations using a min-fill order — the
+// §4 inference task "select target, SUM(p) from joint where evidence
+// group by target", normalized. It is independent of the optimizer stack
+// and serves as its cross-check.
+func (n *Network) ExactMarginal(target string, evidence map[string]int32) (*relation.Relation, error) {
+	if _, ok := n.byName[target]; !ok {
+		return nil, fmt.Errorf("bayes: unknown target %s", target)
+	}
+	for v := range evidence {
+		nd, ok := n.byName[v]
+		if !ok {
+			return nil, fmt.Errorf("bayes: unknown evidence variable %s", v)
+		}
+		if int(evidence[v]) >= nd.Domain || evidence[v] < 0 {
+			return nil, fmt.Errorf("bayes: evidence %s=%d out of domain", v, evidence[v])
+		}
+	}
+	rels, err := n.Relations()
+	if err != nil {
+		return nil, err
+	}
+	// Apply evidence.
+	for i, r := range rels {
+		pred := make(relation.Predicate)
+		for v, val := range evidence {
+			if r.HasVar(v) {
+				pred[v] = val
+			}
+		}
+		if len(pred) > 0 {
+			s, err := relation.Select(r, pred)
+			if err != nil {
+				return nil, err
+			}
+			rels[i] = s
+		}
+	}
+	// Eliminate all other variables in min-fill order.
+	schemas := make([]relation.VarSet, len(rels))
+	for i, r := range rels {
+		schemas[i] = r.Vars()
+	}
+	order := graph.MinFillOrder(graph.VariableGraph(schemas))
+	live := rels
+	for _, vj := range order {
+		if vj == target {
+			continue
+		}
+		var with, rest []*relation.Relation
+		for _, r := range live {
+			if r.HasVar(vj) {
+				with = append(with, r)
+			} else {
+				rest = append(rest, r)
+			}
+		}
+		if len(with) == 0 {
+			continue
+		}
+		j, err := relation.ProductJoinAll(semiring.SumProduct, with...)
+		if err != nil {
+			return nil, err
+		}
+		m, err := relation.MarginalizeOut(semiring.SumProduct, j, vj)
+		if err != nil {
+			return nil, err
+		}
+		live = append(rest, m)
+	}
+	j, err := relation.ProductJoinAll(semiring.SumProduct, live...)
+	if err != nil {
+		return nil, err
+	}
+	m, err := relation.Marginalize(semiring.SumProduct, j, []string{target})
+	if err != nil {
+		return nil, err
+	}
+	// Normalize to a conditional distribution.
+	total := 0.0
+	for i := 0; i < m.Len(); i++ {
+		total += m.Measure(i)
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("bayes: evidence has probability zero")
+	}
+	for i := 0; i < m.Len(); i++ {
+		m.SetMeasure(i, m.Measure(i)/total)
+	}
+	m.SetName(fmt.Sprintf("Pr(%s|evidence)", target))
+	return m, nil
+}
+
+// Random generates a random network: nodes x1..xN in topological order,
+// each with up to maxParents parents drawn from its predecessors and a
+// random CPT with Dirichlet-ish rows.
+func Random(rng *rand.Rand, nodes, maxParents, domain int) (*Network, error) {
+	if nodes < 1 || domain < 2 || maxParents < 0 {
+		return nil, fmt.Errorf("bayes: invalid random network spec (%d nodes, %d parents, domain %d)",
+			nodes, maxParents, domain)
+	}
+	n := New()
+	for i := 0; i < nodes; i++ {
+		name := fmt.Sprintf("x%d", i+1)
+		var parents []string
+		if i > 0 {
+			k := rng.Intn(min(maxParents, i) + 1)
+			perm := rng.Perm(i)
+			for _, p := range perm[:k] {
+				parents = append(parents, fmt.Sprintf("x%d", p+1))
+			}
+			sort.Strings(parents)
+		}
+		rows := 1
+		for _, p := range parents {
+			pn, _ := n.Node(p)
+			rows *= pn.Domain
+		}
+		cpt := make([]float64, rows*domain)
+		for r := 0; r < rows; r++ {
+			total := 0.0
+			for v := 0; v < domain; v++ {
+				cpt[r*domain+v] = rng.Float64() + 0.05
+				total += cpt[r*domain+v]
+			}
+			for v := 0; v < domain; v++ {
+				cpt[r*domain+v] /= total
+			}
+		}
+		if err := n.AddNode(name, domain, parents, cpt); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// Figure2 builds the paper's example network: binary A, B, C, D with
+// Pr(A,B,C,D) = Pr(A)·Pr(B|A)·Pr(C|A)·Pr(D|B,C).
+func Figure2() *Network {
+	n := New()
+	must := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	must(n.AddNode("A", 2, nil, []float64{0.6, 0.4}))
+	must(n.AddNode("B", 2, []string{"A"}, []float64{0.7, 0.3, 0.2, 0.8}))
+	must(n.AddNode("C", 2, []string{"A"}, []float64{0.9, 0.1, 0.4, 0.6}))
+	must(n.AddNode("D", 2, []string{"B", "C"}, []float64{
+		0.99, 0.01,
+		0.7, 0.3,
+		0.5, 0.5,
+		0.05, 0.95,
+	}))
+	return n
+}

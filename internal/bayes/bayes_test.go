@@ -1,0 +1,349 @@
+package bayes
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mpf/internal/infer"
+	"mpf/internal/relation"
+	"mpf/internal/semiring"
+)
+
+func TestAddNodeValidation(t *testing.T) {
+	n := New()
+	if err := n.AddNode("", 2, nil, []float64{0.5, 0.5}); err == nil {
+		t.Fatal("empty name should error")
+	}
+	if err := n.AddNode("a", 1, nil, []float64{1}); err == nil {
+		t.Fatal("domain 1 should error")
+	}
+	if err := n.AddNode("a", 2, []string{"ghost"}, []float64{0.5, 0.5}); err == nil {
+		t.Fatal("unknown parent should error")
+	}
+	if err := n.AddNode("a", 2, nil, []float64{0.5}); err == nil {
+		t.Fatal("short CPT should error")
+	}
+	if err := n.AddNode("a", 2, nil, []float64{0.5, 0.6}); err == nil {
+		t.Fatal("non-normalized row should error")
+	}
+	if err := n.AddNode("a", 2, nil, []float64{-0.5, 1.5}); err == nil {
+		t.Fatal("negative probability should error")
+	}
+	if err := n.AddNode("a", 2, nil, []float64{0.5, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddNode("a", 2, nil, []float64{0.5, 0.5}); err == nil {
+		t.Fatal("duplicate node should error")
+	}
+}
+
+func TestFigure2JointSumsToOne(t *testing.T) {
+	n := Figure2()
+	j, err := n.Joint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 16 {
+		t.Fatalf("joint has %d rows, want 2^4", j.Len())
+	}
+	total := 0.0
+	for i := 0; i < j.Len(); i++ {
+		total += j.Measure(i)
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("joint sums to %v", total)
+	}
+}
+
+// TestFigure2PaperQuery reproduces the §4 example query
+// "select C, SUM(p) from joint where A=0 group by C" and checks it equals
+// Pr(C|A=0) after normalization, which for this CPT is exactly Pr(C|A=0)
+// = (0.9, 0.1).
+func TestFigure2PaperQuery(t *testing.T) {
+	n := Figure2()
+	j, _ := n.Joint()
+	sel, _ := relation.Select(j, relation.Predicate{"A": 0})
+	m, _ := relation.Marginalize(semiring.SumProduct, sel, []string{"C"})
+	// Unnormalized: Pr(C, A=0) = Pr(A=0)·Pr(C|A=0).
+	want := map[int32]float64{0: 0.6 * 0.9, 1: 0.6 * 0.1}
+	for i := 0; i < m.Len(); i++ {
+		if diff := math.Abs(m.Measure(i) - want[m.Value(i, 0)]); diff > 1e-9 {
+			t.Fatalf("Pr(C=%d,A=0) = %v, want %v", m.Value(i, 0), m.Measure(i), want[m.Value(i, 0)])
+		}
+	}
+	// Conditional via ExactMarginal.
+	cond, err := n.ExactMarginal("C", map[string]int32{"A": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCond, _ := relation.FromRows("w", []relation.Attr{{Name: "C", Domain: 2}},
+		[][]int32{{0}, {1}}, []float64{0.9, 0.1})
+	if !relation.Equal(cond, wantCond, 0, 1e-9) {
+		t.Fatalf("Pr(C|A=0) = %v", cond)
+	}
+}
+
+func TestExactMarginalMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		n, err := Random(rng, 6, 2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := n.Joint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		evidence := map[string]int32{"x2": int32(rng.Intn(2))}
+		target := "x5"
+		got, err := n.ExactMarginal(target, evidence)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel, _ := relation.Select(j, relation.Predicate{"x2": evidence["x2"]})
+		m, _ := relation.Marginalize(semiring.SumProduct, sel, []string{target})
+		total := 0.0
+		for i := 0; i < m.Len(); i++ {
+			total += m.Measure(i)
+		}
+		for i := 0; i < m.Len(); i++ {
+			m.SetMeasure(i, m.Measure(i)/total)
+		}
+		if !relation.Equal(got, m, 0, 1e-9) {
+			t.Fatalf("trial %d: VE marginal differs from brute force", trial)
+		}
+	}
+}
+
+func TestExactMarginalValidation(t *testing.T) {
+	n := Figure2()
+	if _, err := n.ExactMarginal("Z", nil); err == nil {
+		t.Fatal("unknown target should error")
+	}
+	if _, err := n.ExactMarginal("C", map[string]int32{"Z": 0}); err == nil {
+		t.Fatal("unknown evidence should error")
+	}
+	if _, err := n.ExactMarginal("C", map[string]int32{"A": 5}); err == nil {
+		t.Fatal("out-of-domain evidence should error")
+	}
+}
+
+func TestRelationsAreValidCPTFactors(t *testing.T) {
+	n := Figure2()
+	rels, err := n.Relations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rels) != 4 {
+		t.Fatalf("want 4 factors, got %d", len(rels))
+	}
+	// Each factor is complete and each conditional row sums to 1 when
+	// marginalizing out the node itself.
+	for i, nd := range n.Nodes() {
+		r := rels[i]
+		if !r.IsComplete() {
+			t.Fatalf("factor %s not complete", nd.Name)
+		}
+		if len(nd.Parents) == 0 {
+			continue
+		}
+		m, _ := relation.Marginalize(semiring.SumProduct, r, nd.Parents)
+		for k := 0; k < m.Len(); k++ {
+			if math.Abs(m.Measure(k)-1) > 1e-9 {
+				t.Fatalf("factor %s conditional row sums to %v", nd.Name, m.Measure(k))
+			}
+		}
+	}
+}
+
+func TestSamplingApproximatesMarginals(t *testing.T) {
+	n := Figure2()
+	rng := rand.New(rand.NewSource(3))
+	const count = 200000
+	counts := map[string]int{}
+	for i := 0; i < count; i++ {
+		s := n.Sample(rng)
+		if s["A"] == 0 {
+			counts["A0"]++
+		}
+		if s["D"] == 1 {
+			counts["D1"]++
+		}
+	}
+	if got := float64(counts["A0"]) / count; math.Abs(got-0.6) > 0.01 {
+		t.Fatalf("Pr(A=0) ≈ %v, want 0.6", got)
+	}
+	// True Pr(D=1) from the joint.
+	j, _ := n.Joint()
+	m, _ := relation.Marginalize(semiring.SumProduct, j, []string{"D"})
+	var want float64
+	for i := 0; i < m.Len(); i++ {
+		if m.Value(i, 0) == 1 {
+			want = m.Measure(i)
+		}
+	}
+	if got := float64(counts["D1"]) / count; math.Abs(got-want) > 0.01 {
+		t.Fatalf("Pr(D=1) ≈ %v, want %v", got, want)
+	}
+}
+
+func TestSampleRelationCounts(t *testing.T) {
+	n := Figure2()
+	rng := rand.New(rand.NewSource(4))
+	const count = 5000
+	r, err := n.SampleRelation(rng, count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for i := 0; i < r.Len(); i++ {
+		total += r.Measure(i)
+	}
+	if int(total) != count {
+		t.Fatalf("counts sum to %v, want %d", total, count)
+	}
+	if err := r.CheckFD(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimateParametersRecoversCPTs(t *testing.T) {
+	n := Figure2()
+	rng := rand.New(rand.NewSource(5))
+	data, err := n.SampleRelation(rng, 300000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := n.EstimateParameters(data, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nd := range n.Nodes() {
+		got, _ := est.Node(nd.Name)
+		for i := range nd.CPT {
+			if math.Abs(got.CPT[i]-nd.CPT[i]) > 0.02 {
+				t.Fatalf("node %s CPT[%d] = %v, want ≈ %v", nd.Name, i, got.CPT[i], nd.CPT[i])
+			}
+		}
+	}
+}
+
+func TestEstimateParametersValidation(t *testing.T) {
+	n := Figure2()
+	small := relation.MustNew("d", []relation.Attr{{Name: "A", Domain: 2}})
+	if _, err := n.EstimateParameters(small, 1); err == nil {
+		t.Fatal("data missing variables should error")
+	}
+	full, _ := n.SampleRelation(rand.New(rand.NewSource(6)), 100)
+	if _, err := n.EstimateParameters(full, -1); err == nil {
+		t.Fatal("negative smoothing should error")
+	}
+}
+
+func TestRandomNetworkShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n, err := Random(rng, 10, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Nodes()) != 10 {
+		t.Fatalf("nodes = %d", len(n.Nodes()))
+	}
+	for i, nd := range n.Nodes() {
+		if len(nd.Parents) > 3 {
+			t.Fatalf("node %d has %d parents", i, len(nd.Parents))
+		}
+	}
+	if _, err := Random(rng, 0, 1, 2); err == nil {
+		t.Fatal("zero nodes should error")
+	}
+}
+
+// TestBNWithVECache ties §4 to §6: build the Figure 2 network's MPF view,
+// cache it with VE-cache, and answer every single-variable marginal from
+// the cache.
+func TestBNWithVECache(t *testing.T) {
+	n := Figure2()
+	rels, err := n.Relations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := infer.BuildVECache(semiring.SumProduct, rels, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, _ := n.Joint()
+	for _, v := range n.Vars() {
+		got, err := cache.Answer(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := relation.Marginalize(semiring.SumProduct, j, []string{v})
+		if !relation.Equal(got, want, 0, 1e-9) {
+			t.Fatalf("cached marginal of %s wrong", v)
+		}
+	}
+}
+
+// TestEstimateFromFamilyCounts: decomposed per-family counts — each an
+// MPF marginalization of the sample table — recover the same CPTs as the
+// joint-data path.
+func TestEstimateFromFamilyCounts(t *testing.T) {
+	n := Figure2()
+	rng := rand.New(rand.NewSource(15))
+	data, err := n.SampleRelation(rng, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]*relation.Relation{}
+	for _, nd := range n.Nodes() {
+		family := append(append([]string(nil), nd.Parents...), nd.Name)
+		fam, err := relation.Marginalize(semiring.SumProduct, data, family)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[nd.Name] = fam
+	}
+	viaFam, err := n.EstimateFromFamilyCounts(counts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaJoint, err := n.EstimateParameters(data, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nd := range n.Nodes() {
+		a, _ := viaFam.Node(nd.Name)
+		b, _ := viaJoint.Node(nd.Name)
+		for i := range a.CPT {
+			if math.Abs(a.CPT[i]-b.CPT[i]) > 1e-12 {
+				t.Fatalf("node %s CPT[%d]: family %v vs joint %v", nd.Name, i, a.CPT[i], b.CPT[i])
+			}
+		}
+	}
+}
+
+func TestEstimateFromFamilyCountsValidation(t *testing.T) {
+	n := Figure2()
+	if _, err := n.EstimateFromFamilyCounts(nil, 1); err == nil {
+		t.Fatal("missing count relations should error")
+	}
+	bad := map[string]*relation.Relation{}
+	for _, nd := range n.Nodes() {
+		bad[nd.Name] = relation.MustNew("x", []relation.Attr{{Name: "Q", Domain: 2}})
+	}
+	if _, err := n.EstimateFromFamilyCounts(bad, 1); err == nil {
+		t.Fatal("count relation missing family variables should error")
+	}
+	good := map[string]*relation.Relation{}
+	data, _ := n.SampleRelation(rand.New(rand.NewSource(16)), 100)
+	for _, nd := range n.Nodes() {
+		family := append(append([]string(nil), nd.Parents...), nd.Name)
+		fam, _ := relation.Marginalize(semiring.SumProduct, data, family)
+		good[nd.Name] = fam
+	}
+	if _, err := n.EstimateFromFamilyCounts(good, -1); err == nil {
+		t.Fatal("negative smoothing should error")
+	}
+}

@@ -1,0 +1,161 @@
+package bayes
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mpf/internal/infer"
+	"mpf/internal/relation"
+	"mpf/internal/semiring"
+)
+
+// logRelations converts a network's CPT factors to log space.
+func logRelations(t *testing.T, n *Network) []*relation.Relation {
+	t.Helper()
+	rels, err := n.Relations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rels {
+		for i := 0; i < r.Len(); i++ {
+			r.SetMeasure(i, math.Log(r.Measure(i)))
+		}
+	}
+	return rels
+}
+
+// TestLogSpaceInferenceMatchesLinear: the same marginalization query over
+// log-space factors with the log-sum-exp semiring equals the linear-space
+// answer after exponentiation.
+func TestLogSpaceInferenceMatchesLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 5; trial++ {
+		n, err := Random(rng, 6, 2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		linRels, _ := n.Relations()
+		logRels := logRelations(t, n)
+
+		linJoint, err := relation.ProductJoinAll(semiring.SumProduct, linRels...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		logJoint, err := relation.ProductJoinAll(semiring.LogSumExp, logRels...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, target := range []string{"x1", "x4", "x6"} {
+			lin, err := relation.Marginalize(semiring.SumProduct, linJoint, []string{target})
+			if err != nil {
+				t.Fatal(err)
+			}
+			lg, err := relation.Marginalize(semiring.LogSumExp, logJoint, []string{target})
+			if err != nil {
+				t.Fatal(err)
+			}
+			exp := lg.Clone()
+			for i := 0; i < exp.Len(); i++ {
+				exp.SetMeasure(i, math.Exp(exp.Measure(i)))
+			}
+			if !relation.Equal(exp, lin, 0, 1e-9) {
+				t.Fatalf("trial %d target %s: log-space marginal differs from linear", trial, target)
+			}
+		}
+	}
+}
+
+// TestLogSpaceAvoidsUnderflow: a long chain of tiny probabilities
+// underflows to 0 in linear space but stays finite in log space.
+func TestLogSpaceAvoidsUnderflow(t *testing.T) {
+	const factors = 30
+	const p = 1e-15
+	// Chain of single-variable factors all over the same variable: the
+	// product is p^30 = 1e-450, far below the float64 minimum.
+	mkLin := func() []*relation.Relation {
+		var out []*relation.Relation
+		for i := 0; i < factors; i++ {
+			r, _ := relation.FromRows("f", []relation.Attr{{Name: "x", Domain: 2}},
+				[][]int32{{0}, {1}}, []float64{p, p})
+			out = append(out, r)
+		}
+		return out
+	}
+	lin, err := relation.ProductJoinAll(semiring.SumProduct, mkLin()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lin.Measure(0) != 0 {
+		t.Fatalf("linear space should underflow to 0, got %v", lin.Measure(0))
+	}
+	logFactors := mkLin()
+	for _, r := range logFactors {
+		for i := 0; i < r.Len(); i++ {
+			r.SetMeasure(i, math.Log(r.Measure(i)))
+		}
+	}
+	lg, err := relation.ProductJoinAll(semiring.LogSumExp, logFactors...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(factors) * math.Log(p)
+	if math.Abs(lg.Measure(0)-want) > 1e-6 {
+		t.Fatalf("log-space product = %v, want %v", lg.Measure(0), want)
+	}
+	// Normalization still works through the marginal: both x values carry
+	// equal mass, so Pr(x=0) = 0.5 after log-space marginalization.
+	total, err := relation.Marginalize(semiring.LogSumExp, lg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cond := math.Exp(lg.Measure(0) - total.Measure(0))
+	if math.Abs(cond-0.5) > 1e-9 {
+		t.Fatalf("log-space conditional = %v, want 0.5", cond)
+	}
+}
+
+// TestLogSpaceBPInvariant: the full junction-tree + BP pipeline works
+// over log-space factors (log-sum-exp is a Divider semiring). Note the
+// Figure 2 family factors {A}, {A,B}, {A,C}, {B,C,D} are NOT an acyclic
+// database schema (AB/AC/BCD form a cycle) — exactly why BNs need the
+// junction-tree transform before propagation.
+func TestLogSpaceBPInvariant(t *testing.T) {
+	n := Figure2()
+	logRels := logRelations(t, n)
+	cs, err := infer.JunctionTreeSchema(semiring.LogSumExp, logRels, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := bpOverLog(cs.Relations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exponentiated marginals equal the linear-space joint marginals.
+	j, _ := n.Joint()
+	for _, s := range res {
+		for _, x := range s.Vars().Sorted() {
+			got, err := relation.Marginalize(semiring.LogSumExp, s, []string{x})
+			if err != nil {
+				t.Fatal(err)
+			}
+			expd := got.Clone()
+			for i := 0; i < expd.Len(); i++ {
+				expd.SetMeasure(i, math.Exp(expd.Measure(i)))
+			}
+			want, _ := relation.Marginalize(semiring.SumProduct, j, []string{x})
+			if !relation.Equal(expd, want, 0, 1e-9) {
+				t.Fatalf("log-space BP invariant violated for %s", x)
+			}
+		}
+	}
+}
+
+// bpOverLog runs BP with the log-sum-exp semiring.
+func bpOverLog(rels []*relation.Relation) ([]*relation.Relation, error) {
+	res, err := infer.BeliefPropagation(semiring.LogSumExp, rels)
+	if err != nil {
+		return nil, err
+	}
+	return res.Relations, nil
+}

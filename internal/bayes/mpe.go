@@ -1,0 +1,144 @@
+package bayes
+
+import (
+	"fmt"
+
+	"mpf/internal/graph"
+	"mpf/internal/relation"
+	"mpf/internal/semiring"
+)
+
+// maxMarginal computes the max-product "marginal" of the network onto
+// target under the given evidence: for each value of target, the maximum
+// joint probability achievable. It is the MaxProduct-semiring MPF query
+// "select target, MAX(p) from joint where evidence group by target" —
+// the Viterbi analogue of ExactMarginal.
+func (n *Network) maxMarginal(target string, evidence map[string]int32) (*relation.Relation, error) {
+	rels, err := n.Relations()
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rels {
+		pred := make(relation.Predicate)
+		for v, val := range evidence {
+			if r.HasVar(v) {
+				pred[v] = val
+			}
+		}
+		if len(pred) > 0 {
+			s, err := relation.Select(r, pred)
+			if err != nil {
+				return nil, err
+			}
+			rels[i] = s
+		}
+	}
+	schemas := make([]relation.VarSet, len(rels))
+	for i, r := range rels {
+		schemas[i] = r.Vars()
+	}
+	order := graph.MinFillOrder(graph.VariableGraph(schemas))
+	live := rels
+	for _, vj := range order {
+		if vj == target {
+			continue
+		}
+		var with, rest []*relation.Relation
+		for _, r := range live {
+			if r.HasVar(vj) {
+				with = append(with, r)
+			} else {
+				rest = append(rest, r)
+			}
+		}
+		if len(with) == 0 {
+			continue
+		}
+		j, err := relation.ProductJoinAll(semiring.MaxProduct, with...)
+		if err != nil {
+			return nil, err
+		}
+		m, err := relation.MarginalizeOut(semiring.MaxProduct, j, vj)
+		if err != nil {
+			return nil, err
+		}
+		live = append(rest, m)
+	}
+	j, err := relation.ProductJoinAll(semiring.MaxProduct, live...)
+	if err != nil {
+		return nil, err
+	}
+	return relation.Marginalize(semiring.MaxProduct, j, []string{target})
+}
+
+// MPE computes a most probable explanation: a complete assignment of all
+// variables, consistent with the evidence, maximizing the joint
+// probability; the probability is returned alongside. It decodes the
+// assignment variable by variable: each step computes the max-product
+// marginal of one undecided variable given everything fixed so far and
+// commits to its argmax (ties broken toward the smallest value), which is
+// the standard MPF-query formulation of Viterbi decoding over the
+// MaxProduct semiring.
+func (n *Network) MPE(evidence map[string]int32) (map[string]int32, float64, error) {
+	for v, val := range evidence {
+		nd, ok := n.byName[v]
+		if !ok {
+			return nil, 0, fmt.Errorf("bayes: unknown evidence variable %s", v)
+		}
+		if val < 0 || int(val) >= nd.Domain {
+			return nil, 0, fmt.Errorf("bayes: evidence %s=%d out of domain", v, val)
+		}
+	}
+	fixed := make(map[string]int32, len(n.nodes))
+	for v, val := range evidence {
+		fixed[v] = val
+	}
+	best := 0.0
+	for _, nd := range n.nodes {
+		if _, done := fixed[nd.Name]; done {
+			continue
+		}
+		m, err := n.maxMarginal(nd.Name, fixed)
+		if err != nil {
+			return nil, 0, err
+		}
+		if m.Len() == 0 {
+			return nil, 0, fmt.Errorf("bayes: evidence has probability zero")
+		}
+		argmax := int32(0)
+		maxVal := semiring.MaxProduct.Zero()
+		m.Sort()
+		for i := 0; i < m.Len(); i++ {
+			if m.Measure(i) > maxVal {
+				maxVal = m.Measure(i)
+				argmax = m.Value(i, 0)
+			}
+		}
+		fixed[nd.Name] = argmax
+		best = maxVal
+	}
+	if len(evidence) == len(n.nodes) {
+		// Everything observed: the "explanation" is the evidence itself;
+		// compute its probability directly.
+		joint, err := n.Joint()
+		if err != nil {
+			return nil, 0, err
+		}
+		pred := make(relation.Predicate, len(evidence))
+		for v, val := range evidence {
+			pred[v] = val
+		}
+		sel, err := relation.Select(joint, pred)
+		if err != nil {
+			return nil, 0, err
+		}
+		if sel.Len() == 0 {
+			return nil, 0, fmt.Errorf("bayes: evidence has probability zero")
+		}
+		best = sel.Measure(0)
+	}
+	if best <= 0 {
+		return nil, 0, fmt.Errorf("bayes: evidence has probability zero")
+	}
+	return fixed, best, nil
+}

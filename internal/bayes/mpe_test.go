@@ -1,0 +1,131 @@
+package bayes
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mpf/internal/relation"
+)
+
+// bruteMPE finds the most probable joint assignment by enumeration.
+func bruteMPE(t *testing.T, n *Network, evidence map[string]int32) (map[string]int32, float64) {
+	t.Helper()
+	j, err := n.Joint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evidence) > 0 {
+		pred := make(relation.Predicate, len(evidence))
+		for v, val := range evidence {
+			pred[v] = val
+		}
+		j, err = relation.Select(j, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	bestIdx, bestP := -1, -1.0
+	for i := 0; i < j.Len(); i++ {
+		if j.Measure(i) > bestP {
+			bestP = j.Measure(i)
+			bestIdx = i
+		}
+	}
+	if bestIdx < 0 {
+		t.Fatal("no assignment satisfies evidence")
+	}
+	out := make(map[string]int32)
+	for col, a := range j.Attrs() {
+		out[a.Name] = j.Value(bestIdx, col)
+	}
+	return out, bestP
+}
+
+func TestMPEFigure2(t *testing.T) {
+	n := Figure2()
+	got, p, err := n.MPE(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, wantP := bruteMPE(t, n, nil)
+	if math.Abs(p-wantP) > 1e-9 {
+		t.Fatalf("MPE probability %v, want %v (assignment %v)", p, wantP, got)
+	}
+	// The returned assignment must actually achieve that probability.
+	j, _ := n.Joint()
+	pred := make(relation.Predicate, len(got))
+	for v, val := range got {
+		pred[v] = val
+	}
+	sel, _ := relation.Select(j, pred)
+	if sel.Len() != 1 || math.Abs(sel.Measure(0)-p) > 1e-9 {
+		t.Fatalf("assignment %v has probability %v, claimed %v", got, sel.Measure(0), p)
+	}
+}
+
+func TestMPEWithEvidence(t *testing.T) {
+	n := Figure2()
+	evidence := map[string]int32{"D": 1}
+	got, p, err := n.MPE(evidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["D"] != 1 {
+		t.Fatal("evidence not respected")
+	}
+	_, wantP := bruteMPE(t, n, evidence)
+	if math.Abs(p-wantP) > 1e-9 {
+		t.Fatalf("MPE probability %v, want %v", p, wantP)
+	}
+}
+
+func TestMPERandomNetworks(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 10; trial++ {
+		n, err := Random(rng, 5, 2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evidence := map[string]int32{}
+		if trial%2 == 0 {
+			evidence["x2"] = int32(rng.Intn(2))
+		}
+		got, p, err := n.MPE(evidence)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, wantP := bruteMPE(t, n, evidence)
+		if math.Abs(p-wantP) > 1e-9 {
+			t.Fatalf("trial %d: MPE probability %v, want %v (assignment %v)", trial, p, wantP, got)
+		}
+	}
+}
+
+func TestMPEFullyObserved(t *testing.T) {
+	n := Figure2()
+	evidence := map[string]int32{"A": 0, "B": 0, "C": 0, "D": 0}
+	got, p, err := n.MPE(evidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.6 * 0.7 * 0.9 * 0.99
+	if math.Abs(p-want) > 1e-12 {
+		t.Fatalf("fully observed probability %v, want %v", p, want)
+	}
+	for v, val := range evidence {
+		if got[v] != val {
+			t.Fatal("fully observed assignment changed")
+		}
+	}
+}
+
+func TestMPEValidation(t *testing.T) {
+	n := Figure2()
+	if _, _, err := n.MPE(map[string]int32{"Z": 0}); err == nil {
+		t.Fatal("unknown evidence variable should error")
+	}
+	if _, _, err := n.MPE(map[string]int32{"A": 7}); err == nil {
+		t.Fatal("out-of-domain evidence should error")
+	}
+}

@@ -1,0 +1,136 @@
+package catalog
+
+import (
+	"testing"
+
+	"mpf/internal/relation"
+)
+
+func stats(name string, card int64, attrs ...relation.Attr) *TableStats {
+	d := make(map[string]int64, len(attrs))
+	for _, a := range attrs {
+		d[a.Name] = int64(a.Domain)
+	}
+	return &TableStats{Name: name, Attrs: attrs, Card: card, Distinct: d}
+}
+
+func TestAddAndGetTable(t *testing.T) {
+	c := New()
+	st := stats("t", 100, relation.Attr{Name: "a", Domain: 10})
+	if err := c.AddTable(st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Card != 100 || got.Distinct["a"] != 10 {
+		t.Fatalf("got %+v", got)
+	}
+	// Returned stats are a copy.
+	got.Card = 5
+	again, _ := c.Table("t")
+	if again.Card != 100 {
+		t.Fatal("Table returned shared state")
+	}
+	if !c.HasTable("t") || c.HasTable("u") {
+		t.Fatal("HasTable wrong")
+	}
+	if _, err := c.Table("u"); err == nil {
+		t.Fatal("unknown table should error")
+	}
+}
+
+func TestAddTableValidation(t *testing.T) {
+	c := New()
+	if err := c.AddTable(&TableStats{Name: ""}); err == nil {
+		t.Fatal("empty name should error")
+	}
+	if err := c.AddTable(&TableStats{Name: "t", Card: -1}); err == nil {
+		t.Fatal("negative card should error")
+	}
+	bad := stats("t", 10, relation.Attr{Name: "a", Domain: 5})
+	bad.Distinct["a"] = 9
+	if err := c.AddTable(bad); err == nil {
+		t.Fatal("distinct > domain should error")
+	}
+}
+
+func TestDropAndList(t *testing.T) {
+	c := New()
+	c.AddTable(stats("b", 1, relation.Attr{Name: "x", Domain: 2}))
+	c.AddTable(stats("a", 1, relation.Attr{Name: "x", Domain: 2}))
+	if got := c.Tables(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Tables = %v", got)
+	}
+	c.DropTable("a")
+	if c.HasTable("a") {
+		t.Fatal("DropTable did not drop")
+	}
+}
+
+func TestViews(t *testing.T) {
+	c := New()
+	c.AddTable(stats("t1", 5, relation.Attr{Name: "x", Domain: 2}))
+	c.AddTable(stats("t2", 5, relation.Attr{Name: "x", Domain: 2}))
+	if err := c.AddView(&ViewDef{Name: "", Tables: []string{"t1"}}); err == nil {
+		t.Fatal("empty view name should error")
+	}
+	if err := c.AddView(&ViewDef{Name: "v", Tables: nil}); err == nil {
+		t.Fatal("empty table list should error")
+	}
+	if err := c.AddView(&ViewDef{Name: "v", Tables: []string{"ghost"}}); err == nil {
+		t.Fatal("unknown base table should error")
+	}
+	if err := c.AddView(&ViewDef{Name: "v", Tables: []string{"t1", "t2"}, Semiring: "sum-product"}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.View("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Tables) != 2 || v.Semiring != "sum-product" {
+		t.Fatalf("view = %+v", v)
+	}
+	if got := c.Views(); len(got) != 1 || got[0] != "v" {
+		t.Fatalf("Views = %v", got)
+	}
+	if _, err := c.View("ghost"); err == nil {
+		t.Fatal("unknown view should error")
+	}
+}
+
+func TestAnalyzeRelation(t *testing.T) {
+	r, _ := relation.FromRows("r",
+		[]relation.Attr{{Name: "a", Domain: 10}, {Name: "b", Domain: 10}},
+		[][]int32{{1, 1}, {1, 2}, {2, 1}}, []float64{1, 2, 3})
+	st := AnalyzeRelation(r)
+	if st.Card != 3 {
+		t.Fatalf("card = %d", st.Card)
+	}
+	if st.Distinct["a"] != 2 || st.Distinct["b"] != 2 {
+		t.Fatalf("distinct = %v", st.Distinct)
+	}
+	if a, ok := st.Attr("a"); !ok || a.Domain != 10 {
+		t.Fatal("Attr lookup failed")
+	}
+	if _, ok := st.Attr("z"); ok {
+		t.Fatal("Attr should miss for unknown name")
+	}
+	if !st.Vars().Equal(relation.NewVarSet("a", "b")) {
+		t.Fatal("Vars wrong")
+	}
+}
+
+func TestDomainSize(t *testing.T) {
+	c := New()
+	c.AddTable(stats("small", 50, relation.Attr{Name: "x", Domain: 100}, relation.Attr{Name: "y", Domain: 5}))
+	c.AddTable(stats("big", 5000, relation.Attr{Name: "x", Domain: 100}))
+	dom, minCard, ok := c.DomainSize("x")
+	if !ok || dom != 100 || minCard != 50 {
+		t.Fatalf("DomainSize(x) = %d,%d,%v", dom, minCard, ok)
+	}
+	if _, _, ok := c.DomainSize("zz"); ok {
+		t.Fatal("unknown variable should report !ok")
+	}
+}

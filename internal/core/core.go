@@ -1,0 +1,510 @@
+// Package core integrates the MPF engine: a Database holds functional
+// relations (disk-resident behind a buffer pool), view definitions, and
+// statistics, optimizes MPF queries with a selectable algorithm (CS, CS+,
+// VE, VE+ — internal/opt), executes plans either on the paged engine
+// (internal/exec) or in memory, and maintains VE-cache materializations
+// for query workloads (internal/infer).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"mpf/internal/catalog"
+	"mpf/internal/cost"
+	"mpf/internal/exec"
+	"mpf/internal/infer"
+	"mpf/internal/opt"
+	"mpf/internal/plan"
+	"mpf/internal/relation"
+	"mpf/internal/semiring"
+	"mpf/internal/storage"
+)
+
+// Config parameterizes a Database.
+type Config struct {
+	// Semiring for measures; nil defaults to sum-product.
+	Semiring semiring.Semiring
+	// PoolFrames is the buffer pool size in pages; 0 defaults to 256
+	// (2 MiB), deliberately small so the disk-resident regime of the
+	// paper is observable.
+	PoolFrames int
+	// Dir, when non-empty, stores heap files as temp files under this
+	// directory; empty keeps pages in memory (identical IO accounting).
+	Dir string
+	// CostModel for the optimizers; nil defaults to cost.Simple.
+	CostModel cost.Model
+	// Optimizer is the default planning algorithm; nil defaults to
+	// nonlinear CS+.
+	Optimizer opt.Optimizer
+}
+
+// Database is the engine facade. Concurrent read-only queries (Query,
+// Explain, QueryCached against an existing cache) are safe: the buffer
+// pool and catalog are internally synchronized and planning is pure.
+// Writes — CreateTable, CreateIndex, CreateView, Insert, Delete,
+// Materialize, BuildCache, Save — require external serialization with
+// respect to each other and to readers.
+type Database struct {
+	cfg     Config
+	pool    *storage.Pool
+	factory storage.DiskFactory
+	cat     *catalog.Catalog
+	rels    map[string]*relation.Relation
+	tables  map[string]*exec.Table
+	engine  *exec.Engine
+	caches  map[string]*infer.Cache
+}
+
+// Open creates a database with the given configuration.
+func Open(cfg Config) (*Database, error) {
+	if cfg.Semiring == nil {
+		cfg.Semiring = semiring.SumProduct
+	}
+	if cfg.PoolFrames == 0 {
+		cfg.PoolFrames = 256
+	}
+	if cfg.CostModel == nil {
+		cfg.CostModel = cost.Simple{}
+	}
+	if cfg.Optimizer == nil {
+		cfg.Optimizer = opt.CSPlus{}
+	}
+	pool := storage.NewPool(cfg.PoolFrames)
+	var factory storage.DiskFactory
+	if cfg.Dir != "" {
+		factory = storage.TempFileDiskFactory(cfg.Dir)
+	} else {
+		factory = storage.MemDiskFactory()
+	}
+	return &Database{
+		cfg:     cfg,
+		pool:    pool,
+		factory: factory,
+		cat:     catalog.New(),
+		rels:    make(map[string]*relation.Relation),
+		tables:  make(map[string]*exec.Table),
+		engine:  exec.NewEngine(pool, factory, cfg.Semiring),
+		caches:  make(map[string]*infer.Cache),
+	}, nil
+}
+
+// Close releases all storage.
+func (db *Database) Close() error {
+	var first error
+	for name, t := range db.tables {
+		if err := t.Heap.Drop(); err != nil && first == nil {
+			first = err
+		}
+		delete(db.tables, name)
+	}
+	return first
+}
+
+// Semiring returns the database's measure semiring.
+func (db *Database) Semiring() semiring.Semiring { return db.cfg.Semiring }
+
+// Catalog exposes the statistics catalog.
+func (db *Database) Catalog() *catalog.Catalog { return db.cat }
+
+// Pool exposes the buffer pool (for IO statistics).
+func (db *Database) Pool() *storage.Pool { return db.pool }
+
+// Engine exposes the physical engine (for operator knobs).
+func (db *Database) Engine() *exec.Engine { return db.engine }
+
+// CreateTable validates the relation as an FR, loads it into paged
+// storage, and registers its statistics.
+func (db *Database) CreateTable(r *relation.Relation) error {
+	if r.Name() == "" {
+		return fmt.Errorf("core: relation needs a name")
+	}
+	if _, dup := db.rels[r.Name()]; dup {
+		return fmt.Errorf("core: table %q already exists", r.Name())
+	}
+	if err := r.CheckFD(); err != nil {
+		return fmt.Errorf("core: not a functional relation: %w", err)
+	}
+	t, err := exec.LoadRelation(db.pool, db.factory, r)
+	if err != nil {
+		return err
+	}
+	if err := db.cat.AddTable(catalog.AnalyzeRelation(r)); err != nil {
+		t.Heap.Drop()
+		return err
+	}
+	db.rels[r.Name()] = r.Clone()
+	db.tables[r.Name()] = t
+	return nil
+}
+
+// CreateIndex builds a hash index on a base table's attribute; equality
+// selections on that attribute then fetch only matching pages instead of
+// scanning (§5.4's alternative access methods).
+func (db *Database) CreateIndex(table, attr string) error {
+	t, ok := db.tables[table]
+	if !ok {
+		return fmt.Errorf("core: unknown table %q", table)
+	}
+	idx, err := exec.BuildIndex(t, attr)
+	if err != nil {
+		return err
+	}
+	t.AddIndex(idx)
+	return nil
+}
+
+// CreateView registers an MPF view over existing tables (the SQL
+// extension "create mpfview ... measure = (* ...)").
+func (db *Database) CreateView(name string, tables []string) error {
+	return db.cat.AddView(&catalog.ViewDef{
+		Name:     name,
+		Tables:   tables,
+		Semiring: db.cfg.Semiring.Name(),
+	})
+}
+
+// Relation returns the in-memory master copy of a base table.
+func (db *Database) Relation(name string) (*relation.Relation, error) {
+	r, ok := db.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown table %q", name)
+	}
+	return r, nil
+}
+
+// ExecMode selects how plans are executed.
+type ExecMode int
+
+// Execution modes.
+const (
+	// EngineExec runs plans on the paged engine with IO accounting.
+	EngineExec ExecMode = iota
+	// MemoryExec interprets plans over in-memory relations.
+	MemoryExec
+)
+
+// HavingOp is a comparison operator for constrained-range queries.
+type HavingOp int
+
+// Comparison operators for Having clauses.
+const (
+	HavingLT HavingOp = iota
+	HavingLE
+	HavingGT
+	HavingGE
+	HavingEQ
+)
+
+// String returns the SQL spelling.
+func (o HavingOp) String() string {
+	switch o {
+	case HavingLT:
+		return "<"
+	case HavingLE:
+		return "<="
+	case HavingGT:
+		return ">"
+	case HavingGE:
+		return ">="
+	case HavingEQ:
+		return "="
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Having is the constrained-range form of §3.1: a post-aggregation
+// filter on the result measure ("having f < c").
+type Having struct {
+	Op    HavingOp
+	Value float64
+}
+
+// match reports whether measure m satisfies the clause.
+func (h *Having) match(m float64) bool {
+	switch h.Op {
+	case HavingLT:
+		return m < h.Value
+	case HavingLE:
+		return m <= h.Value
+	case HavingGT:
+		return m > h.Value
+	case HavingGE:
+		return m >= h.Value
+	case HavingEQ:
+		return m == h.Value
+	default:
+		return false
+	}
+}
+
+// QuerySpec is an MPF query against a view.
+type QuerySpec struct {
+	// View names a registered MPF view.
+	View string
+	// GroupVars are the query variables X.
+	GroupVars []string
+	// Where holds equality predicates (restricted answer / constrained
+	// domain forms).
+	Where relation.Predicate
+	// Having, when non-nil, filters the aggregated result measure (the
+	// constrained-range form of §3.1).
+	Having *Having
+	// Hypothetical substitutes base relations for this query only,
+	// implementing the hypothetical alternate-measure / alternate-domain
+	// forms of §3.1 ("if part p1 was a different price", "if the deal
+	// moved from t1 to t2"). Keys are base-table names of the view; each
+	// replacement must have the same variable attributes as the original.
+	Hypothetical map[string]*relation.Relation
+	// Optimizer overrides the database default when non-nil.
+	Optimizer opt.Optimizer
+	// Exec selects the execution mode.
+	Exec ExecMode
+}
+
+// Result is a query's answer with its plan and measurements.
+type Result struct {
+	Relation *relation.Relation
+	Plan     *plan.Node
+	Optimize time.Duration
+	Exec     exec.RunStats
+}
+
+// optQuery converts a spec to the optimizer-facing form.
+func (db *Database) optQuery(q *QuerySpec) (*opt.Query, error) {
+	v, err := db.cat.View(q.View)
+	if err != nil {
+		return nil, err
+	}
+	return &opt.Query{Tables: v.Tables, GroupVars: q.GroupVars, Pred: q.Where}, nil
+}
+
+// validateHypothetical checks the replacement tables of a hypothetical
+// query: each must name a view base table and preserve its variable
+// schema (alternate measures and alternate domain values are fine; the
+// variables themselves must match so the view's join structure is
+// unchanged).
+func (db *Database) validateHypothetical(q *QuerySpec, viewTables []string) error {
+	inView := make(map[string]bool, len(viewTables))
+	for _, t := range viewTables {
+		inView[t] = true
+	}
+	for name, h := range q.Hypothetical {
+		if !inView[name] {
+			return fmt.Errorf("core: hypothetical table %q not in view %q", name, q.View)
+		}
+		orig, err := db.Relation(name)
+		if err != nil {
+			return err
+		}
+		if err := h.CheckFD(); err != nil {
+			return fmt.Errorf("core: hypothetical %s: %w", name, err)
+		}
+		if !h.Vars().Equal(orig.Vars()) {
+			return fmt.Errorf("core: hypothetical %s has variables %v, want %v",
+				name, h.Vars().Sorted(), orig.Vars().Sorted())
+		}
+		for _, a := range orig.Attrs() {
+			ha, _ := h.Attr(a.Name)
+			if ha.Domain != a.Domain {
+				return fmt.Errorf("core: hypothetical %s: variable %s domain %d, want %d",
+					name, a.Name, ha.Domain, a.Domain)
+			}
+		}
+	}
+	return nil
+}
+
+// planCatalog returns the catalog to plan against: the database catalog,
+// or a per-query overlay with hypothetical tables re-analyzed.
+func (db *Database) planCatalog(q *QuerySpec, viewTables []string) (*catalog.Catalog, error) {
+	if len(q.Hypothetical) == 0 {
+		return db.cat, nil
+	}
+	overlay := catalog.New()
+	for _, t := range viewTables {
+		if h, ok := q.Hypothetical[t]; ok {
+			if err := overlay.AddTable(catalog.AnalyzeRelation(h)); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		st, err := db.cat.Table(t)
+		if err != nil {
+			return nil, err
+		}
+		if err := overlay.AddTable(st); err != nil {
+			return nil, err
+		}
+	}
+	if err := overlay.AddView(&catalog.ViewDef{
+		Name: q.View, Tables: viewTables, Semiring: db.cfg.Semiring.Name(),
+	}); err != nil {
+		return nil, err
+	}
+	return overlay, nil
+}
+
+// Explain optimizes the query and returns the plan without executing it.
+func (db *Database) Explain(q *QuerySpec) (*plan.Node, time.Duration, error) {
+	oq, err := db.optQuery(q)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := db.validateHypothetical(q, oq.Tables); err != nil {
+		return nil, 0, err
+	}
+	cat, err := db.planCatalog(q, oq.Tables)
+	if err != nil {
+		return nil, 0, err
+	}
+	o := q.Optimizer
+	if o == nil {
+		o = db.cfg.Optimizer
+	}
+	b := plan.NewBuilder(cat, db.cfg.CostModel)
+	res, err := opt.Run(o, oq, b)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Plan, res.Optimize, nil
+}
+
+// Query optimizes and executes an MPF query.
+func (db *Database) Query(q *QuerySpec) (*Result, error) {
+	p, optTime, err := db.Explain(q)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Plan: p, Optimize: optTime}
+	switch q.Exec {
+	case EngineExec:
+		// Hypothetical replacements are loaded into temporary storage for
+		// the duration of the query.
+		hypTables := make(map[string]*exec.Table, len(q.Hypothetical))
+		defer func() {
+			for _, t := range hypTables {
+				t.Heap.Drop()
+			}
+		}()
+		for name, h := range q.Hypothetical {
+			ht, err := exec.LoadRelation(db.pool, db.factory, h)
+			if err != nil {
+				return nil, err
+			}
+			hypTables[name] = ht
+		}
+		rel, st, err := db.engine.Run(p, func(name string) (*exec.Table, error) {
+			if t, ok := hypTables[name]; ok {
+				return t, nil
+			}
+			t, ok := db.tables[name]
+			if !ok {
+				return nil, fmt.Errorf("core: unknown base table %q", name)
+			}
+			return t, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.Relation, out.Exec = rel, st
+	case MemoryExec:
+		start := time.Now()
+		rel, err := plan.Eval(p, func(name string) (*relation.Relation, error) {
+			if h, ok := q.Hypothetical[name]; ok {
+				return h, nil
+			}
+			return db.Relation(name)
+		}, db.cfg.Semiring)
+		if err != nil {
+			return nil, err
+		}
+		out.Relation = rel
+		out.Exec.Wall = time.Since(start)
+		out.Exec.RowsOut = int64(rel.Len())
+	default:
+		return nil, fmt.Errorf("core: unknown exec mode %d", q.Exec)
+	}
+	if q.Having != nil {
+		out.Relation = filterHaving(out.Relation, q.Having)
+		out.Exec.RowsOut = int64(out.Relation.Len())
+	}
+	return out, nil
+}
+
+// filterHaving applies the constrained-range clause to a query result.
+func filterHaving(r *relation.Relation, h *Having) *relation.Relation {
+	out, err := relation.New(r.Name(), r.Attrs())
+	if err != nil {
+		return r
+	}
+	for i := 0; i < r.Len(); i++ {
+		if h.match(r.Measure(i)) {
+			out.MustAppend(append([]int32(nil), r.Row(i)...), r.Measure(i))
+		}
+	}
+	return out
+}
+
+// Materialize runs the query and registers its result — itself a
+// functional relation — as a new base table, enabling MPF queries over
+// MPF results ("the result of an MPF query is an FR; thus MPF queries may
+// be used as subqueries", §2).
+func (db *Database) Materialize(name string, q *QuerySpec) (*relation.Relation, error) {
+	res, err := db.Query(q)
+	if err != nil {
+		return nil, err
+	}
+	rel := res.Relation.Clone()
+	rel.SetName(name)
+	if err := db.CreateTable(rel); err != nil {
+		return nil, err
+	}
+	return rel, nil
+}
+
+// BuildCache runs the VE-cache workload optimization (Algorithm 3) for a
+// view, materializing tables that satisfy the Definition 5 invariant.
+// order is the elimination order (nil for min-fill).
+func (db *Database) BuildCache(view string, order []string) (*infer.Cache, error) {
+	v, err := db.cat.View(view)
+	if err != nil {
+		return nil, err
+	}
+	rels := make([]*relation.Relation, len(v.Tables))
+	for i, t := range v.Tables {
+		rels[i], err = db.Relation(t)
+		if err != nil {
+			return nil, err
+		}
+	}
+	cache, err := infer.BuildVECache(db.cfg.Semiring, rels, order)
+	if err != nil {
+		return nil, err
+	}
+	db.caches[view] = cache
+	return cache, nil
+}
+
+// Cache returns the workload cache previously built for a view.
+func (db *Database) Cache(view string) (*infer.Cache, error) {
+	c, ok := db.caches[view]
+	if !ok {
+		return nil, fmt.Errorf("core: no cache built for view %q", view)
+	}
+	return c, nil
+}
+
+// QueryCached answers a single-variable query from a view's cache when
+// one exists, falling back to full evaluation otherwise.
+func (db *Database) QueryCached(view, variable string) (*relation.Relation, error) {
+	if c, ok := db.caches[view]; ok {
+		return c.Answer(variable)
+	}
+	res, err := db.Query(&QuerySpec{View: view, GroupVars: []string{variable}})
+	if err != nil {
+		return nil, err
+	}
+	return res.Relation, nil
+}

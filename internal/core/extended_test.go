@@ -1,0 +1,259 @@
+package core
+
+import (
+	"testing"
+
+	"mpf/internal/relation"
+	"mpf/internal/semiring"
+)
+
+// twoTableDB loads a small two-table view for the extended-form tests.
+func twoTableDB(t *testing.T) (*Database, *relation.Relation, *relation.Relation) {
+	t.Helper()
+	db, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	price, _ := relation.FromRows("price",
+		[]relation.Attr{{Name: "part", Domain: 3}, {Name: "supplier", Domain: 2}},
+		[][]int32{{0, 0}, {1, 0}, {2, 1}}, []float64{10, 7, 30})
+	qty, _ := relation.FromRows("qty",
+		[]relation.Attr{{Name: "part", Domain: 3}, {Name: "warehouse", Domain: 2}},
+		[][]int32{{0, 0}, {1, 0}, {1, 1}, {2, 1}}, []float64{100, 50, 25, 10})
+	if err := db.CreateTable(price); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(qty); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateView("spend", []string{"price", "qty"}); err != nil {
+		t.Fatal(err)
+	}
+	return db, price, qty
+}
+
+func TestHavingConstrainedRange(t *testing.T) {
+	db, _, _ := twoTableDB(t)
+	// Spend per part: part0 = 1000, part1 = 525, part2 = 300.
+	full, err := db.Query(&QuerySpec{View: "spend", GroupVars: []string{"part"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Relation.Len() != 3 {
+		t.Fatalf("want 3 parts, got %d", full.Relation.Len())
+	}
+	cases := []struct {
+		h    Having
+		want int
+	}{
+		{Having{HavingLT, 600}, 2},
+		{Having{HavingLE, 525}, 2},
+		{Having{HavingGT, 525}, 1},
+		{Having{HavingGE, 525}, 2},
+		{Having{HavingEQ, 300}, 1},
+	}
+	for _, c := range cases {
+		res, err := db.Query(&QuerySpec{
+			View: "spend", GroupVars: []string{"part"}, Having: &c.h,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Relation.Len() != c.want {
+			t.Fatalf("having f %s %v: %d rows, want %d",
+				c.h.Op, c.h.Value, res.Relation.Len(), c.want)
+		}
+		if res.Exec.RowsOut != int64(c.want) {
+			t.Fatal("RowsOut not updated by having")
+		}
+	}
+	// Memory execution honors having too.
+	res, err := db.Query(&QuerySpec{
+		View: "spend", GroupVars: []string{"part"},
+		Having: &Having{HavingLT, 600}, Exec: MemoryExec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Relation.Len() != 2 {
+		t.Fatal("memory exec having wrong")
+	}
+}
+
+// TestHypotheticalAlternateMeasure reproduces §3.1's alternate-measure
+// form: "what if part 1 was a different price?"
+func TestHypotheticalAlternateMeasure(t *testing.T) {
+	db, price, _ := twoTableDB(t)
+	hyp := price.Clone()
+	// part 1 now costs 70 instead of 7.
+	for i := 0; i < hyp.Len(); i++ {
+		if hyp.Value(i, 0) == 1 {
+			hyp.SetMeasure(i, 70)
+		}
+	}
+	res, err := db.Query(&QuerySpec{
+		View: "spend", GroupVars: []string{"part"},
+		Hypothetical: map[string]*relation.Relation{"price": hyp},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Relation.Sort()
+	// part1 spend becomes 70·(50+25) = 5250.
+	if res.Relation.Measure(1) != 5250 {
+		t.Fatalf("hypothetical part-1 spend = %v, want 5250", res.Relation.Measure(1))
+	}
+	// Base tables unchanged: a normal query still sees the old price.
+	base, err := db.Query(&QuerySpec{View: "spend", GroupVars: []string{"part"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Relation.Sort()
+	if base.Relation.Measure(1) != 525 {
+		t.Fatalf("base table mutated by hypothetical query: %v", base.Relation.Measure(1))
+	}
+	// Memory exec agrees.
+	mem, err := db.Query(&QuerySpec{
+		View: "spend", GroupVars: []string{"part"},
+		Hypothetical: map[string]*relation.Relation{"price": hyp},
+		Exec:         MemoryExec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relation.Equal(mem.Relation, res.Relation, 0, 1e-9) {
+		t.Fatal("hypothetical memory exec disagrees with engine")
+	}
+}
+
+// TestHypotheticalAlternateDomain reproduces §3.1's alternate-domain
+// form: move part 2's stock from warehouse 1 to warehouse 0.
+func TestHypotheticalAlternateDomain(t *testing.T) {
+	db, _, qty := twoTableDB(t)
+	hyp := relation.MustNew("qty", qty.Attrs())
+	for i := 0; i < qty.Len(); i++ {
+		row := append([]int32(nil), qty.Row(i)...)
+		if row[0] == 2 {
+			row[1] = 0
+		}
+		hyp.MustAppend(row, qty.Measure(i))
+	}
+	res, err := db.Query(&QuerySpec{
+		View: "spend", GroupVars: []string{"warehouse"},
+		Hypothetical: map[string]*relation.Relation{"qty": hyp},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Relation.Sort()
+	// warehouse0: 10·100 + 7·50 + 30·10 = 1650; warehouse1: 7·25 = 175.
+	if res.Relation.Measure(0) != 1650 || res.Relation.Measure(1) != 175 {
+		t.Fatalf("alternate-domain result wrong: %v", res.Relation)
+	}
+}
+
+func TestHypotheticalValidation(t *testing.T) {
+	db, price, _ := twoTableDB(t)
+	// Unknown table.
+	if _, err := db.Query(&QuerySpec{
+		View: "spend", GroupVars: []string{"part"},
+		Hypothetical: map[string]*relation.Relation{"ghost": price},
+	}); err == nil {
+		t.Fatal("hypothetical for non-view table should error")
+	}
+	// Wrong schema.
+	bad := relation.MustNew("price", []relation.Attr{{Name: "part", Domain: 3}})
+	if _, err := db.Query(&QuerySpec{
+		View: "spend", GroupVars: []string{"part"},
+		Hypothetical: map[string]*relation.Relation{"price": bad},
+	}); err == nil {
+		t.Fatal("hypothetical with missing variable should error")
+	}
+	// Wrong domain.
+	bad2 := relation.MustNew("price",
+		[]relation.Attr{{Name: "part", Domain: 9}, {Name: "supplier", Domain: 2}})
+	if _, err := db.Query(&QuerySpec{
+		View: "spend", GroupVars: []string{"part"},
+		Hypothetical: map[string]*relation.Relation{"price": bad2},
+	}); err == nil {
+		t.Fatal("hypothetical with wrong domain should error")
+	}
+	// FD violation.
+	bad3 := price.Clone()
+	bad3.MustAppend([]int32{0, 0}, 99)
+	if _, err := db.Query(&QuerySpec{
+		View: "spend", GroupVars: []string{"part"},
+		Hypothetical: map[string]*relation.Relation{"price": bad3},
+	}); err == nil {
+		t.Fatal("hypothetical violating the FD should error")
+	}
+}
+
+// TestMaterializeSubquery: an MPF result is an FR and can seed further
+// MPF views (§2's closure property).
+func TestMaterializeSubquery(t *testing.T) {
+	db, _, _ := twoTableDB(t)
+	rel, err := db.Materialize("part_spend", &QuerySpec{
+		View: "spend", GroupVars: []string{"part", "warehouse"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() == 0 {
+		t.Fatal("materialized relation empty")
+	}
+	// Query the materialized result through a new view.
+	if err := db.CreateView("spend2", []string{"part_spend"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Query(&QuerySpec{View: "spend2", GroupVars: []string{"warehouse"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := db.Query(&QuerySpec{View: "spend", GroupVars: []string{"warehouse"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relation.Equal(got.Relation, want.Relation, 0, 1e-9) {
+		t.Fatal("subquery over materialized result differs from direct query")
+	}
+	// Name collisions are rejected.
+	if _, err := db.Materialize("part_spend", &QuerySpec{
+		View: "spend", GroupVars: []string{"part"},
+	}); err == nil {
+		t.Fatal("duplicate materialization name should error")
+	}
+}
+
+// TestHypotheticalWithMinProduct combines the forms: minimum investment
+// under a hypothetical price change.
+func TestHypotheticalWithMinProduct(t *testing.T) {
+	db, err := Open(Config{Semiring: semiring.MinProduct})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	price, _ := relation.FromRows("price",
+		[]relation.Attr{{Name: "part", Domain: 2}, {Name: "supplier", Domain: 2}},
+		[][]int32{{0, 0}, {0, 1}, {1, 0}}, []float64{10, 12, 7})
+	if err := db.CreateTable(price); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateView("v", []string{"price"}); err != nil {
+		t.Fatal(err)
+	}
+	hyp := price.Clone()
+	hyp.SetMeasure(0, 20) // supplier 0's part-0 price doubles
+	res, err := db.Query(&QuerySpec{
+		View: "v", GroupVars: []string{"part"},
+		Hypothetical: map[string]*relation.Relation{"price": hyp},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Relation.Sort()
+	if res.Relation.Measure(0) != 12 {
+		t.Fatalf("min under hypothetical = %v, want 12", res.Relation.Measure(0))
+	}
+}

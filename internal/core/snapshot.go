@@ -1,0 +1,206 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mpf/internal/catalog"
+	"mpf/internal/relation"
+	"mpf/internal/semiring"
+	"mpf/internal/storage"
+)
+
+// snapshotManifest is the on-disk catalog of a database snapshot.
+type snapshotManifest struct {
+	Version  int             `json:"version"`
+	Semiring string          `json:"semiring"`
+	Tables   []manifestTable `json:"tables"`
+	Views    []manifestView  `json:"views"`
+}
+
+type manifestTable struct {
+	Name  string         `json:"name"`
+	Attrs []manifestAttr `json:"attrs"`
+	Key   []string       `json:"key,omitempty"`
+	Card  int64          `json:"card"`
+	File  string         `json:"file"`
+}
+
+type manifestAttr struct {
+	Name   string `json:"name"`
+	Domain int    `json:"domain"`
+}
+
+type manifestView struct {
+	Name   string   `json:"name"`
+	Tables []string `json:"tables"`
+}
+
+const manifestName = "catalog.json"
+
+// Save writes a snapshot of the database — every base table in the heap
+// page format plus a JSON manifest of schemas, keys, and views — into
+// dir (created if necessary). Workload caches are not persisted; rebuild
+// them after Load.
+func (db *Database) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	man := snapshotManifest{Version: 1, Semiring: db.cfg.Semiring.Name()}
+	pool := storage.NewPool(64)
+	for _, name := range db.cat.Tables() {
+		rel, err := db.Relation(name)
+		if err != nil {
+			return err
+		}
+		st, err := db.cat.Table(name)
+		if err != nil {
+			return err
+		}
+		file := name + ".heap"
+		path := filepath.Join(dir, file)
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("core: save: %w", err)
+		}
+		disk, err := storage.OpenFileDisk(path)
+		if err != nil {
+			return err
+		}
+		heap, err := storage.NewHeap(pool, disk, rel.Arity())
+		if err != nil {
+			disk.Close()
+			return err
+		}
+		for i := 0; i < rel.Len(); i++ {
+			if err := heap.Append(rel.Row(i), rel.Measure(i)); err != nil {
+				disk.Close()
+				return err
+			}
+		}
+		if err := pool.FlushAll(); err != nil {
+			disk.Close()
+			return err
+		}
+		if err := heap.Drop(); err != nil {
+			disk.Close()
+			return err
+		}
+		if err := disk.Close(); err != nil {
+			return err
+		}
+		mt := manifestTable{Name: name, Card: st.Card, Key: st.Key, File: file}
+		for _, a := range st.Attrs {
+			mt.Attrs = append(mt.Attrs, manifestAttr{a.Name, a.Domain})
+		}
+		man.Tables = append(man.Tables, mt)
+	}
+	for _, v := range db.cat.Views() {
+		def, err := db.cat.View(v)
+		if err != nil {
+			return err
+		}
+		man.Views = append(man.Views, manifestView{Name: def.Name, Tables: def.Tables})
+	}
+	data, err := json.MarshalIndent(&man, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, manifestName), data, 0o644)
+}
+
+// Load opens a snapshot previously written by Save, returning a fresh
+// database with every table and view restored. The snapshot's semiring
+// overrides cfg.Semiring.
+func Load(dir string, cfg Config) (*Database, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	var man snapshotManifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return nil, fmt.Errorf("core: load: bad manifest: %w", err)
+	}
+	if man.Version != 1 {
+		return nil, fmt.Errorf("core: load: unsupported snapshot version %d", man.Version)
+	}
+	sr, err := semiring.ByName(man.Semiring)
+	if err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	cfg.Semiring = sr
+	db, err := Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	pool := storage.NewPool(64)
+	for _, mt := range man.Tables {
+		attrs := make([]relation.Attr, len(mt.Attrs))
+		for i, a := range mt.Attrs {
+			attrs[i] = relation.Attr{Name: a.Name, Domain: a.Domain}
+		}
+		rel, err := readHeapFile(pool, filepath.Join(dir, mt.File), mt.Name, attrs)
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		if int64(rel.Len()) != mt.Card {
+			db.Close()
+			return nil, fmt.Errorf("core: load: table %s has %d tuples, manifest says %d",
+				mt.Name, rel.Len(), mt.Card)
+		}
+		if err := db.CreateTable(rel); err != nil {
+			db.Close()
+			return nil, err
+		}
+		if len(mt.Key) > 0 {
+			st := catalog.AnalyzeRelation(rel)
+			st.Key = mt.Key
+			if err := db.cat.AddTable(st); err != nil {
+				db.Close()
+				return nil, err
+			}
+		}
+	}
+	for _, v := range man.Views {
+		if err := db.CreateView(v.Name, v.Tables); err != nil {
+			db.Close()
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// readHeapFile loads a snapshot heap file into an in-memory relation.
+func readHeapFile(pool *storage.Pool, path, name string, attrs []relation.Attr) (*relation.Relation, error) {
+	disk, err := storage.OpenFileDisk(path)
+	if err != nil {
+		return nil, err
+	}
+	defer disk.Close()
+	heap, err := storage.OpenHeap(pool, disk, len(attrs))
+	if err != nil {
+		return nil, err
+	}
+	defer heap.Drop()
+	rel, err := relation.New(name, attrs)
+	if err != nil {
+		return nil, err
+	}
+	it := heap.Scan()
+	defer it.Close()
+	for {
+		vals, m, ok := it.Next()
+		if !ok {
+			break
+		}
+		if err := rel.Append(vals, m); err != nil {
+			return nil, err
+		}
+	}
+	if err := it.Err(); err != nil {
+		return nil, err
+	}
+	return rel, nil
+}

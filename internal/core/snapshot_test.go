@@ -1,0 +1,154 @@
+package core
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mpf/internal/catalog"
+	"mpf/internal/gen"
+	"mpf/internal/relation"
+	"mpf/internal/semiring"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := gen.SupplyChain(gen.SupplyChainConfig{Scale: 0.005, CtdealsDensity: 0.7, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range ds.Relations {
+		if err := db.CreateTable(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Declare a key on one table so Key persistence is exercised.
+	st := catalog.AnalyzeRelation(ds.RelationMap()["warehouses"])
+	st.Key = []string{"wid"}
+	if err := db.Catalog().AddTable(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateView("invest", ds.ViewTables); err != nil {
+		t.Fatal(err)
+	}
+	want, err := db.Query(&QuerySpec{View: "invest", GroupVars: []string{"wid"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	db2, err := Load(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	// Tables, data and views all restored.
+	got, err := db2.Query(&QuerySpec{View: "invest", GroupVars: []string{"wid"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relation.Equal(got.Relation, want.Relation, 0, 1e-9) {
+		t.Fatal("query answer differs after snapshot round trip")
+	}
+	// Key restored.
+	st2, err := db2.Catalog().Table("warehouses")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st2.Key) != 1 || st2.Key[0] != "wid" {
+		t.Fatalf("key not restored: %v", st2.Key)
+	}
+	// Exact relation equality for every table.
+	for _, r := range ds.Relations {
+		got, err := db2.Relation(r.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !relation.Equal(got, r, 0, 0) {
+			t.Fatalf("table %s differs after round trip", r.Name())
+		}
+	}
+}
+
+func TestSnapshotPreservesSemiring(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Config{Semiring: semiring.MinProduct})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := relation.FromRows("t", []relation.Attr{{Name: "a", Domain: 2}},
+		[][]int32{{0}, {1}}, []float64{3, 5})
+	db.CreateTable(r)
+	db.CreateView("v", []string{"t"})
+	if err := db.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	// Load with a conflicting config: the snapshot's semiring wins.
+	db2, err := Load(dir, Config{Semiring: semiring.SumProduct})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Semiring().Name() != "min-product" {
+		t.Fatalf("semiring = %s, want min-product", db2.Semiring().Name())
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(t.TempDir(), Config{}); err == nil {
+		t.Fatal("missing manifest should error")
+	}
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, manifestName), []byte("{not json"), 0o644)
+	if _, err := Load(dir, Config{}); err == nil {
+		t.Fatal("corrupt manifest should error")
+	}
+	// Unsupported version.
+	man, _ := json.Marshal(map[string]any{"version": 9, "semiring": "sum-product"})
+	os.WriteFile(filepath.Join(dir, manifestName), man, 0o644)
+	if _, err := Load(dir, Config{}); err == nil {
+		t.Fatal("unsupported version should error")
+	}
+	// Manifest referencing a missing heap file.
+	man2 := snapshotManifest{Version: 1, Semiring: "sum-product", Tables: []manifestTable{{
+		Name: "t", Attrs: []manifestAttr{{"a", 2}}, Card: 1, File: "missing.heap",
+	}}}
+	data, _ := json.Marshal(&man2)
+	os.WriteFile(filepath.Join(dir, manifestName), data, 0o644)
+	if _, err := Load(dir, Config{}); err == nil {
+		t.Fatal("missing heap file should error")
+	}
+}
+
+func TestSaveOverwritesPreviousSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := Open(Config{})
+	defer db.Close()
+	r, _ := relation.FromRows("t", []relation.Attr{{Name: "a", Domain: 2}},
+		[][]int32{{0}}, []float64{1})
+	db.CreateTable(r)
+	if err := db.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Save(dir); err != nil {
+		t.Fatalf("second save should overwrite cleanly: %v", err)
+	}
+	db2, err := Load(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	got, err := db2.Relation("t")
+	if err != nil || got.Len() != 1 {
+		t.Fatalf("reload after overwrite failed: %v", err)
+	}
+}

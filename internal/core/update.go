@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+
+	"mpf/internal/catalog"
+	"mpf/internal/exec"
+	"mpf/internal/relation"
+)
+
+// Insert appends one tuple to a base table: the functional dependency is
+// enforced (no second measure for an existing variable assignment), the
+// stored heap and any hash indexes are updated incrementally, statistics
+// are refreshed, and workload caches over views containing the table are
+// invalidated (they no longer satisfy the Definition 5 invariant and must
+// be rebuilt with BuildCache).
+func (db *Database) Insert(table string, vals []int32, measure float64) error {
+	rel, ok := db.rels[table]
+	if !ok {
+		return fmt.Errorf("core: unknown table %q", table)
+	}
+	// FD check: the assignment must be new.
+	arity := rel.Arity()
+	if len(vals) != arity {
+		return fmt.Errorf("core: insert of %d values into arity-%d table %s", len(vals), arity, table)
+	}
+	for i := 0; i < rel.Len(); i++ {
+		row := rel.Row(i)
+		same := true
+		for j := 0; j < arity; j++ {
+			if row[j] != vals[j] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return fmt.Errorf("core: insert into %s violates the FD: assignment %v already present", table, vals)
+		}
+	}
+	if err := rel.Append(vals, measure); err != nil {
+		return err
+	}
+	t := db.tables[table]
+	page, slot, err := t.Heap.AppendLocated(rel.Row(rel.Len()-1), measure)
+	if err != nil {
+		return err
+	}
+	for _, idx := range t.Indexes {
+		idx.Add(rel.Row(rel.Len()-1), page, slot)
+	}
+	return db.afterWrite(table)
+}
+
+// Delete removes the tuple with the given variable assignment, returning
+// whether it existed. The stored heap is rebuilt (heaps are append-only),
+// indexes are reconstructed, statistics refreshed, and dependent caches
+// invalidated.
+func (db *Database) Delete(table string, vals []int32) (bool, error) {
+	rel, ok := db.rels[table]
+	if !ok {
+		return false, fmt.Errorf("core: unknown table %q", table)
+	}
+	arity := rel.Arity()
+	if len(vals) != arity {
+		return false, fmt.Errorf("core: delete of %d values from arity-%d table %s", len(vals), arity, table)
+	}
+	// Rebuild without the matching row.
+	fresh, err := relation.New(rel.Name(), rel.Attrs())
+	if err != nil {
+		return false, err
+	}
+	removed := false
+	for i := 0; i < rel.Len(); i++ {
+		row := rel.Row(i)
+		same := true
+		for j := 0; j < arity; j++ {
+			if row[j] != vals[j] {
+				same = false
+				break
+			}
+		}
+		if same && !removed {
+			removed = true
+			continue
+		}
+		fresh.MustAppend(append([]int32(nil), row...), rel.Measure(i))
+	}
+	if !removed {
+		return false, nil
+	}
+	// Swap in the rebuilt relation and storage.
+	newTable, err := exec.LoadRelation(db.pool, db.factory, fresh)
+	if err != nil {
+		return false, err
+	}
+	old := db.tables[table]
+	indexAttrs := make([]string, 0, len(old.Indexes))
+	for attr := range old.Indexes {
+		indexAttrs = append(indexAttrs, attr)
+	}
+	old.Heap.Drop()
+	db.rels[table] = fresh
+	db.tables[table] = newTable
+	for _, attr := range indexAttrs {
+		if err := db.CreateIndex(table, attr); err != nil {
+			return true, err
+		}
+	}
+	return true, db.afterWrite(table)
+}
+
+// DropTable removes a base table and its storage. Tables referenced by a
+// view cannot be dropped; drop the view first.
+func (db *Database) DropTable(table string) error {
+	t, ok := db.tables[table]
+	if !ok {
+		return fmt.Errorf("core: unknown table %q", table)
+	}
+	for _, v := range db.cat.Views() {
+		def, err := db.cat.View(v)
+		if err != nil {
+			continue
+		}
+		for _, vt := range def.Tables {
+			if vt == table {
+				return fmt.Errorf("core: table %q is referenced by view %q", table, v)
+			}
+		}
+	}
+	if err := t.Heap.Drop(); err != nil {
+		return err
+	}
+	delete(db.tables, table)
+	delete(db.rels, table)
+	db.cat.DropTable(table)
+	return nil
+}
+
+// DropView removes a view definition and any workload cache built for it.
+func (db *Database) DropView(view string) error {
+	if _, err := db.cat.View(view); err != nil {
+		return err
+	}
+	db.cat.DropView(view)
+	delete(db.caches, view)
+	return nil
+}
+
+// afterWrite refreshes statistics and invalidates caches of views that
+// reference the table.
+func (db *Database) afterWrite(table string) error {
+	if err := db.cat.AddTable(catalog.AnalyzeRelation(db.rels[table])); err != nil {
+		return err
+	}
+	for view := range db.caches {
+		def, err := db.cat.View(view)
+		if err != nil {
+			continue
+		}
+		for _, t := range def.Tables {
+			if t == table {
+				delete(db.caches, view)
+				break
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,227 @@
+// Package cost implements the cost models and cardinality estimation used
+// by the MPF optimizers.
+//
+// The paper motivates cost-based optimization by observing that, unlike
+// the GDL literature's operation-count metric, relational operands are
+// disk resident and multiple physical algorithms exist per operator, so
+// cost must reflect IO (paper §5). Two models are provided:
+//
+//   - Simple: the analytical model used in the paper's linearity analysis
+//     (§5.1): joining R and S costs |R|·|S| and aggregating R costs
+//     |R|·log|R|.
+//   - PageIO: page-based IO for the engine in internal/exec, whose
+//     materializing operators read their inputs and write their outputs
+//     through a buffer pool: cost = pages(in) + pages(out) per operator.
+//
+// Cardinality estimation follows the classical System-R style formulas
+// specialized to product joins: containment of value sets on shared
+// variables, and group-by output bounded by the product of distinct
+// counts of the grouping variables.
+package cost
+
+import (
+	"math"
+
+	"mpf/internal/storage"
+)
+
+// Estimate summarizes a (sub)plan's output for costing purposes.
+type Estimate struct {
+	Card     float64            // estimated tuple count
+	Arity    int                // number of variable attributes
+	Distinct map[string]float64 // per-variable distinct value estimate
+}
+
+// Pages returns the estimated page footprint of the output.
+func (e Estimate) Pages() float64 {
+	if e.Card <= 0 {
+		return 0
+	}
+	per := float64(storage.TuplesPerPage(e.Arity))
+	return math.Ceil(e.Card / per)
+}
+
+// Model prices individual physical operations. Costs are cumulative: the
+// optimizer adds operator costs along a plan.
+type Model interface {
+	// ScanCost prices reading a base table with the given estimate.
+	ScanCost(t Estimate) float64
+	// JoinCost prices a product join producing out from l and r.
+	JoinCost(l, r, out Estimate) float64
+	// GroupByCost prices aggregating in into out.
+	GroupByCost(in, out Estimate) float64
+	// SelectCost prices filtering in into out.
+	SelectCost(in, out Estimate) float64
+	// Name identifies the model in reports.
+	Name() string
+}
+
+// Simple is the paper's analytical model: |R||S| per join, |R| log |R| per
+// aggregate. Scans and selections are free (they are absorbed into the
+// operator that consumes them in the analytical setting).
+type Simple struct{}
+
+// ScanCost implements Model.
+func (Simple) ScanCost(Estimate) float64 { return 0 }
+
+// JoinCost implements Model.
+func (Simple) JoinCost(l, r, _ Estimate) float64 { return l.Card * r.Card }
+
+// GroupByCost implements Model.
+func (Simple) GroupByCost(in, _ Estimate) float64 {
+	if in.Card <= 1 {
+		return in.Card
+	}
+	return in.Card * math.Log2(in.Card)
+}
+
+// SelectCost implements Model.
+func (Simple) SelectCost(in, _ Estimate) float64 { return 0 }
+
+// Name implements Model.
+func (Simple) Name() string { return "simple" }
+
+// PageIO models the materializing executor: every operator reads its
+// input pages and writes its output pages through the buffer pool. Joins
+// additionally pay a per-tuple CPU surcharge folded into page units so
+// that plans producing enormous intermediate results are penalized even
+// when wide tuples pack few pages.
+type PageIO struct {
+	// CPUPerTuple converts processed tuples into page-cost units;
+	// 0.001 ≈ one page per thousand tuples handled.
+	CPUPerTuple float64
+}
+
+// DefaultPageIO returns a PageIO model with the default CPU surcharge.
+func DefaultPageIO() PageIO { return PageIO{CPUPerTuple: 0.002} }
+
+// ScanCost implements Model.
+func (m PageIO) ScanCost(t Estimate) float64 { return t.Pages() }
+
+// JoinCost implements Model.
+func (m PageIO) JoinCost(l, r, out Estimate) float64 {
+	// Inputs were already paid for by their producers; a join reads both
+	// sides (build + probe) and writes its result.
+	return l.Pages() + r.Pages() + out.Pages() +
+		m.CPUPerTuple*(l.Card+r.Card+out.Card)
+}
+
+// GroupByCost implements Model.
+func (m PageIO) GroupByCost(in, out Estimate) float64 {
+	return in.Pages() + out.Pages() + m.CPUPerTuple*in.Card
+}
+
+// SelectCost implements Model.
+func (m PageIO) SelectCost(in, out Estimate) float64 {
+	return in.Pages() + out.Pages() + m.CPUPerTuple*in.Card
+}
+
+// Name implements Model.
+func (m PageIO) Name() string { return "pageio" }
+
+// JoinEstimate estimates the product join of two inputs: containment on
+// shared variables gives |L||R| / Π max(dL(v), dR(v)); distinct counts of
+// shared variables become min(dL,dR) and all distincts are capped by the
+// output cardinality.
+func JoinEstimate(l, r Estimate) Estimate {
+	card := l.Card * r.Card
+	out := Estimate{Distinct: make(map[string]float64, len(l.Distinct)+len(r.Distinct))}
+	for v, dl := range l.Distinct {
+		if dr, shared := r.Distinct[v]; shared {
+			card /= math.Max(math.Max(dl, dr), 1)
+			out.Distinct[v] = math.Min(dl, dr)
+		} else {
+			out.Distinct[v] = dl
+		}
+	}
+	for v, dr := range r.Distinct {
+		if _, shared := l.Distinct[v]; !shared {
+			out.Distinct[v] = dr
+		}
+	}
+	if card < 1 {
+		card = 1
+	}
+	out.Card = card
+	out.Arity = len(out.Distinct)
+	capDistinct(&out)
+	return out
+}
+
+// GroupByEstimate estimates grouping in onto the given variables: output
+// cardinality is the product of their distinct counts, capped by the
+// input cardinality.
+func GroupByEstimate(in Estimate, groupVars []string) Estimate {
+	out := Estimate{Distinct: make(map[string]float64, len(groupVars))}
+	prod := 1.0
+	for _, v := range groupVars {
+		d, ok := in.Distinct[v]
+		if !ok {
+			d = 1
+		}
+		out.Distinct[v] = d
+		prod *= d
+		if prod > 1e300 {
+			prod = 1e300
+		}
+	}
+	out.Card = math.Min(prod, math.Max(in.Card, 1))
+	out.Arity = len(groupVars)
+	capDistinct(&out)
+	return out
+}
+
+// SelectEstimate estimates an equality selection on the given variables:
+// each constrained variable contributes selectivity 1/distinct and its
+// distinct count collapses to 1.
+func SelectEstimate(in Estimate, constrained []string) Estimate {
+	out := Estimate{
+		Card:     in.Card,
+		Arity:    in.Arity,
+		Distinct: make(map[string]float64, len(in.Distinct)),
+	}
+	for v, d := range in.Distinct {
+		out.Distinct[v] = d
+	}
+	for _, v := range constrained {
+		d, ok := in.Distinct[v]
+		if !ok || d < 1 {
+			d = 1
+		}
+		out.Card /= d
+		out.Distinct[v] = 1
+	}
+	if out.Card < 1 {
+		out.Card = 1
+	}
+	capDistinct(&out)
+	return out
+}
+
+// capDistinct clamps every distinct estimate to the output cardinality.
+func capDistinct(e *Estimate) {
+	for v, d := range e.Distinct {
+		if d > e.Card {
+			e.Distinct[v] = e.Card
+		}
+		if d < 1 {
+			e.Distinct[v] = 1
+		}
+	}
+}
+
+// LinearPlanAdmissible implements the paper's plan-linearity test (Eq. 1):
+// for query variable X with domain size sigma and smallest containing
+// base-relation cardinality sigmaHat, a linear plan is admissible if
+//
+//	σ_X² + σ̂_X·log(σ̂_X) ≥ σ_X·σ̂_X.
+//
+// When the inequality fails, nonlinear plans can reduce the relation
+// containing X before joining and should be considered.
+func LinearPlanAdmissible(sigma, sigmaHat float64) bool {
+	var lg float64
+	if sigmaHat > 1 {
+		lg = math.Log2(sigmaHat)
+	}
+	return sigma*sigma+sigmaHat*lg >= sigma*sigmaHat
+}

@@ -1,0 +1,167 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func est(card float64, distinct map[string]float64) Estimate {
+	return Estimate{Card: card, Arity: len(distinct), Distinct: distinct}
+}
+
+func TestJoinEstimateContainment(t *testing.T) {
+	l := est(1000, map[string]float64{"a": 100, "b": 10})
+	r := est(500, map[string]float64{"b": 20, "c": 50})
+	out := JoinEstimate(l, r)
+	// |L||R| / max(dL(b), dR(b)) = 1000*500/20 = 25000.
+	if out.Card != 25000 {
+		t.Fatalf("join card = %v, want 25000", out.Card)
+	}
+	if out.Distinct["b"] != 10 {
+		t.Fatalf("shared distinct = %v, want min(10,20)=10", out.Distinct["b"])
+	}
+	if out.Distinct["a"] != 100 || out.Distinct["c"] != 50 {
+		t.Fatalf("carried distincts wrong: %v", out.Distinct)
+	}
+	if out.Arity != 3 {
+		t.Fatalf("arity = %d", out.Arity)
+	}
+}
+
+func TestJoinEstimateCrossProduct(t *testing.T) {
+	l := est(10, map[string]float64{"a": 10})
+	r := est(20, map[string]float64{"b": 20})
+	out := JoinEstimate(l, r)
+	if out.Card != 200 {
+		t.Fatalf("cross product card = %v", out.Card)
+	}
+}
+
+func TestGroupByEstimate(t *testing.T) {
+	in := est(10000, map[string]float64{"a": 100, "b": 10, "c": 50})
+	out := GroupByEstimate(in, []string{"a", "b"})
+	if out.Card != 1000 {
+		t.Fatalf("groupby card = %v, want 100*10", out.Card)
+	}
+	// Capped by input card.
+	out2 := GroupByEstimate(est(50, map[string]float64{"a": 100, "b": 10}), []string{"a", "b"})
+	if out2.Card != 50 {
+		t.Fatalf("groupby card = %v, want cap 50", out2.Card)
+	}
+	// Unknown group var contributes 1.
+	out3 := GroupByEstimate(in, []string{"zz"})
+	if out3.Card != 1 {
+		t.Fatalf("groupby on unknown var card = %v", out3.Card)
+	}
+}
+
+func TestSelectEstimate(t *testing.T) {
+	in := est(1000, map[string]float64{"a": 100, "b": 10})
+	out := SelectEstimate(in, []string{"a"})
+	if out.Card != 10 {
+		t.Fatalf("select card = %v, want 10", out.Card)
+	}
+	if out.Distinct["a"] != 1 {
+		t.Fatalf("selected distinct = %v, want 1", out.Distinct["a"])
+	}
+	// Floor at 1.
+	out2 := SelectEstimate(est(5, map[string]float64{"a": 100}), []string{"a"})
+	if out2.Card != 1 {
+		t.Fatalf("select floor card = %v", out2.Card)
+	}
+}
+
+func TestEstimatePages(t *testing.T) {
+	e := Estimate{Card: 0, Arity: 2}
+	if e.Pages() != 0 {
+		t.Fatal("zero rows should be zero pages")
+	}
+	e = Estimate{Card: 1, Arity: 2}
+	if e.Pages() != 1 {
+		t.Fatal("one row should be one page")
+	}
+}
+
+func TestSimpleModel(t *testing.T) {
+	m := Simple{}
+	l, r := Estimate{Card: 10}, Estimate{Card: 20}
+	if got := m.JoinCost(l, r, Estimate{}); got != 200 {
+		t.Fatalf("JoinCost = %v", got)
+	}
+	if got := m.GroupByCost(Estimate{Card: 8}, Estimate{}); got != 8*3 {
+		t.Fatalf("GroupByCost = %v, want 24", got)
+	}
+	if got := m.GroupByCost(Estimate{Card: 1}, Estimate{}); got != 1 {
+		t.Fatalf("GroupByCost(1) = %v", got)
+	}
+	if m.ScanCost(l) != 0 || m.SelectCost(l, r) != 0 {
+		t.Fatal("simple scans/selects should be free")
+	}
+	if m.Name() != "simple" {
+		t.Fatal("name")
+	}
+}
+
+func TestPageIOModel(t *testing.T) {
+	m := DefaultPageIO()
+	l := Estimate{Card: 10000, Arity: 2}
+	r := Estimate{Card: 10000, Arity: 2}
+	out := Estimate{Card: 100000, Arity: 3}
+	c := m.JoinCost(l, r, out)
+	if c <= 0 {
+		t.Fatal("join cost must be positive")
+	}
+	// Bigger output must cost more.
+	c2 := m.JoinCost(l, r, Estimate{Card: 1000000, Arity: 3})
+	if c2 <= c {
+		t.Fatal("cost not monotone in output size")
+	}
+	if m.Name() != "pageio" {
+		t.Fatal("name")
+	}
+	if m.ScanCost(l) <= 0 || m.GroupByCost(l, out) <= 0 || m.SelectCost(l, out) <= 0 {
+		t.Fatal("pageio ops should cost")
+	}
+}
+
+func TestLinearPlanAdmissibleProperties(t *testing.T) {
+	// Paper's worked example values.
+	if LinearPlanAdmissible(1000, 5000) {
+		t.Fatal("σ=1000 σ̂=5000 must fail")
+	}
+	if !LinearPlanAdmissible(500, 500) {
+		t.Fatal("σ=σ̂=500 must hold")
+	}
+	// σ ≥ σ̂ always admissible: σ² ≥ σσ̂.
+	f := func(a, b uint16) bool {
+		sigma := float64(a%5000) + 1
+		sigmaHat := float64(b%5000) + 1
+		if sigma >= sigmaHat {
+			return LinearPlanAdmissible(sigma, sigmaHat)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCapDistinctInvariant(t *testing.T) {
+	f := func(card8 uint8, d1, d2 uint16) bool {
+		in := est(float64(card8)+1, map[string]float64{
+			"a": float64(d1%1000) + 1,
+			"b": float64(d2%1000) + 1,
+		})
+		out := GroupByEstimate(in, []string{"a", "b"})
+		for _, d := range out.Distinct {
+			if d > out.Card || d < 1 || math.IsNaN(d) {
+				return false
+			}
+		}
+		return out.Card >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

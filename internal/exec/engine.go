@@ -1,0 +1,437 @@
+package exec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"mpf/internal/plan"
+	"mpf/internal/relation"
+	"mpf/internal/semiring"
+	"mpf/internal/storage"
+)
+
+// Engine evaluates logical plans with materializing physical operators.
+type Engine struct {
+	Pool    *storage.Pool
+	Factory storage.DiskFactory
+	Sr      semiring.Semiring
+
+	// SortJoin selects sort-merge product joins instead of hash joins.
+	SortJoin bool
+	// SortGroupBy selects sort-based aggregation instead of hash
+	// aggregation.
+	SortGroupBy bool
+	// SortRunTuples bounds in-memory run size for the external sort;
+	// defaults to 1<<17 tuples when zero.
+	SortRunTuples int
+	// HashJoinMaxBuild caps the in-memory hash-join build side in tuples;
+	// larger builds use the Grace (partitioned) strategy. Zero selects a
+	// default of 1<<20.
+	HashJoinMaxBuild int64
+	// FuseJoinGroupBy pipelines GroupBy-over-Join pairs through a single
+	// fused operator, skipping the join's materialization. Off by default
+	// so operator IO matches the paper's materializing cost model.
+	FuseJoinGroupBy bool
+}
+
+// NewEngine returns an engine with hash-based operators.
+func NewEngine(pool *storage.Pool, factory storage.DiskFactory, sr semiring.Semiring) *Engine {
+	return &Engine{Pool: pool, Factory: factory, Sr: sr}
+}
+
+// OpStat records one executed operator's actuals (EXPLAIN ANALYZE
+// style): what ran, how many rows it produced, and how long it took
+// (inclusive of its inputs).
+type OpStat struct {
+	Desc string
+	Rows int64
+	Wall time.Duration
+}
+
+// RunStats describes one plan execution.
+type RunStats struct {
+	Wall       time.Duration
+	IO         storage.Stats
+	RowsOut    int64
+	Operators  int
+	TempTuples int64 // tuples written to intermediate tables
+	// Ops lists per-operator actuals in completion (bottom-up) order.
+	Ops []OpStat
+}
+
+// Run executes the plan and returns the result as an in-memory relation
+// together with execution statistics. Intermediate tables are dropped
+// before returning.
+func (e *Engine) Run(p *plan.Node, resolve Resolver) (*relation.Relation, RunStats, error) {
+	if err := plan.Validate(p); err != nil {
+		return nil, RunStats{}, err
+	}
+	start := time.Now()
+	before := e.Pool.Stats()
+	st := &RunStats{}
+	out, err := e.exec(p, resolve, st)
+	if err != nil {
+		return nil, *st, err
+	}
+	rel, err := ReadRelation(out)
+	if err != nil {
+		out.Drop()
+		return nil, *st, err
+	}
+	if err := out.Drop(); err != nil {
+		return nil, *st, err
+	}
+	st.Wall = time.Since(start)
+	st.IO = e.Pool.Stats().Sub(before)
+	st.RowsOut = int64(rel.Len())
+	return rel, *st, nil
+}
+
+// exec evaluates one node; the returned table is temporary unless it is a
+// base table.
+func (e *Engine) exec(p *plan.Node, resolve Resolver, st *RunStats) (*Table, error) {
+	start := time.Now()
+	out, err := e.execOp(p, resolve, st)
+	if err == nil && out != nil {
+		st.Ops = append(st.Ops, OpStat{
+			Desc: opDesc(p),
+			Rows: out.Heap.NumTuples(),
+			Wall: time.Since(start),
+		})
+	}
+	return out, err
+}
+
+// opDesc renders a short operator description for OpStat.
+func opDesc(p *plan.Node) string {
+	switch p.Op {
+	case plan.OpScan:
+		return "Scan(" + p.Table + ")"
+	case plan.OpSelect:
+		return "Select"
+	case plan.OpJoin:
+		return "ProductJoin"
+	case plan.OpGroupBy:
+		return "GroupBy"
+	default:
+		return p.Op.String()
+	}
+}
+
+// execOp dispatches one operator.
+func (e *Engine) execOp(p *plan.Node, resolve Resolver, st *RunStats) (*Table, error) {
+	st.Operators++
+	switch p.Op {
+	case plan.OpScan:
+		return resolve(p.Table)
+	case plan.OpSelect:
+		in, err := e.exec(p.Left, resolve, st)
+		if err != nil {
+			return nil, err
+		}
+		out, err := e.selectOp(in, p.Pred, st)
+		dropInput(in, err == nil)
+		return out, err
+	case plan.OpJoin:
+		l, err := e.exec(p.Left, resolve, st)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.exec(p.Right, resolve, st)
+		if err != nil {
+			l.Drop()
+			return nil, err
+		}
+		var out *Table
+		if e.SortJoin {
+			out, err = e.sortMergeJoin(l, r, st)
+		} else {
+			out, err = e.hashJoin(l, r, st)
+		}
+		dropInput(l, err == nil)
+		dropInput(r, err == nil)
+		return out, err
+	case plan.OpGroupBy:
+		if fused, err := e.tryFuse(p, resolve, st); err != nil || fused != nil {
+			return fused, err
+		}
+		in, err := e.exec(p.Left, resolve, st)
+		if err != nil {
+			return nil, err
+		}
+		var out *Table
+		if e.SortGroupBy {
+			out, err = e.sortGroupBy(in, p.GroupVars, st)
+		} else {
+			out, err = e.hashGroupBy(in, p.GroupVars, st)
+		}
+		dropInput(in, err == nil)
+		return out, err
+	default:
+		return nil, fmt.Errorf("exec: unknown op %v", p.Op)
+	}
+}
+
+// dropInput releases an operator input if it was temporary. When the
+// operator already failed, the drop error is ignored in favor of the
+// original failure.
+func dropInput(t *Table, report bool) {
+	if t == nil {
+		return
+	}
+	if err := t.Drop(); err != nil && report {
+		// Temp-table cleanup failures are not fatal to the query result;
+		// the heap is memory- or temp-file-backed and will be reclaimed.
+		_ = err
+	}
+}
+
+// newTemp creates a temporary output table with the given schema.
+func (e *Engine) newTemp(name string, attrs []relation.Attr) (*Table, error) {
+	h, err := storage.NewTempHeap(e.Pool, e.Factory, len(attrs))
+	if err != nil {
+		return nil, err
+	}
+	return &Table{Name: name, Attrs: attrs, Heap: h, temp: true}, nil
+}
+
+// hashKey encodes the values of cols into a map key.
+func hashKey(vals []int32, cols []int, buf []byte) string {
+	for i, c := range cols {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(vals[c]))
+	}
+	return string(buf[:4*len(cols)])
+}
+
+// selectOp filters the input by the equality predicate, using a hash
+// index when one covers a predicate variable and falling back to a scan.
+func (e *Engine) selectOp(in *Table, pred relation.Predicate, st *RunStats) (*Table, error) {
+	if len(in.Indexes) > 0 {
+		out, err := e.indexedSelect(in, pred, st)
+		if err != nil {
+			return nil, err
+		}
+		if out != nil {
+			return out, nil
+		}
+	}
+	cols := make([]int, 0, len(pred))
+	want := make([]int32, 0, len(pred))
+	for v, val := range pred {
+		c := in.ColIndex(v)
+		if c < 0 {
+			return nil, fmt.Errorf("exec: selection variable %s not in %s", v, in.Name)
+		}
+		cols = append(cols, c)
+		want = append(want, val)
+	}
+	out, err := e.newTemp("σ("+in.Name+")", in.Attrs)
+	if err != nil {
+		return nil, err
+	}
+	it := in.Heap.Scan()
+	defer it.Close()
+	for {
+		vals, m, ok := it.Next()
+		if !ok {
+			break
+		}
+		match := true
+		for i, c := range cols {
+			if vals[c] != want[i] {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		if err := out.Heap.Append(vals, m); err != nil {
+			out.Drop()
+			return nil, err
+		}
+		st.TempTuples++
+	}
+	if err := it.Err(); err != nil {
+		out.Drop()
+		return nil, err
+	}
+	return out, nil
+}
+
+// joinSchema computes shared columns and the output schema of l ⋈* r.
+func joinSchema(l, r *Table) (lCols, rCols, rExtra []int, outAttrs []relation.Attr, err error) {
+	shared := l.Vars().Intersect(r.Vars()).Sorted()
+	lCols = make([]int, len(shared))
+	rCols = make([]int, len(shared))
+	for i, v := range shared {
+		lc, rc := l.ColIndex(v), r.ColIndex(v)
+		if l.Attrs[lc].Domain != r.Attrs[rc].Domain {
+			return nil, nil, nil, nil, fmt.Errorf("exec: join %s/%s: domain mismatch on %s", l.Name, r.Name, v)
+		}
+		lCols[i], rCols[i] = lc, rc
+	}
+	outAttrs = append([]relation.Attr(nil), l.Attrs...)
+	for i, a := range r.Attrs {
+		if l.ColIndex(a.Name) < 0 {
+			outAttrs = append(outAttrs, a)
+			rExtra = append(rExtra, i)
+		}
+	}
+	return lCols, rCols, rExtra, outAttrs, nil
+}
+
+// buildRow is one hash-table entry of a hash join's build side.
+type buildRow struct {
+	vals    []int32
+	measure float64
+}
+
+// hashJoin implements the product join by building an in-memory hash
+// table on the smaller input and probing with the larger; when even the
+// smaller input exceeds the build cap, the Grace partitioned strategy is
+// used instead (classic hybrid behaviour for disk-resident operands).
+func (e *Engine) hashJoin(l, r *Table, st *RunStats) (*Table, error) {
+	lCols, rCols, rExtra, outAttrs, err := joinSchema(l, r)
+	if err != nil {
+		return nil, err
+	}
+	out, err := e.newTemp("("+l.Name+"⋈*"+r.Name+")", outAttrs)
+	if err != nil {
+		return nil, err
+	}
+	smaller := l.Heap.NumTuples()
+	if r.Heap.NumTuples() < smaller {
+		smaller = r.Heap.NumTuples()
+	}
+	if smaller > e.maxBuild() && len(lCols) > 0 {
+		if err := e.graceJoin(l, r, lCols, rCols, rExtra, out, 0, st); err != nil {
+			out.Drop()
+			return nil, err
+		}
+		return out, nil
+	}
+	if err := e.hashJoinInto(l, r, lCols, rCols, rExtra, out, st); err != nil {
+		out.Drop()
+		return nil, err
+	}
+	return out, nil
+}
+
+// hashJoinInto performs an in-memory-build hash join of l and r,
+// appending result tuples to out.
+func (e *Engine) hashJoinInto(l, r *Table, lCols, rCols, rExtra []int, out *Table, st *RunStats) error {
+	build, probe := l, r
+	buildCols, probeCols := lCols, rCols
+	buildIsLeft := true
+	if r.Heap.NumTuples() < l.Heap.NumTuples() {
+		build, probe = r, l
+		buildCols, probeCols = rCols, lCols
+		buildIsLeft = false
+	}
+
+	ht := make(map[string][]buildRow, build.Heap.NumTuples())
+	bit := build.Heap.Scan()
+	keyBuf := make([]byte, 4*len(buildCols))
+	for {
+		vals, m, ok := bit.Next()
+		if !ok {
+			break
+		}
+		k := hashKey(vals, buildCols, keyBuf)
+		ht[k] = append(ht[k], buildRow{vals: append([]int32(nil), vals...), measure: m})
+	}
+	if err := bit.Close(); err != nil {
+		return err
+	}
+
+	rowBuf := make([]int32, len(out.Attrs))
+	emit := func(lv []int32, lm float64, rv []int32, rm float64) error {
+		copy(rowBuf, lv)
+		for i, c := range rExtra {
+			rowBuf[len(l.Attrs)+i] = rv[c]
+		}
+		st.TempTuples++
+		return out.Heap.Append(rowBuf, e.Sr.Mul(lm, rm))
+	}
+
+	pit := probe.Heap.Scan()
+	defer pit.Close()
+	for {
+		vals, m, ok := pit.Next()
+		if !ok {
+			break
+		}
+		k := hashKey(vals, probeCols, keyBuf)
+		for _, b := range ht[k] {
+			var err error
+			if buildIsLeft {
+				err = emit(b.vals, b.measure, vals, m)
+			} else {
+				err = emit(vals, m, b.vals, b.measure)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return pit.Err()
+}
+
+// hashGroupBy implements marginalization with in-memory hash aggregation.
+type aggEntry struct {
+	vals    []int32
+	measure float64
+}
+
+func (e *Engine) hashGroupBy(in *Table, groupVars []string, st *RunStats) (*Table, error) {
+	cols := make([]int, len(groupVars))
+	outAttrs := make([]relation.Attr, len(groupVars))
+	for i, v := range groupVars {
+		c := in.ColIndex(v)
+		if c < 0 {
+			return nil, fmt.Errorf("exec: group variable %s not in %s", v, in.Name)
+		}
+		cols[i] = c
+		outAttrs[i] = in.Attrs[c]
+	}
+	groups := make(map[string]*aggEntry)
+	order := make([]string, 0, 1024) // preserve first-seen order for determinism
+	it := in.Heap.Scan()
+	keyBuf := make([]byte, 4*len(cols))
+	for {
+		vals, m, ok := it.Next()
+		if !ok {
+			break
+		}
+		k := hashKey(vals, cols, keyBuf)
+		g, seen := groups[k]
+		if !seen {
+			gv := make([]int32, len(cols))
+			for i, c := range cols {
+				gv[i] = vals[c]
+			}
+			groups[k] = &aggEntry{vals: gv, measure: m}
+			order = append(order, k)
+			continue
+		}
+		g.measure = e.Sr.Add(g.measure, m)
+	}
+	if err := it.Close(); err != nil {
+		return nil, err
+	}
+	out, err := e.newTemp("γ("+in.Name+")", outAttrs)
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range order {
+		g := groups[k]
+		if err := out.Heap.Append(g.vals, g.measure); err != nil {
+			out.Drop()
+			return nil, err
+		}
+		st.TempTuples++
+	}
+	return out, nil
+}

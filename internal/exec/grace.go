@@ -1,0 +1,117 @@
+package exec
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+)
+
+// graceFanOut is the number of partitions per Grace hash-join pass.
+const graceFanOut = 16
+
+// MaxBuildTuples caps the in-memory hash-join build side; larger builds
+// switch to the Grace strategy: both inputs are hash-partitioned on the
+// join key into temp heaps, and partition pairs are joined independently
+// (recursively re-partitioning with a different hash seed if a partition
+// is still too large). Zero means 1<<20 tuples (~16 MiB of build rows).
+const defaultMaxBuildTuples = 1 << 20
+
+// graceDepthLimit stops pathological recursion when all join-key values
+// collide (e.g. a single hot key); such partitions fall back to the
+// in-memory join regardless of size.
+const graceDepthLimit = 3
+
+// partitionHash buckets a join key for pass depth.
+func partitionHash(vals []int32, cols []int, depth int) int {
+	h := fnv.New32a()
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(depth)*2654435761)
+	h.Write(b[:])
+	for _, c := range cols {
+		binary.LittleEndian.PutUint32(b[:], uint32(vals[c]))
+		h.Write(b[:])
+	}
+	return int(h.Sum32() % graceFanOut)
+}
+
+// maxBuild returns the engine's build-side cap.
+func (e *Engine) maxBuild() int64 {
+	if e.HashJoinMaxBuild > 0 {
+		return e.HashJoinMaxBuild
+	}
+	return defaultMaxBuildTuples
+}
+
+// graceJoin hash-partitions both inputs on the shared variables and joins
+// partition pairs, appending results to out.
+func (e *Engine) graceJoin(l, r *Table, lCols, rCols, rExtra []int, out *Table, depth int, st *RunStats) error {
+	lParts, err := e.partition(l, lCols, depth, st)
+	if err != nil {
+		return err
+	}
+	defer dropAll(lParts)
+	rParts, err := e.partition(r, rCols, depth, st)
+	if err != nil {
+		return err
+	}
+	defer dropAll(rParts)
+	for i := 0; i < graceFanOut; i++ {
+		lp, rp := lParts[i], rParts[i]
+		if lp.Heap.NumTuples() == 0 || rp.Heap.NumTuples() == 0 {
+			continue
+		}
+		small := lp.Heap.NumTuples()
+		if rp.Heap.NumTuples() < small {
+			small = rp.Heap.NumTuples()
+		}
+		if small > e.maxBuild() && depth < graceDepthLimit {
+			if err := e.graceJoin(lp, rp, lCols, rCols, rExtra, out, depth+1, st); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := e.hashJoinInto(lp, rp, lCols, rCols, rExtra, out, st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// partition splits t into graceFanOut temp heaps by join-key hash.
+func (e *Engine) partition(t *Table, cols []int, depth int, st *RunStats) ([]*Table, error) {
+	parts := make([]*Table, graceFanOut)
+	for i := range parts {
+		p, err := e.newTemp("part", t.Attrs)
+		if err != nil {
+			dropAll(parts[:i])
+			return nil, err
+		}
+		parts[i] = p
+	}
+	it := t.Heap.Scan()
+	defer it.Close()
+	for {
+		vals, m, ok := it.Next()
+		if !ok {
+			break
+		}
+		p := parts[partitionHash(vals, cols, depth)]
+		if err := p.Heap.Append(vals, m); err != nil {
+			dropAll(parts)
+			return nil, err
+		}
+		st.TempTuples++
+	}
+	if err := it.Err(); err != nil {
+		dropAll(parts)
+		return nil, err
+	}
+	return parts, nil
+}
+
+func dropAll(ts []*Table) {
+	for _, t := range ts {
+		if t != nil {
+			t.Drop()
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+
+	"mpf/internal/relation"
+	"mpf/internal/semiring"
+)
+
+// TestGraceJoinMatchesInMemoryJoin forces the Grace path with a tiny
+// build cap and compares against the in-memory join.
+func TestGraceJoinMatchesInMemoryJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	a, _ := relation.Random(rng, "a",
+		[]relation.Attr{{Name: "x", Domain: 40}, {Name: "y", Domain: 20}}, 0.8,
+		relation.UniformMeasure(0.1, 2))
+	b, _ := relation.Random(rng, "b",
+		[]relation.Attr{{Name: "y", Domain: 20}, {Name: "z", Domain: 40}}, 0.8,
+		relation.UniformMeasure(0.1, 2))
+	h := newHarness(t, 64, a, b)
+	pb := h.builder()
+	sa, _ := pb.Scan("a")
+	sb, _ := pb.Scan("b")
+	j := pb.Join(sa, sb)
+
+	inMem, _ := h.run(t, j)
+	h.engine.HashJoinMaxBuild = 32 // both sides far exceed this
+	grace, _ := h.run(t, j)
+	if !relation.Equal(inMem, grace, 0, 1e-9) {
+		t.Fatal("grace join disagrees with in-memory join")
+	}
+	// Also against the algebra oracle.
+	want, _ := relation.ProductJoin(semiring.SumProduct, a, b)
+	if !relation.Equal(grace, want, 0, 1e-9) {
+		t.Fatal("grace join disagrees with oracle")
+	}
+}
+
+// TestGraceJoinHotKeyFallsBack: a single join-key value defeats
+// partitioning; the depth limit must fall back to in-memory rather than
+// recurse forever.
+func TestGraceJoinHotKeyFallsBack(t *testing.T) {
+	a := relation.MustNew("a", []relation.Attr{{Name: "x", Domain: 300}, {Name: "y", Domain: 2}})
+	b := relation.MustNew("b", []relation.Attr{{Name: "y", Domain: 2}, {Name: "z", Domain: 300}})
+	for i := 0; i < 300; i++ {
+		a.MustAppend([]int32{int32(i), 0}, 1) // every tuple has y=0
+		b.MustAppend([]int32{0, int32(i)}, 1)
+	}
+	h := newHarness(t, 64, a, b)
+	h.engine.HashJoinMaxBuild = 16
+	pb := h.builder()
+	sa, _ := pb.Scan("a")
+	sb, _ := pb.Scan("b")
+	g, err := pb.GroupBy(pb.Join(sa, sb), []string{"y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := h.run(t, g)
+	// 300×300 pairs all with y=0, each product 1.
+	if got.Len() != 1 || got.Measure(0) != 90000 {
+		t.Fatalf("hot-key grace join wrong: %v", got)
+	}
+}
+
+// TestGraceJoinInFullQuery pushes a whole multi-join query through the
+// partitioned path.
+func TestGraceJoinInFullQuery(t *testing.T) {
+	a, b, c := randomRelations(62)
+	h := newHarness(t, 64, a, b, c)
+	pb := h.builder()
+	sa, _ := pb.Scan("a")
+	sb, _ := pb.Scan("b")
+	sc, _ := pb.Scan("c")
+	g, _ := pb.GroupBy(pb.Join(pb.Join(sa, sb), sc), []string{"W"})
+	want, _ := h.run(t, g)
+	h.engine.HashJoinMaxBuild = 4
+	got, _ := h.run(t, g)
+	if !relation.Equal(want, got, 0, 1e-9) {
+		t.Fatal("grace path changed a multi-join query result")
+	}
+}
+
+// TestGraceCrossProductSkipsPartitioning: cross products (no shared
+// variables) cannot partition on a key and must stay in-memory.
+func TestGraceCrossProductSkipsPartitioning(t *testing.T) {
+	x, _ := relation.Complete("x", []relation.Attr{{Name: "a", Domain: 12}},
+		func([]int32) float64 { return 2 })
+	y, _ := relation.Complete("y", []relation.Attr{{Name: "b", Domain: 12}},
+		func([]int32) float64 { return 3 })
+	h := newHarness(t, 32, x, y)
+	h.engine.HashJoinMaxBuild = 2
+	pb := h.builder()
+	sx, _ := pb.Scan("x")
+	sy, _ := pb.Scan("y")
+	got, _ := h.run(t, pb.Join(sx, sy))
+	if got.Len() != 144 {
+		t.Fatalf("cross product has %d rows, want 144", got.Len())
+	}
+	for i := 0; i < got.Len(); i++ {
+		if got.Measure(i) != 6 {
+			t.Fatal("cross product measures wrong")
+		}
+	}
+}

@@ -1,0 +1,434 @@
+package exec
+
+import (
+	"container/heap"
+	"sort"
+
+	"fmt"
+
+	"mpf/internal/relation"
+)
+
+const defaultSortRunTuples = 1 << 17
+
+// compareCols lexicographically compares the projections of two rows onto
+// cols (cols may index the rows differently via aCols/bCols).
+func compareCols(a []int32, aCols []int, b []int32, bCols []int) int {
+	for i := range aCols {
+		av, bv := a[aCols[i]], b[bCols[i]]
+		if av != bv {
+			if av < bv {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// memRun is an in-memory sorted run.
+type memRun struct {
+	arity    int
+	vals     []int32
+	measures []float64
+}
+
+func (r *memRun) len() int          { return len(r.measures) }
+func (r *memRun) row(i int) []int32 { return r.vals[i*r.arity : (i+1)*r.arity] }
+func (r *memRun) sortBy(cols []int) {
+	idx := make([]int, r.len())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(x, y int) bool {
+		return compareCols(r.row(idx[x]), cols, r.row(idx[y]), cols) < 0
+	})
+	nv := make([]int32, len(r.vals))
+	nm := make([]float64, len(r.measures))
+	for to, from := range idx {
+		copy(nv[to*r.arity:(to+1)*r.arity], r.row(from))
+		nm[to] = r.measures[from]
+	}
+	r.vals, r.measures = nv, nm
+}
+
+// externalSort sorts the input table by cols, producing a temporary table.
+// Runs of at most SortRunTuples tuples are sorted in memory and spilled to
+// temp heaps, then merged with a k-way merge.
+func (e *Engine) externalSort(in *Table, cols []int, st *RunStats) (*Table, error) {
+	runSize := e.SortRunTuples
+	if runSize <= 0 {
+		runSize = defaultSortRunTuples
+	}
+	arity := len(in.Attrs)
+
+	var runs []*Table
+	cleanup := func() {
+		for _, r := range runs {
+			r.Drop()
+		}
+	}
+
+	it := in.Heap.Scan()
+	cur := &memRun{arity: arity}
+	flush := func() error {
+		if cur.len() == 0 {
+			return nil
+		}
+		cur.sortBy(cols)
+		rt, err := e.newTemp("sortrun", in.Attrs)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < cur.len(); i++ {
+			if err := rt.Heap.Append(cur.row(i), cur.measures[i]); err != nil {
+				rt.Drop()
+				return err
+			}
+			st.TempTuples++
+		}
+		runs = append(runs, rt)
+		cur = &memRun{arity: arity}
+		return nil
+	}
+	for {
+		vals, m, ok := it.Next()
+		if !ok {
+			break
+		}
+		cur.vals = append(cur.vals, vals...)
+		cur.measures = append(cur.measures, m)
+		if cur.len() >= runSize {
+			if err := flush(); err != nil {
+				it.Close()
+				cleanup()
+				return nil, err
+			}
+		}
+	}
+	if err := it.Close(); err != nil {
+		cleanup()
+		return nil, err
+	}
+	if err := flush(); err != nil {
+		cleanup()
+		return nil, err
+	}
+
+	if len(runs) == 0 {
+		// Empty input: empty output table.
+		return e.newTemp("sorted("+in.Name+")", in.Attrs)
+	}
+
+	// Multi-pass merge with fan-in bounded by the buffer pool: each open
+	// cursor pins one page, so the pass width must leave frames for the
+	// output and for slack.
+	fanIn := e.Pool.Size() - 4
+	if fanIn < 2 {
+		fanIn = 2
+	}
+	for len(runs) > 1 {
+		var next []*Table
+		var mergeErr error
+		for i := 0; i < len(runs) && mergeErr == nil; i += fanIn {
+			j := i + fanIn
+			if j > len(runs) {
+				j = len(runs)
+			}
+			if j-i == 1 {
+				next = append(next, runs[i])
+				runs[i] = nil
+				continue
+			}
+			var merged *Table
+			merged, mergeErr = e.mergeRuns(runs[i:j], cols, in.Attrs, st)
+			if mergeErr != nil {
+				break
+			}
+			for k := i; k < j; k++ {
+				runs[k].Drop()
+				runs[k] = nil
+			}
+			next = append(next, merged)
+		}
+		if mergeErr != nil {
+			for _, r := range runs {
+				if r != nil {
+					r.Drop()
+				}
+			}
+			for _, r := range next {
+				r.Drop()
+			}
+			return nil, mergeErr
+		}
+		runs = next
+	}
+	runs[0].Name = "sorted(" + in.Name + ")"
+	return runs[0], nil
+}
+
+// mergeCursor is one run's head during a k-way merge.
+type mergeCursor struct {
+	it      *rowIter
+	vals    []int32
+	measure float64
+}
+
+// mergeHeap orders cursors by their head row on cols.
+type mergeHeap struct {
+	cursors []*mergeCursor
+	cols    []int
+}
+
+func (h *mergeHeap) Len() int { return len(h.cursors) }
+func (h *mergeHeap) Less(i, j int) bool {
+	return compareCols(h.cursors[i].vals, h.cols, h.cursors[j].vals, h.cols) < 0
+}
+func (h *mergeHeap) Swap(i, j int) { h.cursors[i], h.cursors[j] = h.cursors[j], h.cursors[i] }
+func (h *mergeHeap) Push(x any)    { h.cursors = append(h.cursors, x.(*mergeCursor)) }
+func (h *mergeHeap) Pop() any {
+	old := h.cursors
+	n := len(old)
+	c := old[n-1]
+	h.cursors = old[:n-1]
+	return c
+}
+
+func (e *Engine) mergeRuns(runs []*Table, cols []int, attrs []relation.Attr, st *RunStats) (*Table, error) {
+	out, err := e.newTemp("merge", attrs)
+	if err != nil {
+		return nil, err
+	}
+	mh := &mergeHeap{cols: cols}
+	var iters []*rowIter
+	defer func() {
+		for _, it := range iters {
+			it.Close()
+		}
+	}()
+	for _, r := range runs {
+		it := newRowIter(r)
+		iters = append(iters, it)
+		vals, m, ok, err := it.Next()
+		if err != nil {
+			out.Drop()
+			return nil, err
+		}
+		if ok {
+			mh.cursors = append(mh.cursors, &mergeCursor{it: it, vals: vals, measure: m})
+		}
+	}
+	heap.Init(mh)
+	for mh.Len() > 0 {
+		c := mh.cursors[0]
+		if err := out.Heap.Append(c.vals, c.measure); err != nil {
+			out.Drop()
+			return nil, err
+		}
+		st.TempTuples++
+		vals, m, ok, err := c.it.Next()
+		if err != nil {
+			out.Drop()
+			return nil, err
+		}
+		if ok {
+			c.vals, c.measure = vals, m
+			heap.Fix(mh, 0)
+		} else {
+			heap.Pop(mh)
+		}
+	}
+	return out, nil
+}
+
+// rowIter wraps a heap iterator, copying rows so callers may retain them.
+type rowIter struct {
+	it interface {
+		Next() ([]int32, float64, bool)
+		Err() error
+		Close() error
+	}
+}
+
+func newRowIter(t *Table) *rowIter { return &rowIter{it: t.Heap.Scan()} }
+
+func (r *rowIter) Next() ([]int32, float64, bool, error) {
+	vals, m, ok := r.it.Next()
+	if !ok {
+		return nil, 0, false, r.it.Err()
+	}
+	return append([]int32(nil), vals...), m, true, nil
+}
+
+func (r *rowIter) Close() error { return r.it.Close() }
+
+// sortGroupBy implements marginalization by external sort on the group
+// columns followed by a streaming aggregation pass.
+func (e *Engine) sortGroupBy(in *Table, groupVars []string, st *RunStats) (*Table, error) {
+	cols := make([]int, len(groupVars))
+	outAttrs := make([]relation.Attr, len(groupVars))
+	for i, v := range groupVars {
+		c := in.ColIndex(v)
+		if c < 0 {
+			return nil, fmt.Errorf("exec: group variable %s not in %s", v, in.Name)
+		}
+		cols[i] = c
+		outAttrs[i] = in.Attrs[c]
+	}
+	sorted, err := e.externalSort(in, cols, st)
+	if err != nil {
+		return nil, err
+	}
+	defer sorted.Drop()
+
+	out, err := e.newTemp("γ("+in.Name+")", outAttrs)
+	if err != nil {
+		return nil, err
+	}
+	it := newRowIter(sorted)
+	defer it.Close()
+
+	var curKey []int32
+	var acc float64
+	have := false
+	emit := func() error {
+		if !have {
+			return nil
+		}
+		st.TempTuples++
+		return out.Heap.Append(curKey, acc)
+	}
+	for {
+		vals, m, ok, err := it.Next()
+		if err != nil {
+			out.Drop()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		keyVals := make([]int32, len(cols))
+		for i, c := range cols {
+			keyVals[i] = vals[c]
+		}
+		if have && equalRows(curKey, keyVals) {
+			acc = e.Sr.Add(acc, m)
+			continue
+		}
+		if err := emit(); err != nil {
+			out.Drop()
+			return nil, err
+		}
+		curKey, acc, have = keyVals, m, true
+	}
+	if err := emit(); err != nil {
+		out.Drop()
+		return nil, err
+	}
+	return out, nil
+}
+
+func equalRows(a, b []int32) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sortMergeJoin implements the product join by sorting both inputs on the
+// shared variables and merging, emitting the cross product of each pair of
+// matching key groups. Inputs without shared variables fall back to the
+// hash join (which degenerates to a nested cross product).
+func (e *Engine) sortMergeJoin(l, r *Table, st *RunStats) (*Table, error) {
+	lCols, rCols, rExtra, outAttrs, err := joinSchema(l, r)
+	if err != nil {
+		return nil, err
+	}
+	if len(lCols) == 0 {
+		return e.hashJoin(l, r, st)
+	}
+	ls, err := e.externalSort(l, lCols, st)
+	if err != nil {
+		return nil, err
+	}
+	defer ls.Drop()
+	rs, err := e.externalSort(r, rCols, st)
+	if err != nil {
+		return nil, err
+	}
+	defer rs.Drop()
+
+	out, err := e.newTemp("("+l.Name+"⋈*"+r.Name+")", outAttrs)
+	if err != nil {
+		return nil, err
+	}
+	lit, rit := newRowIter(ls), newRowIter(rs)
+	defer lit.Close()
+	defer rit.Close()
+
+	type row struct {
+		vals []int32
+		m    float64
+	}
+	lv, lm, lok, err := lit.Next()
+	if err != nil {
+		out.Drop()
+		return nil, err
+	}
+	rv, rm, rok, err := rit.Next()
+	if err != nil {
+		out.Drop()
+		return nil, err
+	}
+	rowBuf := make([]int32, len(outAttrs))
+	for lok && rok {
+		c := compareCols(lv, lCols, rv, rCols)
+		if c < 0 {
+			lv, lm, lok, err = lit.Next()
+		} else if c > 0 {
+			rv, rm, rok, err = rit.Next()
+		} else {
+			// Gather the full groups with this key from both sides.
+			var lg, rg []row
+			keyRow := lv
+			for lok && compareCols(lv, lCols, keyRow, lCols) == 0 {
+				lg = append(lg, row{lv, lm})
+				lv, lm, lok, err = lit.Next()
+				if err != nil {
+					out.Drop()
+					return nil, err
+				}
+			}
+			for rok && compareCols(rv, rCols, keyRow, lCols) == 0 {
+				rg = append(rg, row{rv, rm})
+				rv, rm, rok, err = rit.Next()
+				if err != nil {
+					out.Drop()
+					return nil, err
+				}
+			}
+			for _, a := range lg {
+				for _, b := range rg {
+					copy(rowBuf, a.vals)
+					for i, cc := range rExtra {
+						rowBuf[len(l.Attrs)+i] = b.vals[cc]
+					}
+					if err := out.Heap.Append(rowBuf, e.Sr.Mul(a.m, b.m)); err != nil {
+						out.Drop()
+						return nil, err
+					}
+					st.TempTuples++
+				}
+			}
+			continue
+		}
+		if err != nil {
+			out.Drop()
+			return nil, err
+		}
+	}
+	return out, nil
+}

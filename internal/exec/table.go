@@ -1,0 +1,114 @@
+// Package exec is the physical execution engine for MPF plans.
+//
+// The engine evaluates logical plans from internal/plan over disk-resident
+// operands: base tables live in heap files behind a shared buffer pool and
+// every operator materializes its output to a temporary heap, mirroring
+// the IO-dominated regime the paper targets (disk-resident functional
+// relations inside PostgreSQL). Operator implementations include hash and
+// sort-based product joins and marginalizing group-bys, plus an external
+// sort; the engine records wall time, physical page IO, and intermediate
+// tuple volume for every run so experiments can compare plans on the same
+// metrics the paper reports.
+package exec
+
+import (
+	"fmt"
+
+	"mpf/internal/relation"
+	"mpf/internal/storage"
+)
+
+// Table pairs a heap file with its attribute schema. The measure column
+// is implicit (every heap tuple carries one).
+type Table struct {
+	Name  string
+	Attrs []relation.Attr
+	Heap  *storage.Heap
+	// Indexes holds hash indexes by attribute name; selections use them
+	// automatically when one covers a predicate variable.
+	Indexes map[string]*Index
+	temp    bool
+}
+
+// Vars returns the table's variable set.
+func (t *Table) Vars() relation.VarSet {
+	s := make(relation.VarSet, len(t.Attrs))
+	for _, a := range t.Attrs {
+		s[a.Name] = true
+	}
+	return s
+}
+
+// ColIndex returns the schema position of the named attribute, or -1.
+func (t *Table) ColIndex(name string) int {
+	for i, a := range t.Attrs {
+		if a.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Drop releases the table's storage if it is a temporary table; base
+// tables are left untouched.
+func (t *Table) Drop() error {
+	if !t.temp {
+		return nil
+	}
+	t.temp = false
+	return t.Heap.Drop()
+}
+
+// LoadRelation materializes an in-memory relation into a fresh heap file
+// from the factory, registered with the pool. It is how base tables enter
+// the engine.
+func LoadRelation(pool *storage.Pool, factory storage.DiskFactory, r *relation.Relation) (*Table, error) {
+	h, err := storage.NewTempHeap(pool, factory, r.Arity())
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < r.Len(); i++ {
+		if err := h.Append(r.Row(i), r.Measure(i)); err != nil {
+			h.Drop()
+			return nil, err
+		}
+	}
+	return &Table{Name: r.Name(), Attrs: append([]relation.Attr(nil), r.Attrs()...), Heap: h}, nil
+}
+
+// ReadRelation scans the table back into an in-memory relation.
+func ReadRelation(t *Table) (*relation.Relation, error) {
+	r, err := relation.New(t.Name, t.Attrs)
+	if err != nil {
+		return nil, err
+	}
+	it := t.Heap.Scan()
+	defer it.Close()
+	for {
+		vals, m, ok := it.Next()
+		if !ok {
+			break
+		}
+		if err := r.Append(vals, m); err != nil {
+			return nil, err
+		}
+	}
+	if err := it.Err(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Resolver maps a base-table name to its stored table.
+type Resolver func(name string) (*Table, error)
+
+// MapResolver adapts a map of tables into a Resolver.
+func MapResolver(tables map[string]*Table) Resolver {
+	return func(name string) (*Table, error) {
+		t, ok := tables[name]
+		if !ok {
+			return nil, fmt.Errorf("exec: unknown base table %q", name)
+		}
+		return t, nil
+	}
+}

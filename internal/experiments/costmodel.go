@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"mpf/internal/core"
+	"mpf/internal/cost"
+	"mpf/internal/gen"
+	"mpf/internal/opt"
+)
+
+// AblationCostModel validates the PageIO cost model against the engine:
+// for a grid of queries × optimizers it compares the model's estimated
+// cost with the measured page IO and reports the rank correlation. The
+// optimizers only need cost *orderings* to pick good plans, so Spearman
+// correlation — not absolute agreement — is the relevant fidelity metric.
+func AblationCostModel(cfg Config) (*Table, error) {
+	ds, err := gen.SupplyChain(gen.SupplyChainConfig{Scale: cfg.scale(), CtdealsDensity: 0.5, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	// A small buffer pool keeps the engine in the disk-resident regime
+	// the model describes.
+	db, err := core.Open(core.Config{PoolFrames: 16, CostModel: cost.DefaultPageIO()})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	for _, r := range ds.Relations {
+		if err := db.CreateTable(r); err != nil {
+			return nil, err
+		}
+	}
+	if err := db.CreateView(ds.Name, ds.ViewTables); err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:     "ablation-costmodel",
+		Title:  "PageIO cost model vs measured page IO (16-frame pool)",
+		Header: []string{"query", "optimizer", "estimated cost", "measured IO", "measured ms"},
+		Notes:  "the optimizers need cost ORDERINGS, not absolute IO counts; see the rank correlation appended below",
+	}
+	queries := []string{"wid", "cid", "tid", "pid"}
+	optimizers := []opt.Optimizer{
+		opt.CS{},
+		opt.CSPlus{Linear: true},
+		opt.CSPlus{},
+		opt.VE{Heuristic: opt.Width},
+	}
+	if cfg.Quick {
+		queries = queries[:2]
+		optimizers = optimizers[:3]
+	}
+	var est, meas []float64
+	for _, qv := range queries {
+		for _, o := range optimizers {
+			res, err := db.Query(&core.QuerySpec{
+				View: ds.Name, GroupVars: []string{qv}, Optimizer: o,
+			})
+			if err != nil {
+				return nil, err
+			}
+			e := res.Plan.TotalCost
+			m := float64(res.Exec.IO.IO())
+			est = append(est, e)
+			meas = append(meas, m)
+			t.Rows = append(t.Rows, []string{
+				qv, o.Name(), f2(e), f2(m), ms(res.Exec.Wall),
+			})
+		}
+	}
+	rho := spearman(est, meas)
+	t.Notes += fmt.Sprintf("; Spearman ρ(estimated, measured IO) = %.3f over %d plans", rho, len(est))
+	return t, nil
+}
+
+// spearman computes the Spearman rank correlation of two equal-length
+// samples (average ranks for ties).
+func spearman(a, b []float64) float64 {
+	ra, rb := ranks(a), ranks(b)
+	return pearson(ra, rb)
+}
+
+func ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < n; i++ { // insertion sort: n is tiny
+		for j := i; j > 0 && xs[idx[j-1]] > xs[idx[j]]; j-- {
+			idx[j-1], idx[j] = idx[j], idx[j-1]
+		}
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j < n && xs[idx[j]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j-1)/2 + 1
+		for k := i; k < j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j
+	}
+	return out
+}
+
+func pearson(a, b []float64) float64 {
+	n := float64(len(a))
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= n
+	mb /= n
+	var cov, va, vb float64
+	for i := range a {
+		cov += (a[i] - ma) * (b[i] - mb)
+		va += (a[i] - ma) * (a[i] - ma)
+		vb += (b[i] - mb) * (b[i] - mb)
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}

@@ -1,0 +1,407 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"mpf/internal/gen"
+	"mpf/internal/opt"
+)
+
+// Table1 prints the generated supply-chain instance's cardinalities and
+// domain sizes next to the paper's Table 1 targets.
+func Table1(cfg Config) (*Table, error) {
+	ds, err := gen.SupplyChain(gen.SupplyChainConfig{Scale: cfg.scale(), Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	paperCards := map[string]int{
+		"contracts": 100_000, "warehouses": 5_000, "transporters": 500,
+		"location": 1_000_000, "ctdeals": 500_000,
+	}
+	paperDomains := map[string]int{
+		"pid": 100_000, "sid": 10_000, "wid": 5_000, "cid": 1_000, "tid": 500,
+	}
+	t := &Table{
+		ID:     "table1",
+		Title:  fmt.Sprintf("supply-chain instance at scale %.3f (paper Table 1 = scale 1)", cfg.scale()),
+		Header: []string{"object", "generated", "paper(scale 1)"},
+		Notes:  "cardinalities and domain sizes follow Table 1 scaled linearly",
+	}
+	for _, r := range ds.Relations {
+		t.Rows = append(t.Rows, []string{
+			"table " + r.Name(), itoa(int64(r.Len())), itoa(int64(paperCards[r.Name()])),
+		})
+	}
+	cat, err := ds.Catalog()
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range ds.QueryVars {
+		dom, _, _ := cat.DomainSize(v)
+		t.Rows = append(t.Rows, []string{
+			"domain " + v, itoa(dom), itoa(int64(paperDomains[v])),
+		})
+	}
+	return t, nil
+}
+
+// Fig7 reproduces the plan-linearity experiment (Figure 7): evaluation
+// time of Q1 (group by cid) and Q2 (group by tid) under linear vs
+// nonlinear CS+ as CTdeals density grows, plus the Eq. 1 prediction.
+func Fig7(cfg Config) (*Table, error) {
+	densities := []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	if cfg.Quick {
+		densities = []float64{0.4, 1.0}
+	}
+	t := &Table{
+		ID:    "fig7",
+		Title: "plan linearity: CS+ linear vs nonlinear as CTdeals density grows",
+		Header: []string{"density",
+			"q1(cid) linear ms", "q1 nonlinear ms",
+			"q2(tid) linear ms", "q2 nonlinear ms"},
+		Notes: "expected: Q1 nonlinear wins and the gap grows with density (Eq. 1 fails for cid); Q2 curves coincide (Eq. 1 holds for tid)",
+	}
+	notedEq1 := false
+	for _, d := range densities {
+		// Domains scale with √Scale so CTdeals keeps the paper's relative
+		// weight (density·|cid|·|tid| ≈ half of Location at density 1).
+		ds, err := gen.SupplyChain(gen.SupplyChainConfig{
+			Scale: cfg.scale(), DomainScale: math.Sqrt(cfg.scale()),
+			CtdealsDensity: d, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s, err := openDataset(ds, cfg.frames())
+		if err != nil {
+			return nil, err
+		}
+		lin := opt.CSPlus{Linear: true}
+		non := opt.CSPlus{}
+		q1lin, err := s.run(lin, []string{"cid"}, nil)
+		if err != nil {
+			s.close()
+			return nil, err
+		}
+		q1non, err := s.run(non, []string{"cid"}, nil)
+		if err != nil {
+			s.close()
+			return nil, err
+		}
+		q2lin, err := s.run(lin, []string{"tid"}, nil)
+		if err != nil {
+			s.close()
+			return nil, err
+		}
+		q2non, err := s.run(non, []string{"tid"}, nil)
+		if err != nil {
+			s.close()
+			return nil, err
+		}
+		if !notedEq1 {
+			notedEq1 = true
+			for _, v := range []string{"cid", "tid"} {
+				adm, sigma, sigmaHat, err := opt.LinearityTest(s.db.Catalog(), v)
+				if err != nil {
+					s.close()
+					return nil, err
+				}
+				t.Notes += fmt.Sprintf("; Eq.1 %s: σ=%.0f σ̂=%.0f linear-admissible=%v", v, sigma, sigmaHat, adm)
+			}
+		}
+		s.close()
+		t.Rows = append(t.Rows, []string{
+			f2(d), ms(q1lin.Wall), ms(q1non.Wall), ms(q2lin.Wall), ms(q2non.Wall),
+		})
+	}
+	return t, nil
+}
+
+// Fig8 reproduces the extended-VE-space experiment (Figure 8): running
+// time of Q1 (cid), Q2 (sid), Q3 (wid) under nonlinear CS+, VE(deg), and
+// VE(deg) extended, as database scale grows.
+func Fig8(cfg Config) (*Table, error) {
+	scales := []float64{0.01, 0.02, 0.04, 0.08}
+	if cfg.Quick {
+		scales = []float64{0.004, 0.008}
+	}
+	t := &Table{
+		ID:     "fig8",
+		Title:  "extended VE space: CS+ vs VE(deg) vs VE(deg)+ext across DB scale",
+		Header: []string{"scale", "query", "cs+ ms", "ve(deg) ms", "ve(deg)+ext ms"},
+		Notes:  "expected: ext never worse than plain VE(deg); for some queries ext reaches the CS+ plan where plain VE(deg) is suboptimal",
+	}
+	for _, sc := range scales {
+		ds, err := gen.SupplyChain(gen.SupplyChainConfig{Scale: sc, CtdealsDensity: 0.5, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		s, err := openDataset(ds, cfg.frames())
+		if err != nil {
+			return nil, err
+		}
+		for _, qv := range []string{"cid", "sid", "wid"} {
+			csp, err := s.run(opt.CSPlus{}, []string{qv}, nil)
+			if err != nil {
+				s.close()
+				return nil, err
+			}
+			ve, err := s.run(opt.VE{Heuristic: opt.Degree}, []string{qv}, nil)
+			if err != nil {
+				s.close()
+				return nil, err
+			}
+			vex, err := s.run(opt.VE{Heuristic: opt.Degree, Extended: true}, []string{qv}, nil)
+			if err != nil {
+				s.close()
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%.3f", sc), qv, ms(csp.Wall), ms(ve.Wall), ms(vex.Wall),
+			})
+		}
+		s.close()
+	}
+	return t, nil
+}
+
+// Fig9 reproduces the ordering-heuristics experiment (Figure 9): running
+// time of Q1 (cid) and Q2 (pid) under the degree, width and
+// elimination-cost heuristics across database scale.
+func Fig9(cfg Config) (*Table, error) {
+	scales := []float64{0.01, 0.02, 0.04, 0.08}
+	if cfg.Quick {
+		scales = []float64{0.004, 0.008}
+	}
+	t := &Table{
+		ID:     "fig9",
+		Title:  "ordering heuristics: degree vs width vs elim-cost across DB scale",
+		Header: []string{"scale", "query", "deg ms", "width ms", "elim_cost ms"},
+		Notes:  "expected: heuristics may disagree on Q1 (width worse); identical plans for Q2",
+	}
+	for _, sc := range scales {
+		ds, err := gen.SupplyChain(gen.SupplyChainConfig{Scale: sc, CtdealsDensity: 0.5, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		s, err := openDataset(ds, cfg.frames())
+		if err != nil {
+			return nil, err
+		}
+		for _, qv := range []string{"cid", "pid"} {
+			deg, err := s.run(opt.VE{Heuristic: opt.Degree}, []string{qv}, nil)
+			if err != nil {
+				s.close()
+				return nil, err
+			}
+			wid, err := s.run(opt.VE{Heuristic: opt.Width}, []string{qv}, nil)
+			if err != nil {
+				s.close()
+				return nil, err
+			}
+			ec, err := s.run(opt.VE{Heuristic: opt.ElimCost}, []string{qv}, nil)
+			if err != nil {
+				s.close()
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%.3f", sc), qv, ms(deg.Wall), ms(wid.Wall), ms(ec.Wall),
+			})
+		}
+		s.close()
+	}
+	return t, nil
+}
+
+// table2Optimizers lists the Table 2 rows in paper order.
+func table2Optimizers() []opt.Optimizer {
+	return []opt.Optimizer{
+		opt.CSPlus{},
+		opt.VE{Heuristic: opt.Degree},
+		opt.VE{Heuristic: opt.Degree, Extended: true},
+		opt.VE{Heuristic: opt.Width},
+		opt.VE{Heuristic: opt.Width, Extended: true},
+		opt.VE{Heuristic: opt.ElimCost},
+		opt.VE{Heuristic: opt.ElimCost, Extended: true},
+		opt.VE{Heuristic: opt.DegreeWidth},
+		opt.VE{Heuristic: opt.DegreeWidth, Extended: true},
+		opt.VE{Heuristic: opt.DegreeElimCost},
+		opt.VE{Heuristic: opt.DegreeElimCost, Extended: true},
+	}
+}
+
+// synthSessions opens the three §7.3 views with the given table count.
+func synthSessions(cfg Config, tables int) (map[string]*session, error) {
+	out := make(map[string]*session, 3)
+	for _, kind := range []gen.SyntheticKind{gen.Star, gen.MultiStar, gen.Linear} {
+		ds, err := gen.Synthetic(gen.SyntheticConfig{Kind: kind, Tables: tables, Domain: 10, Seed: cfg.Seed})
+		if err != nil {
+			closeAll(out)
+			return nil, err
+		}
+		s, err := openDataset(ds, cfg.frames())
+		if err != nil {
+			closeAll(out)
+			return nil, err
+		}
+		out[kind.String()] = s
+	}
+	return out, nil
+}
+
+func closeAll(m map[string]*session) {
+	for _, s := range m {
+		s.close()
+	}
+}
+
+// Table2 reproduces the ordering-heuristics plan-cost comparison
+// (Table 2): estimated plan cost of each heuristic, with and without the
+// extended space, on the star, multistar and linear views (N=5, domain
+// 10, complete relations), querying the first linear variable.
+func Table2(cfg Config) (*Table, error) {
+	sessions, err := synthSessions(cfg, 5)
+	if err != nil {
+		return nil, err
+	}
+	defer closeAll(sessions)
+	t := &Table{
+		ID:     "table2",
+		Title:  "heuristic plan costs on star/multistar/linear (N=5, domain 10), query x1",
+		Header: []string{"ordering", "star", "multistar", "linear"},
+		Notes:  "expected: VE(deg) catastrophic on star; width best among plain heuristics there; every extended variant matches nonlinear CS+",
+	}
+	for _, o := range table2Optimizers() {
+		row := []string{o.Name()}
+		for _, schema := range []string{"star", "multistar", "linear"} {
+			b, _, err := sessions[schema].explain(o, []string{"x1"})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f2(b.PlanCost))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Table3 reproduces the random-heuristic experiment (Table 3): mean plan
+// cost ± 95% confidence interval over 10 random elimination orders, with
+// and without the extended space.
+func Table3(cfg Config) (*Table, error) {
+	sessions, err := synthSessions(cfg, 5)
+	if err != nil {
+		return nil, err
+	}
+	defer closeAll(sessions)
+	runs := 10
+	t := &Table{
+		ID:     "table3",
+		Title:  fmt.Sprintf("random elimination orders (%d runs): mean cost ± 95%% CI", runs),
+		Header: []string{"ordering", "star", "multistar", "linear"},
+		Notes:  "expected: extension improves the mean but the CS+ optimum stays outside the CI — ordering still matters in the extended space",
+	}
+	for _, ext := range []bool{false, true} {
+		name := "ve(random)"
+		if ext {
+			name += "+ext"
+		}
+		row := []string{name}
+		for _, schema := range []string{"star", "multistar", "linear"} {
+			var costs []float64
+			for r := 0; r < runs; r++ {
+				o := opt.VE{Heuristic: opt.RandomOrder, Extended: ext, Rng: cfg.rng(int64(r) + 7)}
+				b, _, err := sessions[schema].explain(o, []string{"x1"})
+				if err != nil {
+					return nil, err
+				}
+				costs = append(costs, b.PlanCost)
+			}
+			mean, ci := meanCI95(costs)
+			row = append(row, fmt.Sprintf("%.2f ± %.2f", mean, ci))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// meanCI95 returns the sample mean and the 95% confidence half-width
+// using the t distribution with n-1 degrees of freedom (t₉ = 2.262 for
+// the paper's 10 runs).
+func meanCI95(xs []float64) (mean, ci float64) {
+	n := float64(len(xs))
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= n
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	sd := math.Sqrt(ss / (n - 1))
+	tcrit := 2.262 // t_{0.975, 9}
+	if len(xs) != 10 {
+		tcrit = 1.96
+	}
+	return mean, tcrit * sd / math.Sqrt(n)
+}
+
+// Fig10 reproduces the optimization-cost trade-off (Figure 10): for the
+// N=7 views, query every variable in the linear section and report each
+// algorithm's average estimated plan cost against its average
+// optimization time. Points closer to the origin are better.
+func Fig10(cfg Config) (*Table, error) {
+	tables := 7
+	if cfg.Quick {
+		tables = 5
+	}
+	sessions, err := synthSessions(cfg, tables)
+	if err != nil {
+		return nil, err
+	}
+	defer closeAll(sessions)
+	algos := []opt.Optimizer{
+		opt.CS{},
+		opt.CSPlus{Linear: true},
+		opt.CSPlus{},
+		opt.VE{Heuristic: opt.Degree},
+		opt.VE{Heuristic: opt.Degree, Extended: true},
+		opt.VE{Heuristic: opt.Width},
+		opt.VE{Heuristic: opt.Width, Extended: true},
+		opt.VE{Heuristic: opt.ElimCost},
+		opt.VE{Heuristic: opt.ElimCost, Extended: true},
+	}
+	t := &Table{
+		ID:     "fig10",
+		Title:  fmt.Sprintf("optimization trade-off (N=%d): avg plan cost vs avg optimization time", tables),
+		Header: []string{"schema", "algorithm", "avg plan cost", "avg opt ms"},
+		Notes:  "expected: CS far from origin (poor plans); nonlinear plans ~an order cheaper than linear; VE variants optimize faster than nonlinear CS+ at comparable plan quality",
+	}
+	var queryVars []string
+	for i := 1; i <= tables+1; i++ {
+		queryVars = append(queryVars, fmt.Sprintf("x%d", i))
+	}
+	for _, schema := range []string{"star", "multistar", "linear"} {
+		for _, o := range algos {
+			var sumCost float64
+			var sumOpt float64
+			for _, qv := range queryVars {
+				b, _, err := sessions[schema].explain(o, []string{qv})
+				if err != nil {
+					return nil, err
+				}
+				sumCost += b.PlanCost
+				sumOpt += float64(b.Optimize.Microseconds()) / 1000
+			}
+			n := float64(len(queryVars))
+			t.Rows = append(t.Rows, []string{
+				schema, o.Name(), f2(sumCost / n), f2(sumOpt / n),
+			})
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,317 @@
+// Package gen generates the synthetic datasets used throughout the
+// paper's evaluation:
+//
+//   - the supply-chain decision-support schema of Figure 1 with the
+//     cardinalities and domain sizes of Table 1 (scalable, with a density
+//     knob on CTdeals for the Figure 7 experiment);
+//   - the star, linear and multistar MPF views of §7.3 (Figure 6): a
+//     chain of binary relations optionally augmented with hub variables
+//     shared by many tables, with complete functional relations over
+//     small domains.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mpf/internal/catalog"
+	"mpf/internal/relation"
+)
+
+// Dataset bundles generated base relations with the view definition they
+// form.
+type Dataset struct {
+	// Name describes the dataset ("supplychain", "star", ...).
+	Name string
+	// Relations are the base functional relations, in view order.
+	Relations []*relation.Relation
+	// ViewTables lists the base table names (matches Relations order).
+	ViewTables []string
+	// QueryVars suggests interesting query variables (e.g. the linear
+	// section of the synthetic views).
+	QueryVars []string
+}
+
+// Catalog builds a catalog with statistics for every relation and the
+// dataset's view registered under the dataset name.
+func (d *Dataset) Catalog() (*catalog.Catalog, error) {
+	cat := catalog.New()
+	for _, r := range d.Relations {
+		if err := cat.AddTable(catalog.AnalyzeRelation(r)); err != nil {
+			return nil, err
+		}
+	}
+	if err := cat.AddView(&catalog.ViewDef{
+		Name:     d.Name,
+		Tables:   d.ViewTables,
+		Semiring: "sum-product",
+	}); err != nil {
+		return nil, err
+	}
+	return cat, nil
+}
+
+// RelationMap returns the relations keyed by name.
+func (d *Dataset) RelationMap() map[string]*relation.Relation {
+	m := make(map[string]*relation.Relation, len(d.Relations))
+	for _, r := range d.Relations {
+		m[r.Name()] = r
+	}
+	return m
+}
+
+// SupplyChainConfig parameterizes the Figure 1 schema. Scale multiplies
+// both table cardinalities and variable domain sizes of Table 1; the
+// default full-paper instance is Scale=1 (1M-row location table).
+type SupplyChainConfig struct {
+	// Scale shrinks (or grows) the Table 1 instance; 0 defaults to 0.01.
+	Scale float64
+	// DomainScale scales the variable domain sizes; 0 defaults to Scale.
+	// Scaling domains by √Scale keeps the paper's relative table sizes:
+	// at Scale=1 CTdeals (density·cid·tid) is half of Location, but under
+	// linear domain scaling it shrinks quadratically, washing out the
+	// Figure 7 effect.
+	DomainScale float64
+	// CtdealsDensity is the fraction of the cid×tid cross product present
+	// in CTdeals (the Figure 7 sweep knob); 0 defaults to 0.5.
+	CtdealsDensity float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Table 1 of the paper.
+const (
+	basePartIDs        = 100_000
+	baseSupplierIDs    = 10_000
+	baseWarehouseIDs   = 5_000
+	baseContractorIDs  = 1_000
+	baseTransporterIDs = 500
+
+	baseContractsCard = 100_000
+	baseLocationCard  = 1_000_000
+)
+
+func scaled(base int, f float64, min int) int {
+	v := int(float64(base) * f)
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+// SupplyChain generates the decision-support schema:
+//
+//	contracts(pid, sid | cost)        warehouses(wid, cid | w_overhead)
+//	transporters(tid | t_overhead)    location(pid, wid | qty)
+//	ctdeals(cid, tid | ct_discount)
+//
+// The view invest = contracts ⋈* location ⋈* warehouses ⋈* ctdeals ⋈*
+// transporters is the running example (total investment per supply
+// chain). The variable graph is the chain sid–pid–wid–cid–tid, so the
+// schema is acyclic (Figure 13).
+func SupplyChain(cfg SupplyChainConfig) (*Dataset, error) {
+	if cfg.Scale == 0 {
+		cfg.Scale = 0.01
+	}
+	if cfg.Scale < 0 {
+		return nil, fmt.Errorf("gen: negative scale %v", cfg.Scale)
+	}
+	if cfg.DomainScale == 0 {
+		cfg.DomainScale = cfg.Scale
+	}
+	if cfg.DomainScale < 0 {
+		return nil, fmt.Errorf("gen: negative domain scale %v", cfg.DomainScale)
+	}
+	if cfg.CtdealsDensity == 0 {
+		cfg.CtdealsDensity = 0.5
+	}
+	if cfg.CtdealsDensity < 0 || cfg.CtdealsDensity > 1 {
+		return nil, fmt.Errorf("gen: ctdeals density %v outside [0,1]", cfg.CtdealsDensity)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	nPid := scaled(basePartIDs, cfg.DomainScale, 20)
+	nSid := scaled(baseSupplierIDs, cfg.DomainScale, 10)
+	nWid := scaled(baseWarehouseIDs, cfg.DomainScale, 8)
+	nCid := scaled(baseContractorIDs, cfg.DomainScale, 5)
+	nTid := scaled(baseTransporterIDs, cfg.DomainScale, 4)
+
+	pid := relation.Attr{Name: "pid", Domain: nPid}
+	sid := relation.Attr{Name: "sid", Domain: nSid}
+	wid := relation.Attr{Name: "wid", Domain: nWid}
+	cid := relation.Attr{Name: "cid", Domain: nCid}
+	tid := relation.Attr{Name: "tid", Domain: nTid}
+
+	contracts, err := sampleFR(rng, "contracts", []relation.Attr{pid, sid},
+		scaled(baseContractsCard, cfg.Scale, 40), relation.UniformMeasure(1, 100))
+	if err != nil {
+		return nil, err
+	}
+	location, err := sampleFR(rng, "location", []relation.Attr{pid, wid},
+		scaled(baseLocationCard, cfg.Scale, 80), relation.UniformMeasure(1, 50))
+	if err != nil {
+		return nil, err
+	}
+	// Warehouses: every warehouse exists once, operated by a random
+	// contractor, with a storage overhead factor.
+	warehouses, err := relation.New("warehouses", []relation.Attr{wid, cid})
+	if err != nil {
+		return nil, err
+	}
+	for w := 0; w < nWid; w++ {
+		warehouses.MustAppend([]int32{int32(w), int32(rng.Intn(nCid))}, 1+rng.Float64())
+	}
+	// Transporters: complete over tid.
+	transporters, err := relation.Complete("transporters", []relation.Attr{tid},
+		func([]int32) float64 { return 1 + rng.Float64() })
+	if err != nil {
+		return nil, err
+	}
+	// CTdeals: density fraction of the cid×tid cross product.
+	ctdeals, err := relation.Random(rng, "ctdeals", []relation.Attr{cid, tid},
+		cfg.CtdealsDensity, relation.UniformMeasure(0.5, 1))
+	if err != nil {
+		return nil, err
+	}
+
+	return &Dataset{
+		Name:       "invest",
+		Relations:  []*relation.Relation{contracts, location, warehouses, ctdeals, transporters},
+		ViewTables: []string{"contracts", "location", "warehouses", "ctdeals", "transporters"},
+		QueryVars:  []string{"pid", "sid", "wid", "cid", "tid"},
+	}, nil
+}
+
+// sampleFR draws card distinct variable assignments uniformly (without
+// replacement) over the attribute cross product. card is clamped to the
+// cross-product size (beyond which the relation is complete).
+func sampleFR(rng *rand.Rand, name string, attrs []relation.Attr, card int, meas func(*rand.Rand) float64) (*relation.Relation, error) {
+	product := 1
+	for _, a := range attrs {
+		if product > (1<<31)/a.Domain {
+			product = 1 << 31
+			break
+		}
+		product *= a.Domain
+	}
+	if card > product {
+		card = product
+	}
+	r, err := relation.New(name, attrs)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool, card)
+	vals := make([]int32, len(attrs))
+	key := make([]byte, 0, 4*len(attrs))
+	for r.Len() < card {
+		key = key[:0]
+		for i, a := range attrs {
+			vals[i] = int32(rng.Intn(a.Domain))
+			key = append(key, byte(vals[i]), byte(vals[i]>>8), byte(vals[i]>>16), byte(vals[i]>>24))
+		}
+		if seen[string(key)] {
+			continue
+		}
+		seen[string(key)] = true
+		if err := r.Append(vals, meas(rng)); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// SyntheticKind selects a §7.3 view topology.
+type SyntheticKind int
+
+// The three synthetic view topologies of §7.3.
+const (
+	// Linear is a chain of binary relations s_i(x_i, x_{i+1}).
+	Linear SyntheticKind = iota
+	// Star augments the chain with a single hub variable present in every
+	// table (Figure 6).
+	Star
+	// MultiStar augments the chain with several hub variables, each
+	// shared by three consecutive tables.
+	MultiStar
+)
+
+// String returns the topology name.
+func (k SyntheticKind) String() string {
+	switch k {
+	case Linear:
+		return "linear"
+	case Star:
+		return "star"
+	case MultiStar:
+		return "multistar"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// SyntheticConfig parameterizes the §7.3 views.
+type SyntheticConfig struct {
+	Kind SyntheticKind
+	// Tables is N; 0 defaults to 5 (Table 2) — Figure 10 uses 7.
+	Tables int
+	// Domain is every variable's domain size; 0 defaults to 10.
+	Domain int
+	// Seed drives the random measures.
+	Seed int64
+}
+
+// Synthetic builds a §7.3 view: N complete functional relations over
+// domain-size-Domain variables arranged per Kind. The linear-section
+// variables are x1..x{N+1}; hub variables are named h (Star) or h1,h2,…
+// (MultiStar).
+func Synthetic(cfg SyntheticConfig) (*Dataset, error) {
+	if cfg.Tables == 0 {
+		cfg.Tables = 5
+	}
+	if cfg.Tables < 2 {
+		return nil, fmt.Errorf("gen: synthetic views need at least 2 tables, got %d", cfg.Tables)
+	}
+	if cfg.Domain == 0 {
+		cfg.Domain = 10
+	}
+	if cfg.Domain < 2 {
+		return nil, fmt.Errorf("gen: domain must be at least 2, got %d", cfg.Domain)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n, d := cfg.Tables, cfg.Domain
+
+	chain := make([]relation.Attr, n+1)
+	queryVars := make([]string, n+1)
+	for i := range chain {
+		name := fmt.Sprintf("x%d", i+1)
+		chain[i] = relation.Attr{Name: name, Domain: d}
+		queryVars[i] = name
+	}
+
+	ds := &Dataset{Name: cfg.Kind.String(), QueryVars: queryVars}
+	for i := 0; i < n; i++ {
+		attrs := []relation.Attr{chain[i], chain[i+1]}
+		switch cfg.Kind {
+		case Star:
+			attrs = append(attrs, relation.Attr{Name: "h", Domain: d})
+		case MultiStar:
+			// Hub j spans tables 2j..2j+2, so consecutive hubs overlap on
+			// one table and each hub touches exactly three tables. Hubs
+			// whose three-table span does not fit are not created.
+			for j := 0; 2*j+2 <= n-1; j++ {
+				if 2*j <= i && i <= 2*j+2 {
+					attrs = append(attrs, relation.Attr{Name: fmt.Sprintf("h%d", j+1), Domain: d})
+				}
+			}
+		}
+		rel, err := relation.Complete(fmt.Sprintf("s%d", i+1), attrs,
+			func([]int32) float64 { return 0.5 + rng.Float64() })
+		if err != nil {
+			return nil, err
+		}
+		ds.Relations = append(ds.Relations, rel)
+		ds.ViewTables = append(ds.ViewTables, rel.Name())
+	}
+	return ds, nil
+}

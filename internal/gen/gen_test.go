@@ -1,0 +1,212 @@
+package gen
+
+import (
+	"testing"
+
+	"mpf/internal/relation"
+)
+
+func TestSupplyChainShape(t *testing.T) {
+	ds, err := SupplyChain(SupplyChainConfig{Scale: 0.01, CtdealsDensity: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Relations) != 5 {
+		t.Fatalf("want 5 relations, got %d", len(ds.Relations))
+	}
+	m := ds.RelationMap()
+	for _, name := range []string{"contracts", "location", "warehouses", "ctdeals", "transporters"} {
+		r, ok := m[name]
+		if !ok {
+			t.Fatalf("missing relation %s", name)
+		}
+		if r.Len() == 0 {
+			t.Fatalf("relation %s is empty", name)
+		}
+		if err := r.CheckFD(); err != nil {
+			t.Fatalf("relation %s violates FD: %v", name, err)
+		}
+	}
+	// Scaled Table 1 cardinalities: contracts 1000, location 10000.
+	if got := m["contracts"].Len(); got != 1000 {
+		t.Fatalf("contracts card = %d, want 1000", got)
+	}
+	if got := m["location"].Len(); got != 10000 {
+		t.Fatalf("location card = %d, want 10000", got)
+	}
+	// Variable chain sid-pid-wid-cid-tid.
+	if !m["contracts"].Vars().Equal(relation.NewVarSet("pid", "sid")) {
+		t.Fatal("contracts schema wrong")
+	}
+	if !m["warehouses"].Vars().Equal(relation.NewVarSet("wid", "cid")) {
+		t.Fatal("warehouses schema wrong")
+	}
+	if !m["ctdeals"].Vars().Equal(relation.NewVarSet("cid", "tid")) {
+		t.Fatal("ctdeals schema wrong")
+	}
+}
+
+func TestSupplyChainDensityKnob(t *testing.T) {
+	lo, err := SupplyChain(SupplyChainConfig{Scale: 0.02, CtdealsDensity: 0.1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := SupplyChain(SupplyChainConfig{Scale: 0.02, CtdealsDensity: 0.9, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.RelationMap()["ctdeals"].Len() >= hi.RelationMap()["ctdeals"].Len() {
+		t.Fatal("density knob did not change ctdeals cardinality")
+	}
+}
+
+func TestSupplyChainValidation(t *testing.T) {
+	if _, err := SupplyChain(SupplyChainConfig{Scale: -1}); err == nil {
+		t.Fatal("negative scale should error")
+	}
+	if _, err := SupplyChain(SupplyChainConfig{CtdealsDensity: 1.5}); err == nil {
+		t.Fatal("density > 1 should error")
+	}
+}
+
+func TestSupplyChainCatalog(t *testing.T) {
+	ds, err := SupplyChain(SupplyChainConfig{Scale: 0.01, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := ds.Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := cat.View("invest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Tables) != 5 {
+		t.Fatalf("view has %d tables", len(v.Tables))
+	}
+	st, err := cat.Table("location")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Card != 10000 {
+		t.Fatalf("catalog location card = %d", st.Card)
+	}
+}
+
+func TestSyntheticLinear(t *testing.T) {
+	ds, err := Synthetic(SyntheticConfig{Kind: Linear, Tables: 5, Domain: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Relations) != 5 {
+		t.Fatalf("want 5 tables, got %d", len(ds.Relations))
+	}
+	for i, r := range ds.Relations {
+		if !r.IsComplete() {
+			t.Fatalf("table %d not complete", i)
+		}
+		if r.Len() != 100 {
+			t.Fatalf("table %d has %d rows, want 100", i, r.Len())
+		}
+		if r.Arity() != 2 {
+			t.Fatalf("linear table %d arity %d", i, r.Arity())
+		}
+	}
+	// Chain connectivity: s_i shares exactly one variable with s_{i+1}.
+	for i := 0; i+1 < len(ds.Relations); i++ {
+		shared := ds.Relations[i].Vars().Intersect(ds.Relations[i+1].Vars())
+		if len(shared) != 1 {
+			t.Fatalf("tables %d,%d share %v", i, i+1, shared.Sorted())
+		}
+	}
+}
+
+func TestSyntheticStar(t *testing.T) {
+	ds, err := Synthetic(SyntheticConfig{Kind: Star, Tables: 5, Domain: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range ds.Relations {
+		if !r.HasVar("h") {
+			t.Fatalf("star table %d missing hub", i)
+		}
+		if r.Len() != 1000 {
+			t.Fatalf("star table %d has %d rows, want 1000", i, r.Len())
+		}
+	}
+}
+
+func TestSyntheticMultiStar(t *testing.T) {
+	ds, err := Synthetic(SyntheticConfig{Kind: MultiStar, Tables: 5, Domain: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hubs h1 (tables 1-3) and h2 (tables 3-5); each hub in exactly 3
+	// tables.
+	for _, hub := range []string{"h1", "h2"} {
+		count := 0
+		for _, r := range ds.Relations {
+			if r.HasVar(hub) {
+				count++
+			}
+		}
+		if count != 3 {
+			t.Fatalf("hub %s appears in %d tables, want 3", hub, count)
+		}
+	}
+	// No hub var appears in only one table.
+	vars := map[string]int{}
+	for _, r := range ds.Relations {
+		for _, v := range r.VarNames() {
+			vars[v]++
+		}
+	}
+	for v, c := range vars {
+		if v[0] == 'h' && c < 2 {
+			t.Fatalf("hub %s appears in %d tables", v, c)
+		}
+	}
+}
+
+func TestSyntheticValidation(t *testing.T) {
+	if _, err := Synthetic(SyntheticConfig{Tables: 1}); err == nil {
+		t.Fatal("1-table view should error")
+	}
+	if _, err := Synthetic(SyntheticConfig{Domain: 1}); err == nil {
+		t.Fatal("domain 1 should error")
+	}
+}
+
+func TestSyntheticDefaults(t *testing.T) {
+	ds, err := Synthetic(SyntheticConfig{Kind: Star})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Relations) != 5 {
+		t.Fatalf("default N = %d, want 5", len(ds.Relations))
+	}
+	if a, _ := ds.Relations[0].Attr("x1"); a.Domain != 10 {
+		t.Fatalf("default domain = %d, want 10", a.Domain)
+	}
+}
+
+func TestDeterminismAcrossSeeds(t *testing.T) {
+	a, _ := SupplyChain(SupplyChainConfig{Scale: 0.01, Seed: 7})
+	b, _ := SupplyChain(SupplyChainConfig{Scale: 0.01, Seed: 7})
+	for i := range a.Relations {
+		if !relation.Equal(a.Relations[i], b.Relations[i], 0, 0) {
+			t.Fatalf("relation %d differs across identical seeds", i)
+		}
+	}
+	c, _ := SupplyChain(SupplyChainConfig{Scale: 0.01, Seed: 8})
+	same := true
+	for i := range a.Relations {
+		if !relation.Equal(a.Relations[i], c.Relations[i], 0, 0) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical datasets")
+	}
+}

@@ -1,0 +1,235 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"mpf/internal/relation"
+)
+
+// JunctionTree is a tree over cliques of variables satisfying the running
+// intersection property: for any two cliques, their intersection is
+// contained in every clique on the path between them (Theorem 7).
+type JunctionTree struct {
+	// Cliques are the tree nodes.
+	Cliques []relation.VarSet
+	// Edges are index pairs into Cliques, forming a forest.
+	Edges [][2]int
+	// Separators[i] is the variable intersection of Edges[i]'s endpoints.
+	Separators []relation.VarSet
+}
+
+// NumNodes returns the number of cliques.
+func (t *JunctionTree) NumNodes() int { return len(t.Cliques) }
+
+// AdjacencyList returns neighbor indices per clique.
+func (t *JunctionTree) AdjacencyList() [][]int {
+	adj := make([][]int, len(t.Cliques))
+	for _, e := range t.Edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	return adj
+}
+
+// BuildJunctionTree connects the cliques with a maximum-weight spanning
+// forest where edge weight is the separator size. For cliques coming from
+// a triangulated (chordal) graph this yields a junction tree; the running
+// intersection property is verified and an error returned otherwise.
+func BuildJunctionTree(cliques []relation.VarSet) (*JunctionTree, error) {
+	if len(cliques) == 0 {
+		return nil, fmt.Errorf("graph: no cliques")
+	}
+	type cand struct {
+		i, j, w int
+	}
+	var cands []cand
+	for i := 0; i < len(cliques); i++ {
+		for j := i + 1; j < len(cliques); j++ {
+			w := len(cliques[i].Intersect(cliques[j]))
+			if w > 0 {
+				cands = append(cands, cand{i, j, w})
+			}
+		}
+	}
+	// Kruskal, maximum weight first; deterministic tie-break on indices.
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].w != cands[b].w {
+			return cands[a].w > cands[b].w
+		}
+		if cands[a].i != cands[b].i {
+			return cands[a].i < cands[b].i
+		}
+		return cands[a].j < cands[b].j
+	})
+	parent := make([]int, len(cliques))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	t := &JunctionTree{Cliques: cliques}
+	for _, c := range cands {
+		ri, rj := find(c.i), find(c.j)
+		if ri == rj {
+			continue
+		}
+		parent[ri] = rj
+		t.Edges = append(t.Edges, [2]int{c.i, c.j})
+		t.Separators = append(t.Separators, cliques[c.i].Intersect(cliques[c.j]))
+	}
+	if err := t.CheckRunningIntersection(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// CheckRunningIntersection verifies the junction-tree property: for every
+// pair of cliques sharing variables, the shared variables appear in every
+// clique on the tree path between them. Clique pairs in different forest
+// components must share nothing.
+func (t *JunctionTree) CheckRunningIntersection() error {
+	n := len(t.Cliques)
+	adj := t.AdjacencyList()
+	for i := 0; i < n; i++ {
+		// BFS from i, tracking paths.
+		parent := make([]int, n)
+		for k := range parent {
+			parent[k] = -2
+		}
+		parent[i] = -1
+		queue := []int{i}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, nb := range adj[cur] {
+				if parent[nb] == -2 {
+					parent[nb] = cur
+					queue = append(queue, nb)
+				}
+			}
+		}
+		for j := i + 1; j < n; j++ {
+			shared := t.Cliques[i].Intersect(t.Cliques[j])
+			if len(shared) == 0 {
+				continue
+			}
+			if parent[j] == -2 {
+				return fmt.Errorf("graph: cliques %d and %d share %v but are disconnected",
+					i, j, shared.Sorted())
+			}
+			for cur := j; cur != i; cur = parent[cur] {
+				if !t.Cliques[cur].Contains(shared) {
+					return fmt.Errorf("graph: running intersection violated: cliques %d,%d share %v but path clique %d = %v misses it",
+						i, j, shared.Sorted(), cur, t.Cliques[cur].Sorted())
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// SchemaJunctionTree runs the full Junction Tree pipeline of Algorithm 5
+// on a set of relation schemas: build the variable graph, triangulate it
+// (with the given elimination order, or min-fill when order is nil),
+// extract maximal cliques, and connect them into a junction tree. The
+// returned assignment maps each input schema index to the clique index
+// that contains all of its variables (Algorithm 5, step 4).
+func SchemaJunctionTree(schemas []relation.VarSet, order []string) (*JunctionTree, []int, error) {
+	g := VariableGraph(schemas)
+	if order == nil {
+		order = MinFillOrder(g)
+	}
+	_, elimCliques, err := Triangulate(g, order)
+	if err != nil {
+		return nil, nil, err
+	}
+	cliques := MaximalCliques(elimCliques)
+	t, err := BuildJunctionTree(cliques)
+	if err != nil {
+		return nil, nil, err
+	}
+	assign := make([]int, len(schemas))
+	for i, s := range schemas {
+		assign[i] = -1
+		for ci, c := range cliques {
+			if c.Contains(s) {
+				assign[i] = ci
+				break
+			}
+		}
+		if assign[i] < 0 {
+			return nil, nil, fmt.Errorf("graph: schema %d (%v) not contained in any clique", i, s.Sorted())
+		}
+	}
+	return t, assign, nil
+}
+
+// IsAcyclicSchema reports whether the schema hypergraph is α-acyclic, via
+// GYO reduction: repeatedly remove variables occurring in a single schema
+// and schemas contained in other schemas; the schema is acyclic iff the
+// reduction empties it. For MPF views this coincides with Theorem 7's
+// join-tree characterization and (for conformal hypergraphs) with
+// Theorem 8's chordality characterization.
+func IsAcyclicSchema(schemas []relation.VarSet) bool {
+	work := make([]relation.VarSet, 0, len(schemas))
+	for _, s := range schemas {
+		if len(s) > 0 {
+			cp := relation.NewVarSet(s.Sorted()...)
+			work = append(work, cp)
+		}
+	}
+	for {
+		changed := false
+		// Remove variables appearing in exactly one schema (ears).
+		count := make(map[string]int)
+		for _, s := range work {
+			for v := range s {
+				count[v]++
+			}
+		}
+		for _, s := range work {
+			for v := range s {
+				if count[v] == 1 {
+					delete(s, v)
+					changed = true
+				}
+			}
+		}
+		// Remove empty schemas and schemas contained in another.
+		var next []relation.VarSet
+		for i, s := range work {
+			if len(s) == 0 {
+				changed = true
+				continue
+			}
+			contained := false
+			for j, u := range work {
+				if i == j {
+					continue
+				}
+				if u.Contains(s) && (len(u) > len(s) || j < i) {
+					contained = true
+					break
+				}
+			}
+			if contained {
+				changed = true
+				continue
+			}
+			next = append(next, s)
+		}
+		work = next
+		if len(work) == 0 {
+			return true
+		}
+		if !changed {
+			return false
+		}
+	}
+}

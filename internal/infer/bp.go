@@ -1,0 +1,313 @@
+// Package infer implements the paper's workload optimization machinery
+// (§6, Appendix A): Belief Propagation as a semijoin program over an
+// acyclic schema (Algorithm 4), the Junction Tree transformation that
+// makes cyclic schemas acyclic (Algorithm 5), and the VE-cache algorithm
+// (Algorithm 3) that materializes a set of views satisfying the workload
+// correctness invariant (Definition 5), enabling single-variable MPF
+// queries to be answered from small cached tables.
+package infer
+
+import (
+	"fmt"
+	"math"
+
+	"mpf/internal/graph"
+	"mpf/internal/relation"
+	"mpf/internal/semiring"
+)
+
+// Step records one semijoin operation of a BP program, for display in the
+// style of Figures 11 and 12.
+type Step struct {
+	// Target and Source are indices into the relation list.
+	Target, Source int
+	// Update distinguishes the backward pass (⋉, update semijoin) from
+	// the forward pass (⋉*, product semijoin).
+	Update bool
+}
+
+// String renders the step like the paper's figures.
+func (s Step) String() string {
+	if s.Update {
+		return fmt.Sprintf("t%d ⋉ t%d", s.Target+1, s.Source+1)
+	}
+	return fmt.Sprintf("t%d ⋉* t%d", s.Target+1, s.Source+1)
+}
+
+// BPResult holds the updated relations of a Belief Propagation run and
+// the semijoin program that produced them.
+type BPResult struct {
+	Relations []*relation.Relation
+	Program   []Step
+	Tree      *graph.JunctionTree
+}
+
+// BeliefPropagation runs the two-pass message-passing semijoin program of
+// Algorithm 4 over an acyclic schema. The input relations are not
+// modified; updated copies are returned.
+//
+// Correctness requires that absorption follow a join tree of the schema:
+// a table ordering alone (as in the paper's chain example, Figure 11) is
+// only safe when every table shares variables with at most one later
+// table. BeliefPropagation therefore builds a join tree (maximum-weight
+// spanning forest on shared-variable counts, Theorem 7), processes
+// children before parents in the forward pass, and reverses the flow in
+// the backward pass. After the run every relation satisfies the workload
+// correctness invariant of Definition 5 (Theorem 6).
+//
+// The schema must be acyclic (IsAcyclicSchema); cyclic schemas would
+// double-count measures (Appendix A's Stdeals example) and are rejected —
+// apply JunctionTreeSchema first.
+func BeliefPropagation(sr semiring.Semiring, rels []*relation.Relation) (*BPResult, error) {
+	if len(rels) == 0 {
+		return nil, fmt.Errorf("infer: no relations")
+	}
+	if _, ok := sr.(semiring.Divider); !ok {
+		return nil, fmt.Errorf("infer: semiring %s does not support division; belief propagation needs update semijoins", sr.Name())
+	}
+	schemas := make([]relation.VarSet, len(rels))
+	for i, r := range rels {
+		schemas[i] = r.Vars()
+	}
+	if !graph.IsAcyclicSchema(schemas) {
+		return nil, fmt.Errorf("infer: schema is cyclic; run the junction tree algorithm first")
+	}
+	jt, err := graph.BuildJunctionTree(schemas)
+	if err != nil {
+		return nil, fmt.Errorf("infer: schema has no join tree: %w", err)
+	}
+
+	out := make([]*relation.Relation, len(rels))
+	for i, r := range rels {
+		out[i] = r.Clone()
+	}
+	order, parent := rootedPostOrder(jt)
+	res := &BPResult{Relations: out, Tree: jt}
+
+	// Forward (collect) pass: each node absorbs from its children, which
+	// precede it in post-order.
+	for _, j := range order {
+		for _, c := range childrenOf(parent, j) {
+			if len(out[j].Vars().Intersect(out[c].Vars())) == 0 {
+				continue
+			}
+			upd, err := relation.ProductSemijoin(sr, out[j], out[c])
+			if err != nil {
+				return nil, err
+			}
+			upd.SetName(out[j].Name())
+			out[j] = upd
+			res.Program = append(res.Program, Step{Target: j, Source: c})
+		}
+	}
+	// Backward (distribute) pass: children absorb from their parent via
+	// update semijoins, parents first.
+	for k := len(order) - 1; k >= 0; k-- {
+		j := order[k]
+		for _, c := range childrenOf(parent, j) {
+			if len(out[j].Vars().Intersect(out[c].Vars())) == 0 {
+				continue
+			}
+			upd, err := relation.UpdateSemijoin(sr, out[c], out[j])
+			if err != nil {
+				return nil, err
+			}
+			upd.SetName(out[c].Name())
+			out[c] = upd
+			res.Program = append(res.Program, Step{Target: c, Source: j, Update: true})
+		}
+	}
+	return res, nil
+}
+
+// rootedPostOrder roots every component of the forest at its
+// highest-index node and returns a post-order (children before parents)
+// along with the parent array (-1 for roots).
+func rootedPostOrder(jt *graph.JunctionTree) (order []int, parent []int) {
+	n := jt.NumNodes()
+	adj := jt.AdjacencyList()
+	parent = make([]int, n)
+	for i := range parent {
+		parent[i] = -2 // unvisited
+	}
+	for root := n - 1; root >= 0; root-- {
+		if parent[root] != -2 {
+			continue
+		}
+		parent[root] = -1
+		// Iterative DFS post-order.
+		type frame struct {
+			node, next int
+		}
+		stack := []frame{{root, 0}}
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			kids := adj[f.node]
+			advanced := false
+			for f.next < len(kids) {
+				c := kids[f.next]
+				f.next++
+				if parent[c] == -2 {
+					parent[c] = f.node
+					stack = append(stack, frame{c, 0})
+					advanced = true
+					break
+				}
+			}
+			if !advanced {
+				order = append(order, f.node)
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return order, parent
+}
+
+// childrenOf lists the nodes whose parent is j, in increasing order.
+func childrenOf(parent []int, j int) []int {
+	var out []int
+	for c, p := range parent {
+		if p == j {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// CheckInvariant verifies Definition 5 against the ground truth: for
+// every relation s in updated and every variable X of s, marginalizing s
+// onto X must equal marginalizing the full joint (product join of the
+// original base relations) onto X. Intended for tests and assertions on
+// small instances.
+func CheckInvariant(sr semiring.Semiring, base, updated []*relation.Relation, tol float64) error {
+	joint, err := relation.ProductJoinAll(sr, base...)
+	if err != nil {
+		return err
+	}
+	for _, s := range updated {
+		for _, x := range s.Vars().Sorted() {
+			got, err := relation.Marginalize(sr, s, []string{x})
+			if err != nil {
+				return err
+			}
+			want, err := relation.Marginalize(sr, joint, []string{x})
+			if err != nil {
+				return err
+			}
+			if !relation.Equal(got, want, sr.Zero(), tol) {
+				return fmt.Errorf("infer: invariant violated for %s on variable %s", s.Name(), x)
+			}
+		}
+	}
+	return nil
+}
+
+// maxCliqueRelationRows guards Junction Tree clique materialization.
+const maxCliqueRelationRows = 50_000_000
+
+// CliqueSchema is the output of the Junction Tree algorithm: an acyclic
+// schema of clique relations equivalent to the original (cyclic) view.
+type CliqueSchema struct {
+	// Tree is the junction tree over the cliques.
+	Tree *graph.JunctionTree
+	// Relations holds one functional relation per clique, the product
+	// join of the base relations assigned to it (Algorithm 5, step 5).
+	Relations []*relation.Relation
+	// Assignment maps base-relation index to clique index.
+	Assignment []int
+}
+
+// JunctionTreeSchema implements Algorithm 5: build the variable graph,
+// triangulate it with the given elimination order (nil selects min-fill),
+// turn the maximal cliques into a new acyclic schema, assign each base
+// relation to a clique containing its variables, and materialize each
+// clique relation as the product join of its assigned relations, extended
+// by unit measures over any clique variables its assigned relations do
+// not cover.
+func JunctionTreeSchema(sr semiring.Semiring, rels []*relation.Relation, order []string) (*CliqueSchema, error) {
+	if len(rels) == 0 {
+		return nil, fmt.Errorf("infer: no relations")
+	}
+	schemas := make([]relation.VarSet, len(rels))
+	domains := make(map[string]int)
+	for i, r := range rels {
+		schemas[i] = r.Vars()
+		for _, a := range r.Attrs() {
+			if d, ok := domains[a.Name]; ok && d != a.Domain {
+				return nil, fmt.Errorf("infer: variable %s has conflicting domains %d and %d", a.Name, d, a.Domain)
+			}
+			domains[a.Name] = a.Domain
+		}
+	}
+	jt, assign, err := graph.SchemaJunctionTree(schemas, order)
+	if err != nil {
+		return nil, err
+	}
+	out := &CliqueSchema{Tree: jt, Assignment: assign}
+	for ci, clique := range jt.Cliques {
+		var parts []*relation.Relation
+		for ri, a := range assign {
+			if a == ci {
+				parts = append(parts, rels[ri])
+			}
+		}
+		cr, err := materializeClique(sr, clique, parts, domains, ci)
+		if err != nil {
+			return nil, err
+		}
+		out.Relations = append(out.Relations, cr)
+	}
+	return out, nil
+}
+
+// materializeClique product-joins the assigned relations and extends the
+// result with unit measures over missing clique variables.
+func materializeClique(sr semiring.Semiring, clique relation.VarSet, parts []*relation.Relation, domains map[string]int, ci int) (*relation.Relation, error) {
+	name := fmt.Sprintf("c%d", ci+1)
+	var acc *relation.Relation
+	var err error
+	if len(parts) > 0 {
+		acc, err = relation.ProductJoinAll(sr, parts...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Clique variables not covered by assigned relations get a complete
+	// unit-measure relation (the multiplicative identity extension noted
+	// in Definition 1's discussion).
+	var missing []relation.Attr
+	rows := 1.0
+	for _, v := range clique.Sorted() {
+		if acc != nil && acc.HasVar(v) {
+			continue
+		}
+		d, ok := domains[v]
+		if !ok {
+			return nil, fmt.Errorf("infer: no domain known for clique variable %s", v)
+		}
+		missing = append(missing, relation.Attr{Name: v, Domain: d})
+		rows *= float64(d)
+	}
+	if acc != nil {
+		rows *= float64(acc.Len())
+	}
+	if rows > maxCliqueRelationRows || math.IsInf(rows, 1) {
+		return nil, fmt.Errorf("infer: clique %s would materialize ~%.0f rows (limit %d)", name, rows, maxCliqueRelationRows)
+	}
+	if len(missing) > 0 {
+		ones, err := relation.Complete(name+"_ones", missing, func([]int32) float64 { return sr.One() })
+		if err != nil {
+			return nil, err
+		}
+		if acc == nil {
+			acc = ones
+		} else {
+			acc, err = relation.ProductJoin(sr, acc, ones)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	acc.SetName(name)
+	return acc, nil
+}

@@ -1,0 +1,85 @@
+package infer
+
+import (
+	"strings"
+	"testing"
+
+	"mpf/internal/semiring"
+)
+
+// TestFigure11Program checks the BP semijoin program on the paper's
+// acyclic supply-chain schema against the Figure 11 structure: with the
+// chain t—ct—w—l—c, the forward pass performs one product semijoin per
+// join-tree edge pulling information toward the root, and the backward
+// pass mirrors each edge with an update semijoin in reverse order.
+func TestFigure11Program(t *testing.T) {
+	base := chainRelations(t, 101)
+	// Index meanings: 0 contracts(c), 1 location(l), 2 warehouses(w),
+	// 3 ctdeals(ct), 4 transporters(t). The variable chain is
+	// sid–pid–wid–cid–tid, so the join tree is the path 0–1–2–3–4.
+	res, err := BeliefPropagation(semiring.SumProduct, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Program) != 8 {
+		t.Fatalf("program has %d steps, want 8", len(res.Program))
+	}
+	forward := res.Program[:4]
+	backward := res.Program[4:]
+	// Forward steps are product semijoins, backward are update semijoins.
+	for i, s := range forward {
+		if s.Update {
+			t.Fatalf("forward step %d is an update semijoin", i)
+		}
+	}
+	for i, s := range backward {
+		if !s.Update {
+			t.Fatalf("backward step %d is not an update semijoin", i)
+		}
+	}
+	// The edges of the two passes coincide (each edge propagates once in
+	// each direction), and every path edge appears exactly once.
+	edge := func(s Step) [2]int {
+		a, b := s.Target, s.Source
+		if a > b {
+			a, b = b, a
+		}
+		return [2]int{a, b}
+	}
+	fwd := map[[2]int]bool{}
+	for _, s := range forward {
+		fwd[edge(s)] = true
+	}
+	wantEdges := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}}
+	for _, e := range wantEdges {
+		if !fwd[e] {
+			t.Fatalf("forward pass missing chain edge %v; program: %v", e, res.Program)
+		}
+	}
+	for _, s := range backward {
+		if !fwd[edge(s)] {
+			t.Fatalf("backward step %v uses an edge the forward pass did not", s)
+		}
+	}
+	// Backward directions oppose forward directions on every edge.
+	dir := map[[2]int]int{}
+	for _, s := range forward {
+		dir[edge(s)] = s.Target
+	}
+	for _, s := range backward {
+		if dir[edge(s)] == s.Target {
+			t.Fatalf("backward step %v flows the same direction as forward", s)
+		}
+	}
+	// The rendering matches the paper's ⋉*/⋉ notation.
+	var names []string
+	for _, s := range res.Program {
+		names = append(names, s.String())
+	}
+	joined := strings.Join(names, " ")
+	if !strings.Contains(joined, "⋉*") || !strings.Contains(joined, "⋉ ") && !strings.HasSuffix(joined, "⋉ t") {
+		if !strings.Contains(joined, "⋉") {
+			t.Fatalf("program rendering missing semijoin symbols: %s", joined)
+		}
+	}
+}

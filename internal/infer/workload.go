@@ -1,0 +1,89 @@
+package infer
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mpf/internal/graph"
+	"mpf/internal/relation"
+	"mpf/internal/semiring"
+)
+
+// BuildBestVECache searches for a VE-cache that minimizes the §6 workload
+// objective C(S) + E[cost(Q(q,S))]: it builds candidate caches from
+// several elimination orders — min-fill, min-degree, and `extraRandom`
+// random permutations — evaluates each against the workload, and returns
+// the cheapest. Every candidate satisfies the Definition 5 invariant, so
+// the choice only affects cost, never correctness.
+func BuildBestVECache(sr semiring.Semiring, rels []*relation.Relation, workload []WorkloadQuery, extraRandom int, rng *rand.Rand) (*Cache, float64, error) {
+	if len(workload) == 0 {
+		return nil, 0, fmt.Errorf("infer: empty workload")
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	schemas := make([]relation.VarSet, len(rels))
+	for i, r := range rels {
+		schemas[i] = r.Vars()
+	}
+	g := graph.VariableGraph(schemas)
+
+	var orders [][]string
+	orders = append(orders, graph.MinFillOrder(g))
+	orders = append(orders, minDegreeOrder(g))
+	base := g.Vertices()
+	for i := 0; i < extraRandom; i++ {
+		perm := append([]string(nil), base...)
+		rng.Shuffle(len(perm), func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
+		orders = append(orders, perm)
+	}
+
+	var best *Cache
+	bestCost := 0.0
+	for _, order := range orders {
+		cache, err := BuildVECache(sr, rels, order)
+		if err != nil {
+			return nil, 0, err
+		}
+		c, err := cache.WorkloadCost(workload)
+		if err != nil {
+			// A cache that cannot answer part of the workload (variable
+			// eliminated into no surviving table) is not a candidate.
+			continue
+		}
+		if best == nil || c < bestCost {
+			best, bestCost = cache, c
+		}
+	}
+	if best == nil {
+		return nil, 0, fmt.Errorf("infer: no candidate cache can answer the workload")
+	}
+	return best, bestCost, nil
+}
+
+// minDegreeOrder eliminates the vertex with the fewest remaining
+// neighbors first — the classic min-degree triangulation heuristic.
+func minDegreeOrder(g *graph.Undirected) []string {
+	work := g.Clone()
+	var order []string
+	for {
+		vs := work.Vertices()
+		if len(vs) == 0 {
+			return order
+		}
+		best := vs[0]
+		for _, v := range vs[1:] {
+			if work.Degree(v) < work.Degree(best) {
+				best = v
+			}
+		}
+		order = append(order, best)
+		ns := work.Neighbors(best)
+		for i := 0; i < len(ns); i++ {
+			for j := i + 1; j < len(ns); j++ {
+				work.AddEdge(ns[i], ns[j])
+			}
+		}
+		work.RemoveVertex(best)
+	}
+}

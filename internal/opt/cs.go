@@ -1,0 +1,219 @@
+package opt
+
+import (
+	"fmt"
+	"math/bits"
+
+	"mpf/internal/plan"
+	"mpf/internal/relation"
+)
+
+// maxDPTables bounds the table count for the subset dynamic programs; the
+// classic Selinger blow-up (Theorem 2: O(N·2^N) for CS+) makes larger
+// views impractical, which is precisely the regime where VE wins.
+const maxDPTables = 20
+
+// CS is the unmodified Chaudhuri & Shim procedure applied to an MPF
+// query. Because it does not recognize the distributivity of the additive
+// aggregate with the product join (it assumes aggregates over a single
+// column), it cannot push GroupBy nodes into the join tree: the result is
+// the best linear join order with a single root GroupBy (Figure 3).
+type CS struct{}
+
+// Name implements Optimizer.
+func (CS) Name() string { return "cs" }
+
+// Optimize implements Optimizer.
+func (CS) Optimize(q *Query, b *plan.Builder) (*plan.Node, error) {
+	leaves, err := buildLeaves(q, b)
+	if err != nil {
+		return nil, err
+	}
+	top, err := linearJoinDP(b, leaves, nil, false)
+	if err != nil {
+		return nil, err
+	}
+	return finishPlan(b, top, q)
+}
+
+// CSPlus is the paper's CS+ algorithm: the Selinger-style dynamic program
+// extended with the greedy-conservative GroupBy pushdown, aware that the
+// aggregate distributes over the product join. Linear selects the
+// left-linear search space of Algorithm 1; otherwise the nonlinear (bushy)
+// extension of §5.1 is used, comparing four candidates per join (GroupBy
+// on neither side, left only, right only, both).
+type CSPlus struct {
+	Linear bool
+}
+
+// Name implements Optimizer.
+func (o CSPlus) Name() string {
+	if o.Linear {
+		return "cs+linear"
+	}
+	return "cs+nonlinear"
+}
+
+// Optimize implements Optimizer.
+func (o CSPlus) Optimize(q *Query, b *plan.Builder) (*plan.Node, error) {
+	leaves, err := buildLeaves(q, b)
+	if err != nil {
+		return nil, err
+	}
+	var top *plan.Node
+	if o.Linear {
+		top, err = linearJoinDP(b, leaves, q.GroupVars, true)
+	} else {
+		top, err = bushyJoinDP(b, leaves, relation.NewVarSet(), q.GroupVars, true)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return finishPlan(b, top, q)
+}
+
+// linearJoinDP finds the best left-linear join of the leaves. When
+// pushGroupBy is set it applies the CS+ greedy-conservative rule: at each
+// extension it compares joining the accumulated plan directly against
+// joining it with a GroupBy on top (grouping on query variables plus
+// variables shared with not-yet-joined tables), keeping the cheaper.
+func linearJoinDP(b *plan.Builder, leaves []*plan.Node, queryVars []string, pushGroupBy bool) (*plan.Node, error) {
+	n := len(leaves)
+	if n == 0 {
+		return nil, fmt.Errorf("opt: no leaves to join")
+	}
+	if n == 1 {
+		return leaves[0], nil
+	}
+	if n > maxDPTables {
+		return nil, fmt.Errorf("opt: %d tables exceeds DP limit %d", n, maxDPTables)
+	}
+	full := uint64(1)<<n - 1
+	memo := make([]*plan.Node, full+1)
+	for i, leaf := range leaves {
+		memo[uint64(1)<<i] = leaf
+	}
+	// Context vars for a state S: variables of leaves outside S.
+	outsideVars := func(mask uint64) relation.VarSet {
+		s := relation.NewVarSet()
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) == 0 {
+				s = s.Union(leaves[i].Vars())
+			}
+		}
+		return s
+	}
+	// Enumerate states by popcount so predecessors exist.
+	masksByCount := make([][]uint64, n+1)
+	for m := uint64(1); m <= full; m++ {
+		c := bits.OnesCount64(m)
+		masksByCount[c] = append(masksByCount[c], m)
+	}
+	for size := 2; size <= n; size++ {
+		for _, m := range masksByCount[size] {
+			var best *plan.Node
+			for j := 0; j < n; j++ {
+				bit := uint64(1) << j
+				if m&bit == 0 {
+					continue
+				}
+				prev := memo[m&^bit]
+				if prev == nil {
+					continue
+				}
+				cands := []*plan.Node{b.Join(prev, leaves[j])}
+				if pushGroupBy {
+					// Context: leaves not yet joined (including j) plus the
+					// query variables.
+					ctx := outsideVars(m &^ bit)
+					if g := maybeGroup(b, prev, ctx, queryVars); g != nil {
+						cands = append(cands, b.Join(g, leaves[j]))
+					}
+				}
+				best = cheapest(best, cheapest(cands...))
+			}
+			memo[m] = best
+		}
+	}
+	if memo[full] == nil {
+		return nil, fmt.Errorf("opt: linear DP failed to cover all tables")
+	}
+	return memo[full], nil
+}
+
+// bushyJoinDP finds the best nonlinear join of the leaves with optional
+// CS+ GroupBy pushdown (four candidates per split: no GroupBy, left,
+// right, both). extraContext holds variables outside the leaves that must
+// be preserved (used when planning a sub-join whose result joins further
+// relations, as in Variable Elimination).
+func bushyJoinDP(b *plan.Builder, leaves []*plan.Node, extraContext relation.VarSet, queryVars []string, pushGroupBy bool) (*plan.Node, error) {
+	n := len(leaves)
+	if n == 0 {
+		return nil, fmt.Errorf("opt: no leaves to join")
+	}
+	if n == 1 {
+		return leaves[0], nil
+	}
+	if n > maxDPTables {
+		return nil, fmt.Errorf("opt: %d tables exceeds DP limit %d", n, maxDPTables)
+	}
+	full := uint64(1)<<n - 1
+	memo := make([]*plan.Node, full+1)
+	for i, leaf := range leaves {
+		memo[uint64(1)<<i] = leaf
+	}
+	outsideVars := func(mask uint64) relation.VarSet {
+		s := relation.NewVarSet()
+		for k := range extraContext {
+			s[k] = true
+		}
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) == 0 {
+				s = s.Union(leaves[i].Vars())
+			}
+		}
+		return s
+	}
+	masksByCount := make([][]uint64, n+1)
+	for m := uint64(1); m <= full; m++ {
+		masksByCount[bits.OnesCount64(m)] = append(masksByCount[bits.OnesCount64(m)], m)
+	}
+	for size := 2; size <= n; size++ {
+		for _, m := range masksByCount[size] {
+			var best *plan.Node
+			// Enumerate proper submasks; canonicalize by requiring sub to
+			// contain the lowest set bit of m so each split is seen once.
+			low := m & (-m)
+			for sub := (m - 1) & m; sub > 0; sub = (sub - 1) & m {
+				if sub&low == 0 {
+					continue
+				}
+				other := m &^ sub
+				p1, p2 := memo[sub], memo[other]
+				if p1 == nil || p2 == nil {
+					continue
+				}
+				var l2, r2 *plan.Node
+				if pushGroupBy {
+					l2 = maybeGroup(b, p1, outsideVars(sub), queryVars)
+					r2 = maybeGroup(b, p2, outsideVars(other), queryVars)
+				}
+				best = cheapest(best, b.Join(p1, p2))
+				if l2 != nil {
+					best = cheapest(best, b.Join(l2, p2))
+				}
+				if r2 != nil {
+					best = cheapest(best, b.Join(p1, r2))
+				}
+				if l2 != nil && r2 != nil {
+					best = cheapest(best, b.Join(l2, r2))
+				}
+			}
+			memo[m] = best
+		}
+	}
+	if memo[full] == nil {
+		return nil, fmt.Errorf("opt: bushy DP failed to cover all tables")
+	}
+	return memo[full], nil
+}

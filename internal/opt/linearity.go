@@ -1,0 +1,86 @@
+package opt
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mpf/internal/catalog"
+	"mpf/internal/cost"
+	"mpf/internal/plan"
+)
+
+// LinearityTest applies the paper's plan-linearity heuristic (Eq. 1) for
+// a query variable: with σ_X the variable's domain size and σ̂_X the
+// cardinality of the smallest base relation containing it, a linear plan
+// is admissible when σ_X² + σ̂_X·log σ̂_X ≥ σ_X·σ̂_X. When the test fails,
+// nonlinear plans can reduce that relation before joining and the
+// nonlinear search space should be used.
+func LinearityTest(cat *catalog.Catalog, queryVar string) (admissible bool, sigma, sigmaHat float64, err error) {
+	domain, minCard, ok := cat.DomainSize(queryVar)
+	if !ok {
+		return false, 0, 0, fmt.Errorf("opt: variable %s not found in any table", queryVar)
+	}
+	sigma, sigmaHat = float64(domain), float64(minCard)
+	return cost.LinearPlanAdmissible(sigma, sigmaHat), sigma, sigmaHat, nil
+}
+
+// Result pairs an optimized plan with the time spent planning, the two
+// axes of the paper's Figure 10 trade-off.
+type Result struct {
+	Plan     *plan.Node
+	Optimize time.Duration
+}
+
+// Run optimizes q with o, measuring planning time.
+func Run(o Optimizer, q *Query, b *plan.Builder) (Result, error) {
+	start := time.Now()
+	p, err := o.Optimize(q, b)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Plan: p, Optimize: time.Since(start)}, nil
+}
+
+// All returns every optimizer variant evaluated in the paper, in report
+// order. rng seeds the random heuristic (nil for a fixed seed).
+func All(rng *rand.Rand) []Optimizer {
+	return []Optimizer{
+		CS{},
+		CSPlus{Linear: true},
+		CSPlus{},
+		VE{Heuristic: Degree},
+		VE{Heuristic: Degree, Extended: true},
+		VE{Heuristic: Width},
+		VE{Heuristic: Width, Extended: true},
+		VE{Heuristic: ElimCost},
+		VE{Heuristic: ElimCost, Extended: true},
+		VE{Heuristic: DegreeWidth},
+		VE{Heuristic: DegreeWidth, Extended: true},
+		VE{Heuristic: DegreeElimCost},
+		VE{Heuristic: DegreeElimCost, Extended: true},
+		VE{Heuristic: RandomOrder, Rng: rng},
+		VE{Heuristic: RandomOrder, Extended: true, Rng: rng},
+	}
+}
+
+// ByName resolves an optimizer by its report name, e.g. "cs+nonlinear" or
+// "ve(deg)+ext".
+func ByName(name string) (Optimizer, error) {
+	for _, o := range All(nil) {
+		if o.Name() == name {
+			return o, nil
+		}
+	}
+	return nil, fmt.Errorf("opt: unknown optimizer %q", name)
+}
+
+// Names lists the report names of all optimizer variants.
+func Names() []string {
+	all := All(nil)
+	names := make([]string, len(all))
+	for i, o := range all {
+		names[i] = o.Name()
+	}
+	return names
+}

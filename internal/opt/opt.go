@@ -1,0 +1,170 @@
+// Package opt implements the MPF query optimizers studied in the paper:
+//
+//   - CS: Chaudhuri & Shim's aggregate-query optimizer as it behaves on
+//     MPF queries without product-join awareness — the best join order
+//     with a single GroupBy at the root (paper Figure 3).
+//   - CS+: the paper's extension that verifies distributivity of the
+//     aggregate with the product join and applies the greedy-conservative
+//     GroupBy pushdown during a Selinger-style dynamic program, in both
+//     left-linear and nonlinear (bushy) variants (§5, §5.1).
+//   - VE: Variable Elimination cast as relational planning (Algorithm 2),
+//     with the degree, width, elimination-cost, and random ordering
+//     heuristics and their combinations (§5.5).
+//   - VE+: the extended-space Variable Elimination of §5.4 that delays
+//     elimination and uses CS+-style cost-based local GroupBy decisions,
+//     closing most of the gap to nonlinear CS+ (Theorem 3).
+//
+// All optimizers take a Query plus a plan.Builder (catalog + cost model)
+// and return a logical plan whose estimated TotalCost is comparable
+// across optimizers.
+package opt
+
+import (
+	"fmt"
+
+	"mpf/internal/plan"
+	"mpf/internal/relation"
+)
+
+// Query is an MPF query: aggregate the product join of the view's tables
+// onto the group variables, optionally restricted by equality predicates
+// (the paper's basic, restricted-answer and constrained-domain forms).
+type Query struct {
+	// Tables are the base relations of the MPF view.
+	Tables []string
+	// GroupVars are the query variables X.
+	GroupVars []string
+	// Pred holds equality constraints (may mention query variables —
+	// restricted answer set — or others — constrained domain).
+	Pred relation.Predicate
+}
+
+// Optimizer turns a query into a plan.
+type Optimizer interface {
+	// Name identifies the optimizer in experiment reports.
+	Name() string
+	// Optimize returns an executable plan for q.
+	Optimize(q *Query, b *plan.Builder) (*plan.Node, error)
+}
+
+// buildLeaves constructs one leaf plan per base table: a scan with any
+// applicable equality selections pushed on top. It also validates that
+// every query and predicate variable occurs somewhere in the view.
+func buildLeaves(q *Query, b *plan.Builder) ([]*plan.Node, error) {
+	if len(q.Tables) == 0 {
+		return nil, fmt.Errorf("opt: query has no base tables")
+	}
+	seen := make(map[string]bool, len(q.Tables))
+	leaves := make([]*plan.Node, 0, len(q.Tables))
+	allVars := relation.NewVarSet()
+	for _, t := range q.Tables {
+		if seen[t] {
+			return nil, fmt.Errorf("opt: table %s appears twice in view", t)
+		}
+		seen[t] = true
+		scan, err := b.Scan(t)
+		if err != nil {
+			return nil, err
+		}
+		leaf := scan
+		pred := make(relation.Predicate)
+		for v, val := range q.Pred {
+			if scan.Vars()[v] {
+				pred[v] = val
+			}
+		}
+		if len(pred) > 0 {
+			leaf, err = b.Select(scan, pred)
+			if err != nil {
+				return nil, err
+			}
+		}
+		allVars = allVars.Union(scan.Vars())
+		leaves = append(leaves, leaf)
+	}
+	for _, v := range q.GroupVars {
+		if !allVars[v] {
+			return nil, fmt.Errorf("opt: query variable %s not in view", v)
+		}
+	}
+	for v := range q.Pred {
+		if !allVars[v] {
+			return nil, fmt.Errorf("opt: predicate variable %s not in view", v)
+		}
+	}
+	return leaves, nil
+}
+
+// safeGroupVars returns the variables of node that must be preserved when
+// inserting a GroupBy above it: the query variables plus any variable
+// shared with the rest of the query (context), per the correctness
+// condition of Chaudhuri & Shim's transformation.
+func safeGroupVars(node *plan.Node, context relation.VarSet, queryVars []string) []string {
+	keep := relation.NewVarSet()
+	for v := range node.Vars() {
+		if context[v] {
+			keep[v] = true
+		}
+	}
+	for _, v := range queryVars {
+		if node.Vars()[v] {
+			keep[v] = true
+		}
+	}
+	return keep.Sorted()
+}
+
+// maybeGroup returns a GroupBy of node onto safe variables when that
+// actually drops at least one variable; otherwise nil.
+func maybeGroup(b *plan.Builder, node *plan.Node, context relation.VarSet, queryVars []string) *plan.Node {
+	safe := safeGroupVars(node, context, queryVars)
+	if len(safe) == len(node.Vars()) {
+		return nil
+	}
+	g, err := b.GroupBy(node, safe)
+	if err != nil {
+		return nil
+	}
+	return g
+}
+
+// finishPlan adds the root GroupBy onto the query variables. A root
+// GroupBy is always required: even if the top node's variables already
+// equal X, intermediate product joins may have produced duplicate
+// assignments that the final aggregation must collapse — except when the
+// top node is itself a GroupBy onto exactly X, which already did so.
+func finishPlan(b *plan.Builder, top *plan.Node, q *Query) (*plan.Node, error) {
+	want := relation.NewVarSet(q.GroupVars...)
+	if top.Op == plan.OpGroupBy && want.Equal(top.Vars()) {
+		return top, nil
+	}
+	return b.GroupBy(top, q.GroupVars)
+}
+
+// cheapest returns the lowest-TotalCost non-nil plan.
+func cheapest(cands ...*plan.Node) *plan.Node {
+	var best *plan.Node
+	for _, c := range cands {
+		if c == nil {
+			continue
+		}
+		if best == nil || c.TotalCost < best.TotalCost {
+			best = c
+		}
+	}
+	return best
+}
+
+// varsOfNodes unions the variable sets of the given nodes.
+func varsOfNodes(nodes []*plan.Node) relation.VarSet {
+	s := relation.NewVarSet()
+	for _, n := range nodes {
+		s = s.Union(n.Vars())
+	}
+	return s
+}
+
+// sortedVarList returns the union of variables of nodes as a sorted list.
+func sortedVarList(nodes []*plan.Node) []string {
+	return varsOfNodes(nodes).Sorted()
+}

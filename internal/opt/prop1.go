@@ -1,0 +1,38 @@
+package opt
+
+import (
+	"mpf/internal/catalog"
+	"mpf/internal/relation"
+)
+
+// Prop1Removable implements Proposition 1: a variable Y of the view can
+// be removed by projection rather than aggregation — and therefore need
+// not be considered for elimination — when, for every base relation of
+// the view, a key FD X_i → s_i[f] is declared with Y ∉ X_i. A sufficient
+// condition is that each base relation has a primary key and Y is not
+// part of any of them: then no relation holds more than one row per
+// assignment of its non-Y attributes, so marginalizing Y out merges
+// nothing and GroupBy coincides with projection.
+//
+// Variables that appear in a relation with no declared key (where only
+// the trivial all-attributes key is known) are never removable.
+func Prop1Removable(cat *catalog.Catalog, tables []string) (relation.VarSet, error) {
+	removable := relation.NewVarSet()
+	blocked := relation.NewVarSet()
+	for _, t := range tables {
+		st, err := cat.Table(t)
+		if err != nil {
+			return nil, err
+		}
+		key := st.KeyVars()
+		declared := len(st.Key) > 0
+		for v := range st.Vars() {
+			if key[v] || !declared {
+				blocked[v] = true
+				continue
+			}
+			removable[v] = true
+		}
+	}
+	return removable.Minus(blocked), nil
+}

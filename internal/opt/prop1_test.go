@@ -1,0 +1,117 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+
+	"mpf/internal/catalog"
+	"mpf/internal/cost"
+	"mpf/internal/plan"
+	"mpf/internal/relation"
+	"mpf/internal/semiring"
+)
+
+// keyedFixture builds a view where variable "region" is functionally
+// determined (wid → region) and appears in no key, so Proposition 1
+// removes it; "wid" is a key member and is not removable.
+func keyedFixture(t *testing.T) (*catalog.Catalog, map[string]*relation.Relation) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(31))
+	// warehouses(wid, region | f): one row per wid, region = wid mod 2.
+	wh := relation.MustNew("warehouses",
+		[]relation.Attr{{Name: "wid", Domain: 6}, {Name: "region", Domain: 2}})
+	for w := 0; w < 6; w++ {
+		wh.MustAppend([]int32{int32(w), int32(w % 2)}, 1+rng.Float64())
+	}
+	// location(pid, wid | f): complete.
+	loc, _ := relation.Complete("location",
+		[]relation.Attr{{Name: "pid", Domain: 4}, {Name: "wid", Domain: 6}},
+		func([]int32) float64 { return rng.Float64() + 0.5 })
+	cat := catalog.New()
+	st := catalog.AnalyzeRelation(wh)
+	st.Key = []string{"wid"}
+	if err := cat.AddTable(st); err != nil {
+		t.Fatal(err)
+	}
+	st2 := catalog.AnalyzeRelation(loc)
+	st2.Key = []string{"pid", "wid"}
+	if err := cat.AddTable(st2); err != nil {
+		t.Fatal(err)
+	}
+	return cat, map[string]*relation.Relation{"warehouses": wh, "location": loc}
+}
+
+func TestProp1Removable(t *testing.T) {
+	cat, _ := keyedFixture(t)
+	rem, err := Prop1Removable(cat, []string{"warehouses", "location"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rem["region"] {
+		t.Fatalf("region should be removable, got %v", rem.Sorted())
+	}
+	if rem["wid"] || rem["pid"] {
+		t.Fatalf("key variables must not be removable: %v", rem.Sorted())
+	}
+	if _, err := Prop1Removable(cat, []string{"ghost"}); err == nil {
+		t.Fatal("unknown table should error")
+	}
+}
+
+func TestProp1BlockedWithoutDeclaredKeys(t *testing.T) {
+	cat := catalog.New()
+	r := relation.MustNew("t", []relation.Attr{{Name: "a", Domain: 2}, {Name: "b", Domain: 2}})
+	r.MustAppend([]int32{0, 0}, 1)
+	cat.AddTable(catalog.AnalyzeRelation(r)) // no Key declared
+	rem, err := Prop1Removable(cat, []string{"t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rem) != 0 {
+		t.Fatalf("nothing should be removable without declared keys: %v", rem.Sorted())
+	}
+}
+
+// TestVEWithFDSkipCorrect verifies that skipping Proposition 1 variables
+// still yields the oracle answer, and that the variable indeed gets no
+// dedicated elimination (the plan drops it via safe grouping).
+func TestVEWithFDSkipCorrect(t *testing.T) {
+	cat, rels := keyedFixture(t)
+	b := plan.NewBuilder(cat, cost.Simple{})
+	q := &Query{Tables: []string{"warehouses", "location"}, GroupVars: []string{"pid"}}
+	for _, o := range []Optimizer{
+		VE{Heuristic: Degree, UseFDs: true},
+		VE{Heuristic: Width, Extended: true, UseFDs: true},
+	} {
+		p, err := o.Optimize(q, b)
+		if err != nil {
+			t.Fatalf("%s: %v", o.Name(), err)
+		}
+		got, err := plan.Eval(p, plan.MapResolver(rels), semiring.SumProduct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		joint, _ := relation.ProductJoin(semiring.SumProduct, rels["warehouses"], rels["location"])
+		want, _ := relation.Marginalize(semiring.SumProduct, joint, []string{"pid"})
+		if !relation.Equal(got, want, 0, 1e-9) {
+			t.Fatalf("%s: FD-skip plan wrong", o.Name())
+		}
+	}
+}
+
+func TestVEFDNameSuffix(t *testing.T) {
+	o := VE{Heuristic: Degree, Extended: true, UseFDs: true}
+	if o.Name() != "ve(deg)+ext+fd" {
+		t.Fatalf("Name = %q", o.Name())
+	}
+}
+
+func TestCatalogRejectsBadKey(t *testing.T) {
+	cat := catalog.New()
+	r := relation.MustNew("t", []relation.Attr{{Name: "a", Domain: 2}})
+	st := catalog.AnalyzeRelation(r)
+	st.Key = []string{"nope"}
+	if err := cat.AddTable(st); err == nil {
+		t.Fatal("key over unknown attribute should error")
+	}
+}

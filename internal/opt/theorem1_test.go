@@ -1,0 +1,164 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+
+	"mpf/internal/catalog"
+	"mpf/internal/cost"
+	"mpf/internal/plan"
+	"mpf/internal/relation"
+	"mpf/internal/semiring"
+)
+
+// permutations returns all orderings of xs (xs must be small).
+func permutations(xs []string) [][]string {
+	if len(xs) <= 1 {
+		return [][]string{append([]string(nil), xs...)}
+	}
+	var out [][]string
+	for i := range xs {
+		rest := make([]string, 0, len(xs)-1)
+		rest = append(rest, xs[:i]...)
+		rest = append(rest, xs[i+1:]...)
+		for _, p := range permutations(rest) {
+			out = append(out, append([]string{xs[i]}, p...))
+		}
+	}
+	return out
+}
+
+// TestTheorem1ExhaustiveOrders validates the Theorem 1/3 plan-space
+// relationships constructively on random small views, over EVERY
+// elimination order:
+//
+//   - every VE and VE+ plan computes the correct answer;
+//   - VE+ is never worse than VE for the same order (the §5.4 guarantee);
+//   - CS+ is at least as good as the typical VE+ order (the inclusion
+//     GDLPlan(VE+) ⊆ GDLPlan(CS+) concerns the space CS+ *considers*;
+//     its greedy-conservative per-state choice can occasionally commit
+//     to a locally cheaper subplan that a specific VE+ order avoids, so
+//     the comparison is asserted statistically, not per order).
+func TestTheorem1ExhaustiveOrders(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	totalOrders, cspNoWorse := 0, 0
+	for trial := 0; trial < 8; trial++ {
+		rels := randomSchema(rng, 3, 4)
+		cat := catalog.New()
+		relMap := map[string]*relation.Relation{}
+		var tables []string
+		allVars := relation.NewVarSet()
+		for _, r := range rels {
+			if err := cat.AddTable(catalog.AnalyzeRelation(r)); err != nil {
+				t.Fatal(err)
+			}
+			relMap[r.Name()] = r
+			tables = append(tables, r.Name())
+			allVars = allVars.Union(r.Vars())
+		}
+		varList := allVars.Sorted()
+		queryVar := varList[rng.Intn(len(varList))]
+		q := &Query{Tables: tables, GroupVars: []string{queryVar}}
+		b := plan.NewBuilder(cat, cost.Simple{})
+
+		csp, err := CSPlus{}.Optimize(q, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		joint, err := relation.ProductJoinAll(semiring.SumProduct, rels...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := relation.Marginalize(semiring.SumProduct, joint, q.GroupVars)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		elim := relation.NewVarSet(varList...).Minus(relation.NewVarSet(queryVar)).Sorted()
+		if len(elim) > 4 {
+			elim = elim[:4] // bound 4! orders; the remainder is appended lexicographically
+		}
+		for _, order := range permutations(elim) {
+			pVE, err := VE{Order: order}.Optimize(q, b)
+			if err != nil {
+				t.Fatalf("trial %d order %v: VE: %v", trial, order, err)
+			}
+			pVEx, err := VE{Order: order, Extended: true}.Optimize(q, b)
+			if err != nil {
+				t.Fatalf("trial %d order %v: VE+: %v", trial, order, err)
+			}
+			if pVEx.TotalCost > pVE.TotalCost*(1+1e-9) {
+				t.Fatalf("trial %d order %v: VE+ (%v) worse than VE (%v)",
+					trial, order, pVEx.TotalCost, pVE.TotalCost)
+			}
+			totalOrders++
+			if csp.TotalCost <= pVEx.TotalCost*(1+1e-9) {
+				cspNoWorse++
+			} else if csp.TotalCost > pVEx.TotalCost*2 {
+				t.Fatalf("trial %d order %v: CS+ (%v) more than 2x worse than VE+ (%v)",
+					trial, order, csp.TotalCost, pVEx.TotalCost)
+			}
+			for name, p := range map[string]*plan.Node{"ve": pVE, "ve+": pVEx} {
+				got, err := plan.Eval(p, plan.MapResolver(relMap), semiring.SumProduct)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !relation.Equal(got, want, 0, 1e-9) {
+					t.Fatalf("trial %d order %v: %s plan wrong", trial, order, name)
+				}
+			}
+		}
+	}
+	// The paper's empirical claim (§5.4): CS+ "rarely" misses plans VE+
+	// reaches. Tiny random views exaggerate the greedy's misses compared
+	// to the paper's structured views (where Table 2 shows exact matches),
+	// so the bar here is a majority rather than near-unanimity; the
+	// structured-view equality is asserted separately in
+	// TestExtendedVEMatchesNonlinearCSPlusOnSyntheticViews.
+	if frac := float64(cspNoWorse) / float64(totalOrders); frac < 0.6 {
+		t.Fatalf("CS+ no worse than VE+ on only %.0f%% of %d orders; expected the majority",
+			frac*100, totalOrders)
+	}
+}
+
+// TestVEFixedOrderRespected: the plan eliminates exactly in the given
+// order (observable through determinism: same order, same plan; distinct
+// orders can differ).
+func TestVEFixedOrderRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(302))
+	rels := randomSchema(rng, 3, 4)
+	cat := catalog.New()
+	var tables []string
+	allVars := relation.NewVarSet()
+	for _, r := range rels {
+		cat.AddTable(catalog.AnalyzeRelation(r))
+		tables = append(tables, r.Name())
+		allVars = allVars.Union(r.Vars())
+	}
+	varList := allVars.Sorted()
+	q := &Query{Tables: tables, GroupVars: []string{varList[0]}}
+	b := plan.NewBuilder(cat, cost.Simple{})
+	order := varList[1:]
+	p1, err := VE{Order: order}.Optimize(q, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := VE{Order: order}.Optimize(q, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.TotalCost != p2.TotalCost {
+		t.Fatal("fixed order should be deterministic")
+	}
+	// An order containing extraneous variables is tolerated.
+	padded := append([]string{"not_a_var"}, order...)
+	if _, err := (VE{Order: padded}).Optimize(q, b); err != nil {
+		t.Fatalf("extraneous order entries should be skipped: %v", err)
+	}
+	// A short order falls back to heuristic choice for the rest.
+	if len(order) > 1 {
+		if _, err := (VE{Order: order[:1]}).Optimize(q, b); err != nil {
+			t.Fatalf("short order should complete heuristically: %v", err)
+		}
+	}
+}

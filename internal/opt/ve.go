@@ -1,0 +1,332 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"mpf/internal/plan"
+	"mpf/internal/relation"
+)
+
+// Heuristic selects the next variable to eliminate (paper §5.5).
+type Heuristic int
+
+// Elimination-ordering heuristics.
+const (
+	// Degree estimates the size of the post-elimination relation (the
+	// product of distinct counts of the eliminated variable's neighbors)
+	// and picks the variable minimizing it.
+	Degree Heuristic = iota
+	// Width estimates the size of the pre-elimination relation (the join
+	// of all relations containing the variable).
+	Width
+	// ElimCost estimates the cost of the plan that eliminates the
+	// variable, using the cost model on a fixed linear join order (the
+	// paper's deliberate overestimate).
+	ElimCost
+	// RandomOrder picks uniformly at random (paper §7.3, Table 3).
+	RandomOrder
+	// DegreeWidth combines Degree and Width by normalizing each estimate
+	// by the maximum among candidates and multiplying.
+	DegreeWidth
+	// DegreeElimCost combines Degree and ElimCost the same way.
+	DegreeElimCost
+)
+
+// String returns the heuristic's report name.
+func (h Heuristic) String() string {
+	switch h {
+	case Degree:
+		return "deg"
+	case Width:
+		return "width"
+	case ElimCost:
+		return "elim_cost"
+	case RandomOrder:
+		return "random"
+	case DegreeWidth:
+		return "deg&width"
+	case DegreeElimCost:
+		return "deg&elim_cost"
+	default:
+		return fmt.Sprintf("heuristic(%d)", int(h))
+	}
+}
+
+// VE is the Variable Elimination optimizer (Algorithm 2). With Extended
+// set it becomes the paper's VE+ (§5.4): elimination is delayed and the
+// joinplan for each variable uses the CS+ greedy-conservative local
+// GroupBy decisions over a nonlinear search, extending GDLPlan(VE) toward
+// GDLPlan(CS+) (Theorem 3).
+type VE struct {
+	Heuristic Heuristic
+	Extended  bool
+	// UseFDs enables the Proposition 1 preprocessing: variables outside
+	// every declared base-relation key are removed from the elimination
+	// candidates, since projecting them away is free (§5.4).
+	UseFDs bool
+	// Order, when non-empty, fixes the elimination order explicitly and
+	// overrides Heuristic. Variables not in the candidate set are
+	// skipped; candidates missing from Order are eliminated afterwards in
+	// lexicographic order.
+	Order []string
+	// Rng drives RandomOrder; nil uses a fixed seed so plans are
+	// reproducible.
+	Rng *rand.Rand
+}
+
+// Name implements Optimizer.
+func (o VE) Name() string {
+	n := "ve(" + o.Heuristic.String() + ")"
+	if o.Extended {
+		n += "+ext"
+	}
+	if o.UseFDs {
+		n += "+fd"
+	}
+	return n
+}
+
+// Optimize implements Optimizer.
+func (o VE) Optimize(q *Query, b *plan.Builder) (*plan.Node, error) {
+	leaves, err := buildLeaves(q, b)
+	if err != nil {
+		return nil, err
+	}
+	rng := o.Rng
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	queryVars := relation.NewVarSet(q.GroupVars...)
+
+	// S: current set of relations (plans). V: variables to eliminate.
+	s := append([]*plan.Node(nil), leaves...)
+	v := varsOfNodes(leaves).Minus(queryVars)
+	if o.UseFDs {
+		// Proposition 1: variables outside every declared key introduce no
+		// row multiplicity, so their removal is projection, not
+		// aggregation — drop them from the elimination candidates and let
+		// the safe-grouping GroupBys discard them for free.
+		removable, err := Prop1Removable(b.Cat, q.Tables)
+		if err != nil {
+			return nil, err
+		}
+		v = v.Minus(removable)
+	}
+
+	fixed := append([]string(nil), o.Order...)
+	for len(v) > 0 {
+		var vj string
+		if len(fixed) > 0 {
+			vj, fixed = fixed[0], fixed[1:]
+			if !v[vj] {
+				continue
+			}
+		} else {
+			vj = o.pickVariable(b, v, s, q.GroupVars, rng)
+		}
+		var rels, rest []*plan.Node
+		for _, n := range s {
+			if n.Vars()[vj] {
+				rels = append(rels, n)
+			} else {
+				rest = append(rest, n)
+			}
+		}
+		delete(v, vj)
+		if len(rels) == 0 {
+			// Variable already dropped by an earlier GroupBy (possible in
+			// the extended space).
+			continue
+		}
+		ctx := varsOfNodes(rest)
+		// joinplan for rels(vj): plain VE uses pure join search; VE+ uses
+		// the CS+ greedy-conservative search that may interpose GroupBy
+		// nodes on join operands (delaying or anticipating eliminations,
+		// §5.4). The remaining relations plus the query variables form the
+		// preservation context.
+		p, err := bushyJoinDP(b, rels, ctx, q.GroupVars, o.Extended)
+		if err != nil {
+			return nil, err
+		}
+		// Eliminating GroupBy: keep exactly the variables still needed —
+		// those shared with the remaining relations plus query variables.
+		// This both eliminates vj and drops variables local to this join
+		// (the behaviour behind the paper's star-schema account of the
+		// degree heuristic, §7.3). Skip it when the joinplan's top is
+		// already grouped to the safe set.
+		keep := safeGroupVars(p, ctx, q.GroupVars)
+		if !(p.Op == plan.OpGroupBy && p.Vars().Equal(relation.NewVarSet(keep...))) {
+			p, err = b.GroupBy(p, keep)
+			if err != nil {
+				return nil, err
+			}
+		}
+		s = append(rest, p)
+	}
+
+	// Join whatever remains (relations over query variables only) and add
+	// the root GroupBy.
+	var top *plan.Node
+	var err2 error
+	if o.Extended {
+		top, err2 = bushyJoinDP(b, s, relation.NewVarSet(), q.GroupVars, true)
+	} else {
+		top, err2 = bushyJoinDP(b, s, relation.NewVarSet(), q.GroupVars, false)
+	}
+	if err2 != nil {
+		return nil, err2
+	}
+	return finishPlan(b, top, q)
+}
+
+// pickVariable applies the ordering heuristic to the candidate set.
+func (o VE) pickVariable(b *plan.Builder, v relation.VarSet, s []*plan.Node, queryVars []string, rng *rand.Rand) string {
+	cands := v.Sorted()
+	if len(cands) == 1 {
+		return cands[0]
+	}
+	if o.Heuristic == RandomOrder {
+		return cands[rng.Intn(len(cands))]
+	}
+	deg := make([]float64, len(cands))
+	wid := make([]float64, len(cands))
+	ec := make([]float64, len(cands))
+	for i, cand := range cands {
+		deg[i], wid[i], ec[i] = scoreVariable(b, cand, s, queryVars)
+	}
+	var score []float64
+	switch o.Heuristic {
+	case Degree:
+		score = deg
+	case Width:
+		score = wid
+	case ElimCost:
+		score = ec
+	case DegreeWidth:
+		score = combine(deg, wid)
+	case DegreeElimCost:
+		score = combine(deg, ec)
+	default:
+		score = deg
+	}
+	best := 0
+	for i := 1; i < len(cands); i++ {
+		if score[i] < score[best] {
+			best = i
+		}
+	}
+	return cands[best]
+}
+
+// combine normalizes each estimate vector by its maximum and multiplies
+// them elementwise (the paper's footnote-1 combination rule).
+func combine(a, b []float64) []float64 {
+	maxA, maxB := 0.0, 0.0
+	for i := range a {
+		maxA = math.Max(maxA, a[i])
+		maxB = math.Max(maxB, b[i])
+	}
+	if maxA == 0 {
+		maxA = 1
+	}
+	if maxB == 0 {
+		maxB = 1
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = (a[i] / maxA) * (b[i] / maxB)
+	}
+	return out
+}
+
+// scoreVariable computes the degree, width and elimination-cost estimates
+// for eliminating cand from the current relation set s.
+//
+// Distinct-count estimates come from the current plan nodes (so earlier
+// selections and eliminations are reflected). Width is the size estimate
+// of the pre-elimination relation: the domain product over all variables
+// of rels(cand). Degree estimates the post-elimination relation, which
+// keeps only the variables still needed afterwards — those shared with
+// the relations not being joined plus the query variables; on a star view
+// this is what makes degree favor the hub variable (its post-elimination
+// relation holds just the query variable, §7.3) even though joining all
+// its tables is expensive. Elim-cost is the modeled cost of a
+// size-ordered linear join of rels(cand) followed by the eliminating
+// aggregation (the paper's deliberate overestimate).
+func scoreVariable(b *plan.Builder, cand string, s []*plan.Node, queryVars []string) (deg, wid, ec float64) {
+	var rels, rest []*plan.Node
+	for _, n := range s {
+		if n.Vars()[cand] {
+			rels = append(rels, n)
+		} else {
+			rest = append(rest, n)
+		}
+	}
+	if len(rels) == 0 {
+		return 0, 0, 0
+	}
+	// Distinct estimate per variable: minimum across containing nodes.
+	distinct := func(v string) float64 {
+		d := math.Inf(1)
+		for _, n := range rels {
+			if dv, ok := n.Est.Distinct[v]; ok && dv < d {
+				d = dv
+			}
+		}
+		if math.IsInf(d, 1) {
+			return 1
+		}
+		return math.Max(d, 1)
+	}
+	vars := varsOfNodes(rels)
+	wid = 1
+	for v := range vars {
+		wid *= distinct(v)
+		if wid > 1e300 {
+			wid = 1e300
+			break
+		}
+	}
+	// Variables that survive the elimination: needed by other relations or
+	// by the query itself.
+	needed := varsOfNodes(rest).Union(relation.NewVarSet(queryVars...))
+	deg = 1
+	for v := range vars {
+		if v == cand || !needed[v] {
+			continue
+		}
+		deg *= distinct(v)
+		if deg > 1e300 {
+			deg = 1e300
+			break
+		}
+	}
+	// Elimination-cost overestimate: linear join in increasing size order.
+	ordered := append([]*plan.Node(nil), rels...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Est.Card < ordered[j].Est.Card })
+	acc := ordered[0]
+	base := acc.TotalCost
+	for _, n := range ordered[1:] {
+		base += n.TotalCost
+		acc = b.Join(acc, n)
+	}
+	keep := relation.NewVarSet()
+	for v := range acc.Vars() {
+		if v != cand && needed[v] {
+			keep[v] = true
+		}
+	}
+	if g, err := b.GroupBy(acc, keep.Sorted()); err == nil {
+		acc = g
+	}
+	// Charge only the work of this elimination, not the (sunk) cost of
+	// producing the operand relations.
+	ec = acc.TotalCost - base
+	if ec < 0 {
+		ec = 0
+	}
+	return deg, wid, ec
+}

@@ -1,0 +1,70 @@
+package plan
+
+import (
+	"math/rand"
+	"testing"
+
+	"mpf/internal/catalog"
+	"mpf/internal/cost"
+	"mpf/internal/relation"
+	"mpf/internal/semiring"
+)
+
+// TestCardinalityEstimateCalibration executes random plans and compares
+// the optimizer's cardinality estimates against actual row counts. The
+// containment/uniformity assumptions make estimates approximate, but on
+// uniform random data they must stay within an order of magnitude — the
+// regime in which cost-based choices remain meaningful.
+func TestCardinalityEstimateCalibration(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	var worst float64 = 1
+	for trial := 0; trial < 25; trial++ {
+		a, _ := relation.Random(rng, "a",
+			[]relation.Attr{{Name: "x", Domain: 8}, {Name: "y", Domain: 6}},
+			0.4+rng.Float64()*0.6, relation.UniformMeasure(0.1, 2))
+		b, _ := relation.Random(rng, "b",
+			[]relation.Attr{{Name: "y", Domain: 6}, {Name: "z", Domain: 8}},
+			0.4+rng.Float64()*0.6, relation.UniformMeasure(0.1, 2))
+		cat := catalog.New()
+		cat.AddTable(catalog.AnalyzeRelation(a))
+		cat.AddTable(catalog.AnalyzeRelation(b))
+		bld := NewBuilder(cat, cost.Simple{})
+		sa, _ := bld.Scan("a")
+		sb, _ := bld.Scan("b")
+		rels := map[string]*relation.Relation{"a": a, "b": b}
+
+		check := func(n *Node) {
+			t.Helper()
+			got, err := Eval(n, MapResolver(rels), semiring.SumProduct)
+			if err != nil {
+				t.Fatal(err)
+			}
+			actual := float64(got.Len())
+			est := n.Est.Card
+			if actual == 0 {
+				return // zero-row outcomes are legitimately unpredictable
+			}
+			ratio := est / actual
+			if ratio < 1 {
+				ratio = 1 / ratio
+			}
+			if ratio > worst {
+				worst = ratio
+			}
+			if ratio > 10 {
+				t.Fatalf("trial %d: estimate %.1f vs actual %.0f (ratio %.1f) for\n%s",
+					trial, est, actual, ratio, n)
+			}
+		}
+
+		j := bld.Join(sa, sb)
+		check(j)
+		g, _ := bld.GroupBy(j, []string{"x"})
+		check(g)
+		sel, _ := bld.Select(sa, relation.Predicate{"x": int32(rng.Intn(8))})
+		check(sel)
+		g2, _ := bld.GroupBy(sa, []string{"y"})
+		check(g2)
+	}
+	t.Logf("worst estimate/actual ratio over all trials: %.2f", worst)
+}

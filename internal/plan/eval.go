@@ -1,0 +1,60 @@
+package plan
+
+import (
+	"fmt"
+
+	"mpf/internal/relation"
+	"mpf/internal/semiring"
+)
+
+// Resolver maps base-table names to in-memory relations for Eval.
+type Resolver func(table string) (*relation.Relation, error)
+
+// MapResolver adapts a map of relations into a Resolver.
+func MapResolver(rels map[string]*relation.Relation) Resolver {
+	return func(name string) (*relation.Relation, error) {
+		r, ok := rels[name]
+		if !ok {
+			return nil, fmt.Errorf("plan: unknown base table %q", name)
+		}
+		return r, nil
+	}
+}
+
+// Eval interprets the plan directly over in-memory relations using the
+// extended algebra. It is the engine-free execution mode: exact same
+// semantics as internal/exec but without paging, useful for small inputs,
+// tests, and as the oracle for the physical engine.
+func Eval(n *Node, resolve Resolver, sr semiring.Semiring) (*relation.Relation, error) {
+	if n == nil {
+		return nil, fmt.Errorf("plan: eval of nil node")
+	}
+	switch n.Op {
+	case OpScan:
+		return resolve(n.Table)
+	case OpSelect:
+		in, err := Eval(n.Left, resolve, sr)
+		if err != nil {
+			return nil, err
+		}
+		return relation.Select(in, n.Pred)
+	case OpJoin:
+		l, err := Eval(n.Left, resolve, sr)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Eval(n.Right, resolve, sr)
+		if err != nil {
+			return nil, err
+		}
+		return relation.ProductJoin(sr, l, r)
+	case OpGroupBy:
+		in, err := Eval(n.Left, resolve, sr)
+		if err != nil {
+			return nil, err
+		}
+		return relation.Marginalize(sr, in, n.GroupVars)
+	default:
+		return nil, fmt.Errorf("plan: eval of unknown op %v", n.Op)
+	}
+}

@@ -1,0 +1,358 @@
+package relation
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mpf/internal/semiring"
+)
+
+// key encodes the values of the given columns of a row as a compact string
+// suitable for use as a hash-map key.
+func key(row []int32, cols []int) string {
+	buf := make([]byte, 4*len(cols))
+	for i, c := range cols {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(row[c]))
+	}
+	return string(buf)
+}
+
+// ProductJoin computes s₁ ⋈* s₂ (Definition 2): the natural join on the
+// shared variable attributes, with the result measure being the semiring
+// product of the operand measures. The output schema is Var(s₁) ∪ Var(s₂)
+// in the order: all of a's attributes, then b's attributes not in a.
+// If the operands share no variables the result is their cross product,
+// which is the correct semantics for combining independent factors.
+func ProductJoin(sr semiring.Semiring, a, b *Relation) (*Relation, error) {
+	shared := a.Vars().Intersect(b.Vars()).Sorted()
+	aCols := make([]int, len(shared))
+	bCols := make([]int, len(shared))
+	for i, v := range shared {
+		ai, bi := a.ColIndex(v), b.ColIndex(v)
+		da, _ := a.Attr(v)
+		db, _ := b.Attr(v)
+		if da.Domain != db.Domain {
+			return nil, fmt.Errorf("product join %s ⋈* %s: variable %s has domain %d vs %d",
+				a.Name(), b.Name(), v, da.Domain, db.Domain)
+		}
+		aCols[i], bCols[i] = ai, bi
+	}
+
+	// Output schema: a's attrs, then b's attrs not shared.
+	outAttrs := append([]Attr(nil), a.attrs...)
+	var bExtraCols []int
+	for i, attr := range b.attrs {
+		if !a.HasVar(attr.Name) {
+			outAttrs = append(outAttrs, attr)
+			bExtraCols = append(bExtraCols, i)
+		}
+	}
+	out, err := New(fmt.Sprintf("(%s⋈*%s)", a.Name(), b.Name()), outAttrs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Build hash table on the smaller operand.
+	build, probe := a, b
+	buildCols, probeCols := aCols, bCols
+	swapped := false
+	if b.Len() < a.Len() {
+		build, probe = b, a
+		buildCols, probeCols = bCols, aCols
+		swapped = true
+	}
+	ht := make(map[string][]int, build.Len())
+	for i := 0; i < build.Len(); i++ {
+		k := key(build.Row(i), buildCols)
+		ht[k] = append(ht[k], i)
+	}
+
+	row := make([]int32, len(outAttrs))
+	emit := func(ra, rb int) {
+		copy(row, a.Row(ra))
+		rbRow := b.Row(rb)
+		for i, c := range bExtraCols {
+			row[len(a.attrs)+i] = rbRow[c]
+		}
+		out.appendRaw(row, sr.Mul(a.Measure(ra), b.Measure(rb)))
+	}
+	for i := 0; i < probe.Len(); i++ {
+		k := key(probe.Row(i), probeCols)
+		for _, j := range ht[k] {
+			if swapped {
+				emit(i, j) // probe is a, build is b
+			} else {
+				emit(j, i)
+			}
+		}
+	}
+	return out, nil
+}
+
+// ProductJoinAll folds ProductJoin over all relations left to right.
+// An empty input is invalid.
+func ProductJoinAll(sr semiring.Semiring, rels ...*Relation) (*Relation, error) {
+	if len(rels) == 0 {
+		return nil, fmt.Errorf("ProductJoinAll: no relations")
+	}
+	acc := rels[0]
+	var err error
+	for _, r := range rels[1:] {
+		acc, err = ProductJoin(sr, acc, r)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+// Marginalize computes γ_keep(r): group on the attributes named in keep
+// (which must all exist in r) and fold the measure with the semiring's
+// additive operation. The output attribute order follows r's schema order
+// restricted to keep. Marginalizing onto all of r's variables collapses
+// duplicate variable assignments, restoring the FR functional dependency.
+func Marginalize(sr semiring.Semiring, r *Relation, keep []string) (*Relation, error) {
+	cols := make([]int, 0, len(keep))
+	seen := make(map[string]bool, len(keep))
+	for _, v := range keep {
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		c := r.ColIndex(v)
+		if c < 0 {
+			return nil, fmt.Errorf("marginalize %s: no variable %s", r.Name(), v)
+		}
+		cols = append(cols, c)
+	}
+	// Preserve schema order.
+	for i := 1; i < len(cols); i++ {
+		for j := i; j > 0 && cols[j-1] > cols[j]; j-- {
+			cols[j-1], cols[j] = cols[j], cols[j-1]
+		}
+	}
+
+	outAttrs := make([]Attr, len(cols))
+	for i, c := range cols {
+		outAttrs[i] = r.attrs[c]
+	}
+	out, err := New(fmt.Sprintf("γ(%s)", r.Name()), outAttrs)
+	if err != nil {
+		return nil, err
+	}
+
+	type group struct {
+		row int // output row index
+	}
+	groups := make(map[string]group, r.Len())
+	rowBuf := make([]int32, len(cols))
+	for i := 0; i < r.Len(); i++ {
+		row := r.Row(i)
+		k := key(row, cols)
+		if g, ok := groups[k]; ok {
+			out.measures[g.row] = sr.Add(out.measures[g.row], r.Measure(i))
+			continue
+		}
+		for j, c := range cols {
+			rowBuf[j] = row[c]
+		}
+		out.appendRaw(rowBuf, r.Measure(i))
+		groups[k] = group{row: out.Len() - 1}
+	}
+	return out, nil
+}
+
+// MarginalizeOut removes the given variables: γ_{Var(r) \ drop}(r).
+func MarginalizeOut(sr semiring.Semiring, r *Relation, drop ...string) (*Relation, error) {
+	dropSet := NewVarSet(drop...)
+	keep := make([]string, 0, r.Arity())
+	for _, a := range r.attrs {
+		if !dropSet[a.Name] {
+			keep = append(keep, a.Name)
+		}
+	}
+	return Marginalize(sr, r, keep)
+}
+
+// Predicate is a conjunction of equality constraints variable = value.
+type Predicate map[string]int32
+
+// Select returns the rows of r satisfying all equality constraints in p.
+// Constraint variables must exist in r.
+func Select(r *Relation, p Predicate) (*Relation, error) {
+	cols := make([]int, 0, len(p))
+	want := make([]int32, 0, len(p))
+	for v, val := range p {
+		c := r.ColIndex(v)
+		if c < 0 {
+			return nil, fmt.Errorf("select on %s: no variable %s", r.Name(), v)
+		}
+		cols = append(cols, c)
+		want = append(want, val)
+	}
+	out, err := New(fmt.Sprintf("σ(%s)", r.Name()), r.attrs)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < r.Len(); i++ {
+		row := r.Row(i)
+		match := true
+		for j, c := range cols {
+			if row[c] != want[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			out.appendRaw(row, r.Measure(i))
+		}
+	}
+	return out, nil
+}
+
+// ProductSemijoin computes t ⋉* s (Definition 6):
+//
+//	t ⋉* s = t ⋈* γ_{U, AGG(s[f])}(s),  U = Var(t) ∩ Var(s).
+//
+// The result has t's schema; each t measure is multiplied by the marginal
+// of s over the shared variables.
+func ProductSemijoin(sr semiring.Semiring, t, s *Relation) (*Relation, error) {
+	u := t.Vars().Intersect(s.Vars())
+	if len(u) == 0 {
+		return nil, fmt.Errorf("product semijoin %s ⋉* %s: no shared variables", t.Name(), s.Name())
+	}
+	sm, err := Marginalize(sr, s, u.Sorted())
+	if err != nil {
+		return nil, err
+	}
+	out, err := ProductJoin(sr, t, sm)
+	if err != nil {
+		return nil, err
+	}
+	out.SetName(fmt.Sprintf("(%s⋉*%s)", t.Name(), s.Name()))
+	return out, nil
+}
+
+// divisionJoin is the ⋈: operator: defined exactly like product join but
+// combining measures with semiring division instead of multiplication.
+func divisionJoin(sr semiring.Semiring, a, b *Relation) (*Relation, error) {
+	div, ok := sr.(semiring.Divider)
+	if !ok {
+		return nil, fmt.Errorf("division join: semiring %s does not support division", sr.Name())
+	}
+	shared := a.Vars().Intersect(b.Vars()).Sorted()
+	if len(shared) == 0 {
+		return nil, fmt.Errorf("division join %s ⋈: %s: no shared variables", a.Name(), b.Name())
+	}
+	aCols := make([]int, len(shared))
+	bCols := make([]int, len(shared))
+	for i, v := range shared {
+		aCols[i], bCols[i] = a.ColIndex(v), b.ColIndex(v)
+	}
+	outAttrs := append([]Attr(nil), a.attrs...)
+	var bExtraCols []int
+	for i, attr := range b.attrs {
+		if !a.HasVar(attr.Name) {
+			outAttrs = append(outAttrs, attr)
+			bExtraCols = append(bExtraCols, i)
+		}
+	}
+	out, err := New(fmt.Sprintf("(%s⋈:%s)", a.Name(), b.Name()), outAttrs)
+	if err != nil {
+		return nil, err
+	}
+	ht := make(map[string][]int, b.Len())
+	for i := 0; i < b.Len(); i++ {
+		ht[key(b.Row(i), bCols)] = append(ht[key(b.Row(i), bCols)], i)
+	}
+	row := make([]int32, len(outAttrs))
+	for i := 0; i < a.Len(); i++ {
+		k := key(a.Row(i), aCols)
+		for _, j := range ht[k] {
+			copy(row, a.Row(i))
+			rbRow := b.Row(j)
+			for x, c := range bExtraCols {
+				row[len(a.attrs)+x] = rbRow[c]
+			}
+			out.appendRaw(row, div.Div(a.Measure(i), b.Measure(j)))
+		}
+	}
+	return out, nil
+}
+
+// UpdateSemijoin computes t ⋉ s (Definition 6):
+//
+//	t ⋉ s = t ⋈* ( γ_U(s) ⋈: γ_U(t) )
+//
+// i.e. t's measure is multiplied by the marginal of s over the shared
+// variables U divided by t's own marginal over U. Belief Propagation's
+// backward pass uses this so that the information t itself propagated
+// forward into s (and which is therefore contained in γ_U(s)) is not
+// counted twice when t absorbs s's marginal.
+//
+// The paper's Definition 6 displays the division operands in the order
+// γ_U(t) ⋈: γ_U(s); its worked example (t ⋉ ct in Appendix A) divides
+// s's marginal by t's, which is the form implemented here and the one
+// under which Theorem 6 (BP correctness) holds.
+func UpdateSemijoin(sr semiring.Semiring, t, s *Relation) (*Relation, error) {
+	u := t.Vars().Intersect(s.Vars())
+	if len(u) == 0 {
+		return nil, fmt.Errorf("update semijoin %s ⋉ %s: no shared variables", t.Name(), s.Name())
+	}
+	us := u.Sorted()
+	sm, err := Marginalize(sr, s, us)
+	if err != nil {
+		return nil, err
+	}
+	tm, err := Marginalize(sr, t, us)
+	if err != nil {
+		return nil, err
+	}
+	ratio, err := divisionJoin(sr, sm, tm)
+	if err != nil {
+		return nil, err
+	}
+	out, err := ProductJoin(sr, t, ratio)
+	if err != nil {
+		return nil, err
+	}
+	out.SetName(fmt.Sprintf("(%s⋉%s)", t.Name(), s.Name()))
+	return out, nil
+}
+
+// Project returns r restricted to the named attributes WITHOUT aggregating
+// duplicate rows (classical projection with bag-to-set collapse on
+// identical (vars, measure) pairs is not performed; duplicates are kept).
+// Use Marginalize for the MPF semantics. Project exists to express
+// Proposition 1, where projection and marginalization coincide.
+func Project(r *Relation, keep []string) (*Relation, error) {
+	cols := make([]int, len(keep))
+	attrs := make([]Attr, len(keep))
+	for i, v := range keep {
+		c := r.ColIndex(v)
+		if c < 0 {
+			return nil, fmt.Errorf("project %s: no variable %s", r.Name(), v)
+		}
+		cols[i] = c
+		attrs[i] = r.attrs[c]
+	}
+	out, err := New(fmt.Sprintf("π(%s)", r.Name()), attrs)
+	if err != nil {
+		return nil, err
+	}
+	row := make([]int32, len(cols))
+	seen := make(map[string]bool, r.Len())
+	for i := 0; i < r.Len(); i++ {
+		src := r.Row(i)
+		for j, c := range cols {
+			row[j] = src[c]
+		}
+		k := key(src, cols)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out.appendRaw(row, r.Measure(i))
+	}
+	return out, nil
+}

@@ -1,0 +1,177 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+
+	"mpf/internal/semiring"
+)
+
+// randFR draws a random functional relation over the given attributes.
+func randFR(rng *rand.Rand, name string, attrs []Attr) *Relation {
+	r, err := Random(rng, name, attrs, 0.5+rng.Float64()*0.5, UniformMeasure(0.1, 4))
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// TestMarginalizeAllVarsIsIdentity: grouping an FR on all of its
+// variables changes nothing (each group has one row).
+func TestMarginalizeAllVarsIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 30; trial++ {
+		r := randFR(rng, "r", []Attr{{Name: "a", Domain: 3}, {Name: "b", Domain: 4}})
+		for _, sr := range semiring.All() {
+			m, err := Marginalize(sr, r, r.VarNames())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !Equal(m, r, sr.Zero(), 1e-12) {
+				t.Fatalf("trial %d %s: γ over all vars changed the relation", trial, sr.Name())
+			}
+		}
+	}
+}
+
+// TestJoinWithUnitRelationExtendsDomain: joining with a complete all-ones
+// relation over a fresh variable replicates each row per new value
+// without changing measures.
+func TestJoinWithUnitRelationExtendsDomain(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for _, sr := range []semiring.Semiring{semiring.SumProduct, semiring.MinSum, semiring.MaxProduct} {
+		r := randFR(rng, "r", []Attr{{Name: "a", Domain: 3}})
+		ones, err := Complete("u", []Attr{{Name: "z", Domain: 4}}, func([]int32) float64 { return sr.One() })
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := ProductJoin(sr, r, ones)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.Len() != r.Len()*4 {
+			t.Fatalf("%s: extension produced %d rows, want %d", sr.Name(), j.Len(), r.Len()*4)
+		}
+		// Marginalizing z back out: each measure is the Add-fold of its 4
+		// identical copies (Mul with One leaves measures unchanged) — a
+		// no-op for min/max semirings, a ×4 for sum-product.
+		back, err := MarginalizeOut(sr, j, "z")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := New("w", r.Attrs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < r.Len(); i++ {
+			acc := sr.Zero()
+			for k := 0; k < 4; k++ {
+				acc = sr.Add(acc, r.Measure(i))
+			}
+			want.MustAppend(append([]int32(nil), r.Row(i)...), acc)
+		}
+		if !Equal(back, want, sr.Zero(), 1e-9) {
+			t.Fatalf("%s: marginalizing the unit extension is not a 4-fold Add", sr.Name())
+		}
+	}
+}
+
+// TestSelectCommutesWithMarginalize: selecting on a kept variable before
+// or after marginalization gives the same result.
+func TestSelectCommutesWithMarginalize(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 30; trial++ {
+		r := randFR(rng, "r", []Attr{{Name: "a", Domain: 3}, {Name: "b", Domain: 3}, {Name: "c", Domain: 3}})
+		val := int32(rng.Intn(3))
+		// σ_{a=v}(γ_{a}(r)) == γ_{a}(σ_{a=v}(r)).
+		m1, err := Marginalize(semiring.SumProduct, r, []string{"a"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s1, err := Select(m1, Predicate{"a": val})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := Select(r, Predicate{"a": val})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, err := Marginalize(semiring.SumProduct, s2, []string{"a"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(s1, m2, 0, 1e-9) {
+			t.Fatalf("trial %d: select does not commute with marginalize", trial)
+		}
+	}
+}
+
+// TestSelectDistributesOverJoin: σ applies to either side of a product
+// join when the variable belongs to that side.
+func TestSelectDistributesOverJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	for trial := 0; trial < 30; trial++ {
+		a := randFR(rng, "a", []Attr{{Name: "x", Domain: 3}, {Name: "y", Domain: 3}})
+		b := randFR(rng, "b", []Attr{{Name: "y", Domain: 3}, {Name: "z", Domain: 3}})
+		val := int32(rng.Intn(3))
+		j, err := ProductJoin(semiring.SumProduct, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, err := Select(j, Predicate{"y": val})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sa, _ := Select(a, Predicate{"y": val})
+		sb, _ := Select(b, Predicate{"y": val})
+		pushed, err := ProductJoin(semiring.SumProduct, sa, sb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(after, pushed, 0, 1e-9) {
+			t.Fatalf("trial %d: selection pushdown changed the join", trial)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	r, _ := FromRows("r", []Attr{{Name: "a", Domain: 2}},
+		[][]int32{{0}, {1}}, []float64{3, 1})
+	if err := r.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Measure(0) != 0.75 || r.Measure(1) != 0.25 {
+		t.Fatalf("normalized to %v, %v", r.Measure(0), r.Measure(1))
+	}
+	zero, _ := FromRows("z", []Attr{{Name: "a", Domain: 2}}, [][]int32{{0}}, []float64{0})
+	if err := zero.Normalize(); err == nil {
+		t.Fatal("zero total should error")
+	}
+}
+
+// TestProductSemijoinReducesNeverGrows: t ⋉* s has exactly the rows of t
+// whose shared values appear in s.
+func TestProductSemijoinReducesNeverGrows(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 30; trial++ {
+		a := randFR(rng, "a", []Attr{{Name: "x", Domain: 4}, {Name: "y", Domain: 3}})
+		b := randFR(rng, "b", []Attr{{Name: "y", Domain: 3}, {Name: "z", Domain: 4}})
+		sj, err := ProductSemijoin(semiring.SumProduct, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sj.Len() > a.Len() {
+			t.Fatalf("trial %d: semijoin grew %d -> %d", trial, a.Len(), sj.Len())
+		}
+		// Each surviving row's y must appear in b.
+		yVals := map[int32]bool{}
+		for i := 0; i < b.Len(); i++ {
+			yVals[b.Value(i, b.ColIndex("y"))] = true
+		}
+		for i := 0; i < sj.Len(); i++ {
+			if !yVals[sj.Value(i, sj.ColIndex("y"))] {
+				t.Fatalf("trial %d: semijoin kept a dangling row", trial)
+			}
+		}
+	}
+}

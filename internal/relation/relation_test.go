@@ -1,0 +1,525 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+
+	"mpf/internal/semiring"
+)
+
+func attrsABC() []Attr {
+	return []Attr{{"A", 2}, {"B", 3}, {"C", 2}}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("r", []Attr{{"", 2}}); err == nil {
+		t.Fatal("empty attribute name should error")
+	}
+	if _, err := New("r", []Attr{{"A", 0}}); err == nil {
+		t.Fatal("zero domain should error")
+	}
+	if _, err := New("r", []Attr{{"A", 2}, {"A", 2}}); err == nil {
+		t.Fatal("duplicate attribute should error")
+	}
+	r, err := New("r", attrsABC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Arity() != 3 || r.Len() != 0 {
+		t.Fatalf("unexpected shape: arity %d len %d", r.Arity(), r.Len())
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	r := MustNew("r", attrsABC())
+	if err := r.Append([]int32{0, 1}, 1); err == nil {
+		t.Fatal("wrong arity should error")
+	}
+	if err := r.Append([]int32{0, 3, 0}, 1); err == nil {
+		t.Fatal("out-of-domain value should error")
+	}
+	if err := r.Append([]int32{-1, 0, 0}, 1); err == nil {
+		t.Fatal("negative value should error")
+	}
+	if err := r.Append([]int32{1, 2, 1}, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 || r.Measure(0) != 0.5 || r.Value(0, 1) != 2 {
+		t.Fatal("row not stored correctly")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	r := MustNew("r", attrsABC())
+	r.MustAppend([]int32{0, 0, 0}, 1)
+	c := r.Clone()
+	c.SetMeasure(0, 99)
+	c.MustAppend([]int32{1, 1, 1}, 2)
+	if r.Measure(0) != 1 || r.Len() != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestSortDeterministic(t *testing.T) {
+	r := MustNew("r", []Attr{{"A", 3}, {"B", 3}})
+	r.MustAppend([]int32{2, 0}, 1)
+	r.MustAppend([]int32{0, 1}, 2)
+	r.MustAppend([]int32{0, 0}, 3)
+	r.MustAppend([]int32{1, 2}, 4)
+	r.Sort()
+	want := [][]int32{{0, 0}, {0, 1}, {1, 2}, {2, 0}}
+	wantM := []float64{3, 2, 4, 1}
+	for i := range want {
+		if r.Value(i, 0) != want[i][0] || r.Value(i, 1) != want[i][1] || r.Measure(i) != wantM[i] {
+			t.Fatalf("row %d = %v|%v, want %v|%v", i, r.Row(i), r.Measure(i), want[i], wantM[i])
+		}
+	}
+}
+
+func TestProductJoinBasic(t *testing.T) {
+	// s1(A,B), s2(B,C); join on B, measures multiply.
+	s1, _ := FromRows("s1", []Attr{{"A", 2}, {"B", 2}},
+		[][]int32{{0, 0}, {0, 1}, {1, 1}}, []float64{2, 3, 5})
+	s2, _ := FromRows("s2", []Attr{{"B", 2}, {"C", 2}},
+		[][]int32{{0, 0}, {1, 0}, {1, 1}}, []float64{7, 11, 13})
+	j, err := ProductJoin(semiring.SumProduct, s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := FromRows("want", []Attr{{"A", 2}, {"B", 2}, {"C", 2}},
+		[][]int32{{0, 0, 0}, {0, 1, 0}, {0, 1, 1}, {1, 1, 0}, {1, 1, 1}},
+		[]float64{14, 33, 39, 55, 65})
+	if !Equal(j, want, 0, 1e-12) {
+		t.Fatalf("join mismatch:\n%v\nwant\n%v", j, want)
+	}
+	if err := j.CheckFD(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProductJoinNoSharedVarsIsCrossProduct(t *testing.T) {
+	s1, _ := FromRows("s1", []Attr{{"A", 2}}, [][]int32{{0}, {1}}, []float64{2, 3})
+	s2, _ := FromRows("s2", []Attr{{"B", 2}}, [][]int32{{0}, {1}}, []float64{5, 7})
+	j, err := ProductJoin(semiring.SumProduct, s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 4 {
+		t.Fatalf("cross product has %d rows, want 4", j.Len())
+	}
+	want, _ := FromRows("w", []Attr{{"A", 2}, {"B", 2}},
+		[][]int32{{0, 0}, {0, 1}, {1, 0}, {1, 1}}, []float64{10, 14, 15, 21})
+	if !Equal(j, want, 0, 1e-12) {
+		t.Fatal("cross product measures wrong")
+	}
+}
+
+func TestProductJoinDomainMismatch(t *testing.T) {
+	s1 := MustNew("s1", []Attr{{"A", 2}})
+	s2 := MustNew("s2", []Attr{{"A", 3}})
+	if _, err := ProductJoin(semiring.SumProduct, s1, s2); err == nil {
+		t.Fatal("domain mismatch should error")
+	}
+}
+
+func TestProductJoinCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		a, _ := Random(rng, "a", []Attr{{"X", 3}, {"Y", 2}}, 0.7, UniformMeasure(0, 5))
+		b, _ := Random(rng, "b", []Attr{{"Y", 2}, {"Z", 3}}, 0.7, UniformMeasure(0, 5))
+		ab, err := ProductJoin(semiring.SumProduct, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ba, err := ProductJoin(semiring.SumProduct, b, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(ab, ba, 0, 1e-9) {
+			t.Fatalf("trial %d: a⋈*b != b⋈*a", trial)
+		}
+	}
+}
+
+func TestProductJoinAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 25; trial++ {
+		a, _ := Random(rng, "a", []Attr{{"X", 2}, {"Y", 2}}, 0.8, UniformMeasure(0, 3))
+		b, _ := Random(rng, "b", []Attr{{"Y", 2}, {"Z", 2}}, 0.8, UniformMeasure(0, 3))
+		c, _ := Random(rng, "c", []Attr{{"Z", 2}, {"W", 2}}, 0.8, UniformMeasure(0, 3))
+		left, err := ProductJoinAll(semiring.SumProduct, a, b, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bc, err := ProductJoin(semiring.SumProduct, b, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		right, err := ProductJoin(semiring.SumProduct, a, bc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(left, right, 0, 1e-9) {
+			t.Fatalf("trial %d: (a⋈*b)⋈*c != a⋈*(b⋈*c)", trial)
+		}
+	}
+}
+
+func TestMarginalizeBasic(t *testing.T) {
+	r, _ := FromRows("r", []Attr{{"A", 2}, {"B", 2}},
+		[][]int32{{0, 0}, {0, 1}, {1, 0}, {1, 1}}, []float64{1, 2, 3, 4})
+	m, err := Marginalize(semiring.SumProduct, r, []string{"A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := FromRows("w", []Attr{{"A", 2}}, [][]int32{{0}, {1}}, []float64{3, 7})
+	if !Equal(m, want, 0, 1e-12) {
+		t.Fatalf("marginal mismatch:\n%v", m)
+	}
+	// Min-aggregation.
+	mm, err := Marginalize(semiring.MinProduct, r, []string{"B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMin, _ := FromRows("w", []Attr{{"B", 2}}, [][]int32{{0}, {1}}, []float64{1, 2})
+	if !Equal(mm, wantMin, semiring.MinProduct.Zero(), 1e-12) {
+		t.Fatalf("min marginal mismatch:\n%v", mm)
+	}
+}
+
+func TestMarginalizeUnknownVar(t *testing.T) {
+	r := MustNew("r", attrsABC())
+	if _, err := Marginalize(semiring.SumProduct, r, []string{"Q"}); err == nil {
+		t.Fatal("unknown variable should error")
+	}
+}
+
+func TestMarginalizePreservesSchemaOrder(t *testing.T) {
+	r, _ := Complete("r", attrsABC(), func(v []int32) float64 { return 1 })
+	m, err := Marginalize(semiring.SumProduct, r, []string{"C", "A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := m.VarNames()
+	if len(names) != 2 || names[0] != "A" || names[1] != "C" {
+		t.Fatalf("schema order not preserved: %v", names)
+	}
+}
+
+func TestMarginalizeOut(t *testing.T) {
+	r, _ := Complete("r", attrsABC(), func(v []int32) float64 { return 1 })
+	m, err := MarginalizeOut(semiring.SumProduct, r, "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Vars().Sorted(); len(got) != 2 || got[0] != "A" || got[1] != "C" {
+		t.Fatalf("MarginalizeOut kept %v", got)
+	}
+	// Each (A,C) group sums 3 ones.
+	for i := 0; i < m.Len(); i++ {
+		if m.Measure(i) != 3 {
+			t.Fatalf("measure %v, want 3", m.Measure(i))
+		}
+	}
+}
+
+// TestGroupByDistributesOverProductJoin verifies the Generalized
+// Distributive Law identity the whole optimizer relies on:
+// γ_X(a ⋈* b) == γ_X(γ_{X∪shared}(a) ⋈* b) when the variables dropped
+// early appear only in a.
+func TestGroupByDistributesOverProductJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, sr := range semiring.All() {
+		meas := UniformMeasure(0.1, 4)
+		if sr.Name() == "bool-or-and" {
+			meas = func(r *rand.Rand) float64 { return float64(r.Intn(2)) }
+		}
+		for trial := 0; trial < 20; trial++ {
+			// a(P,Q,S), b(S,T): P,Q private to a; S shared.
+			a, _ := Random(rng, "a", []Attr{{"P", 3}, {"Q", 2}, {"S", 2}}, 0.8, meas)
+			b, _ := Random(rng, "b", []Attr{{"S", 2}, {"T", 3}}, 0.8, meas)
+			// Late aggregation.
+			j, err := ProductJoin(sr, a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			late, err := Marginalize(sr, j, []string{"T"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Early aggregation: push γ into a, keeping shared var S.
+			aEarly, err := Marginalize(sr, a, []string{"S"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			j2, err := ProductJoin(sr, aEarly, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			early, err := Marginalize(sr, j2, []string{"T"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !Equal(late, early, sr.Zero(), 1e-9) {
+				t.Fatalf("%s trial %d: GroupBy pushdown changed the result", sr.Name(), trial)
+			}
+		}
+	}
+}
+
+func TestSelect(t *testing.T) {
+	r, _ := Complete("r", attrsABC(), func(v []int32) float64 {
+		return float64(v[0]*100 + v[1]*10 + v[2])
+	})
+	s, err := Select(r, Predicate{"B": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("selected %d rows, want 4", s.Len())
+	}
+	for i := 0; i < s.Len(); i++ {
+		if s.Value(i, 1) != 2 {
+			t.Fatal("selection kept a non-matching row")
+		}
+	}
+	if _, err := Select(r, Predicate{"Q": 1}); err == nil {
+		t.Fatal("unknown selection variable should error")
+	}
+}
+
+func TestProductSemijoin(t *testing.T) {
+	// t(A,B), s(B,C): t ⋉* s multiplies each t row by γ_B(s).
+	tt, _ := FromRows("t", []Attr{{"A", 2}, {"B", 2}},
+		[][]int32{{0, 0}, {1, 1}}, []float64{2, 3})
+	ss, _ := FromRows("s", []Attr{{"B", 2}, {"C", 2}},
+		[][]int32{{0, 0}, {0, 1}, {1, 0}}, []float64{5, 7, 11})
+	got, err := ProductSemijoin(semiring.SumProduct, tt, ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := FromRows("w", []Attr{{"A", 2}, {"B", 2}},
+		[][]int32{{0, 0}, {1, 1}}, []float64{2 * 12, 3 * 11})
+	if !Equal(got, want, 0, 1e-12) {
+		t.Fatalf("product semijoin mismatch:\n%v", got)
+	}
+	// Schema unchanged.
+	if !got.Vars().Equal(tt.Vars()) {
+		t.Fatal("product semijoin changed schema")
+	}
+}
+
+func TestProductSemijoinRequiresSharedVars(t *testing.T) {
+	a := MustNew("a", []Attr{{"A", 2}})
+	b := MustNew("b", []Attr{{"B", 2}})
+	if _, err := ProductSemijoin(semiring.SumProduct, a, b); err == nil {
+		t.Fatal("no shared variables should error")
+	}
+	if _, err := UpdateSemijoin(semiring.SumProduct, a, b); err == nil {
+		t.Fatal("no shared variables should error")
+	}
+}
+
+// TestTwoNodeBeliefPropagation verifies the defining use of the two
+// semijoins: for relations t and s sharing variables U, the forward pass
+// s' = s ⋉* t followed by the backward pass t' = t ⋉ s' leaves both
+// relations equal to the joint function marginalized onto their own
+// variables (Definition 5's workload correctness invariant on a two-node
+// schema).
+func TestTwoNodeBeliefPropagation(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 20; trial++ {
+		tt, _ := Random(rng, "t", []Attr{{"A", 3}, {"B", 2}}, 1, UniformMeasure(0.5, 2))
+		ss, _ := Random(rng, "s", []Attr{{"B", 2}, {"C", 3}}, 1, UniformMeasure(0.5, 2))
+		joint, err := ProductJoin(semiring.SumProduct, tt, ss)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s1, err := ProductSemijoin(semiring.SumProduct, ss, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t1, err := UpdateSemijoin(semiring.SumProduct, tt, s1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantS, err := Marginalize(semiring.SumProduct, joint, ss.VarNames())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantT, err := Marginalize(semiring.SumProduct, joint, tt.VarNames())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(s1, wantS, 0, 1e-9) {
+			t.Fatalf("trial %d: forward pass did not produce the joint marginal on s", trial)
+		}
+		if !Equal(t1, wantT, 0, 1e-9) {
+			t.Fatalf("trial %d: backward pass did not produce the joint marginal on t", trial)
+		}
+	}
+}
+
+// TestUpdateSemijoinIdentityWhenMarginalsAgree: when γ_U(s) == γ_U(t) the
+// correction ratio is identically one and t ⋉ s == t.
+func TestUpdateSemijoinIdentityWhenMarginalsAgree(t *testing.T) {
+	tt, _ := Complete("t", []Attr{{"A", 2}, {"B", 2}}, func(v []int32) float64 { return 1 })
+	ss, _ := Complete("s", []Attr{{"B", 2}, {"C", 2}}, func(v []int32) float64 { return 1 })
+	// γ_B(t) = 2 for each B value; γ_B(s) = 2 as well.
+	got, err := UpdateSemijoin(semiring.SumProduct, tt, ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(got, tt, 0, 1e-12) {
+		t.Fatalf("update semijoin with equal marginals should be identity:\n%v", got)
+	}
+}
+
+func TestUpdateSemijoinRequiresDivider(t *testing.T) {
+	tt := MustNew("t", []Attr{{"A", 2}})
+	tt.MustAppend([]int32{0}, 1)
+	ss := MustNew("s", []Attr{{"A", 2}})
+	ss.MustAppend([]int32{0}, 1)
+	if _, err := UpdateSemijoin(semiring.BoolOrAnd, tt, ss); err == nil {
+		t.Fatal("bool semiring has no division; UpdateSemijoin should error")
+	}
+}
+
+func TestCheckFD(t *testing.T) {
+	r := MustNew("r", []Attr{{"A", 2}})
+	r.MustAppend([]int32{0}, 1)
+	r.MustAppend([]int32{1}, 2)
+	if err := r.CheckFD(); err != nil {
+		t.Fatal(err)
+	}
+	r.MustAppend([]int32{0}, 3)
+	if err := r.CheckFD(); err == nil {
+		t.Fatal("duplicate assignment should violate FD")
+	}
+}
+
+func TestIsCompleteAndDomainProduct(t *testing.T) {
+	r, _ := Complete("r", attrsABC(), func(v []int32) float64 { return 1 })
+	if !r.IsComplete() {
+		t.Fatal("Complete should build a complete relation")
+	}
+	if r.DomainProduct() != 12 {
+		t.Fatalf("DomainProduct = %d, want 12", r.DomainProduct())
+	}
+	inc := MustNew("inc", attrsABC())
+	inc.MustAppend([]int32{0, 0, 0}, 1)
+	if inc.IsComplete() {
+		t.Fatal("single-row relation is not complete")
+	}
+}
+
+func TestEqualSemantics(t *testing.T) {
+	a, _ := FromRows("a", []Attr{{"X", 2}, {"Y", 2}},
+		[][]int32{{0, 0}, {1, 1}}, []float64{1, 2})
+	// Same function, different attribute order and row order.
+	b, _ := FromRows("b", []Attr{{"Y", 2}, {"X", 2}},
+		[][]int32{{1, 1}, {0, 0}}, []float64{2, 1})
+	if !Equal(a, b, 0, 1e-12) {
+		t.Fatal("Equal should ignore attribute and row order")
+	}
+	// Missing row equals absent value.
+	c, _ := FromRows("c", []Attr{{"X", 2}, {"Y", 2}},
+		[][]int32{{0, 0}, {1, 1}, {0, 1}}, []float64{1, 2, 0})
+	if !Equal(a, c, 0, 1e-12) {
+		t.Fatal("explicit zero row should equal absent row")
+	}
+	d, _ := FromRows("d", []Attr{{"X", 2}, {"Y", 2}},
+		[][]int32{{0, 0}}, []float64{1})
+	if Equal(a, d, 0, 1e-12) {
+		t.Fatal("missing non-zero row should not be equal")
+	}
+	e := MustNew("e", []Attr{{"X", 2}})
+	if Equal(a, e, 0, 1e-12) {
+		t.Fatal("different schemas should not be equal")
+	}
+}
+
+func TestProjectKeepsFirstMeasure(t *testing.T) {
+	r, _ := FromRows("r", []Attr{{"A", 2}, {"B", 2}},
+		[][]int32{{0, 0}, {0, 1}}, []float64{5, 9})
+	p, err := Project(r, []string{"A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 1 || p.Measure(0) != 5 {
+		t.Fatalf("project result %v", p)
+	}
+	if _, err := Project(r, []string{"Z"}); err == nil {
+		t.Fatal("unknown variable should error")
+	}
+}
+
+// TestProposition1 verifies that when a variable Y is not needed to
+// determine the measure (FD X→f with Y∉X), marginalizing Y out equals
+// projecting it away. Construct r(X,Y) with measure depending only on X
+// and exactly one row per (X,Y) — per the proposition's one-row-per-X'
+// argument, with min-aggregation marginalization == projection.
+func TestProposition1(t *testing.T) {
+	attrs := []Attr{{"X", 3}, {"Y", 1}} // Y has a single value: one row per X
+	r, _ := Complete("r", attrs, func(v []int32) float64 { return float64(v[0] * 2) })
+	m, err := MarginalizeOut(semiring.MinProduct, r, "Y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Project(r, []string{"X"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(m, p, semiring.MinProduct.Zero(), 1e-12) {
+		t.Fatal("Proposition 1: marginalization should equal projection")
+	}
+}
+
+func TestVarSetOps(t *testing.T) {
+	a := NewVarSet("x", "y")
+	b := NewVarSet("y", "z")
+	if got := a.Union(b).Sorted(); len(got) != 3 {
+		t.Fatalf("union = %v", got)
+	}
+	if got := a.Intersect(b).Sorted(); len(got) != 1 || got[0] != "y" {
+		t.Fatalf("intersect = %v", got)
+	}
+	if got := a.Minus(b).Sorted(); len(got) != 1 || got[0] != "x" {
+		t.Fatalf("minus = %v", got)
+	}
+	if !a.Contains(NewVarSet("x")) || a.Contains(b) {
+		t.Fatal("contains misbehaves")
+	}
+	if !a.Equal(NewVarSet("y", "x")) || a.Equal(b) {
+		t.Fatal("equal misbehaves")
+	}
+}
+
+func TestRandomNeverEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	r, err := Random(rng, "r", []Attr{{"A", 4}}, 0, UniformMeasure(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() == 0 {
+		t.Fatal("Random with density 0 must still emit one row")
+	}
+}
+
+func TestCompleteZeroArity(t *testing.T) {
+	r, err := Complete("unit", nil, func(v []int32) float64 { return 42 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 || r.Measure(0) != 42 {
+		t.Fatalf("zero-arity complete relation: %v", r)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	r, _ := FromRows("r", []Attr{{"A", 2}}, [][]int32{{0}, {1}}, []float64{1, 2})
+	s := r.String()
+	if s == "" {
+		t.Fatal("String should render something")
+	}
+}

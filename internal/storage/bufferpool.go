@@ -1,0 +1,283 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Stats aggregates the physical IO performed through a buffer pool.
+type Stats struct {
+	Reads  int64 // pages fetched from a Disk
+	Writes int64 // pages written back to a Disk
+	Hits   int64 // page requests satisfied from the pool
+}
+
+// IO returns total physical page transfers (reads + writes), the quantity
+// the paper's cost model minimizes for disk-resident operands.
+func (s Stats) IO() int64 { return s.Reads + s.Writes }
+
+// Sub returns s - o, useful for measuring the IO of one query by
+// snapshotting before and after.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{Reads: s.Reads - o.Reads, Writes: s.Writes - o.Writes, Hits: s.Hits - o.Hits}
+}
+
+type pageKey struct {
+	disk int64
+	no   int64
+}
+
+type frame struct {
+	key   pageKey
+	buf   []byte
+	pins  int
+	dirty bool
+	ref   bool // clock reference bit
+	valid bool
+}
+
+// Pool is a shared buffer pool with clock (second-chance) eviction. All
+// page access in the engine flows through a Pool so that Stats faithfully
+// reflect every plan's physical IO.
+type Pool struct {
+	mu      sync.Mutex
+	frames  []frame
+	table   map[pageKey]int
+	hand    int
+	stats   Stats
+	disks   map[int64]Disk
+	diskSeq int64
+}
+
+// NewPool returns a pool with the given number of page frames. At least
+// two frames are required (one being evicted, one being filled).
+func NewPool(frames int) *Pool {
+	if frames < 2 {
+		frames = 2
+	}
+	p := &Pool{
+		frames: make([]frame, frames),
+		table:  make(map[pageKey]int, frames),
+		disks:  make(map[int64]Disk),
+	}
+	for i := range p.frames {
+		p.frames[i].buf = make([]byte, PageSize)
+	}
+	return p
+}
+
+// Register attaches a disk to the pool, returning a handle used in page
+// requests. A disk must be registered with exactly one pool.
+func (p *Pool) Register(d Disk) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.diskSeq++
+	p.disks[p.diskSeq] = d
+	return p.diskSeq
+}
+
+// Unregister flushes and forgets all of the disk's pages, then removes the
+// handle. The disk itself is not closed.
+func (p *Pool) Unregister(h int64) error { return p.unregister(h, false) }
+
+// Discard forgets all of the disk's pages WITHOUT writing dirty ones back,
+// then removes the handle. It is the right way to release a temporary
+// table: its contents are dead, so eviction writeback would be wasted IO.
+func (p *Pool) Discard(h int64) error { return p.unregister(h, true) }
+
+func (p *Pool) unregister(h int64, discard bool) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	d, ok := p.disks[h]
+	if !ok {
+		return fmt.Errorf("bufferpool: unregister of unknown disk %d", h)
+	}
+	for i := range p.frames {
+		f := &p.frames[i]
+		if !f.valid || f.key.disk != h {
+			continue
+		}
+		if f.pins != 0 {
+			return fmt.Errorf("bufferpool: disk %d page %d still pinned", h, f.key.no)
+		}
+		if f.dirty && !discard {
+			if err := d.WritePage(f.key.no, f.buf); err != nil {
+				return err
+			}
+			p.stats.Writes++
+		}
+		delete(p.table, f.key)
+		f.valid = false
+		f.dirty = false
+	}
+	delete(p.disks, h)
+	return nil
+}
+
+// Stats returns a snapshot of the pool's IO counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// ResetStats zeroes the IO counters.
+func (p *Pool) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats = Stats{}
+}
+
+// Size returns the number of frames.
+func (p *Pool) Size() int { return len(p.frames) }
+
+// victim finds a frame to reuse using the clock algorithm, writing it back
+// if dirty. Caller holds p.mu.
+func (p *Pool) victim() (int, error) {
+	n := len(p.frames)
+	for spin := 0; spin < 2*n+1; spin++ {
+		f := &p.frames[p.hand]
+		idx := p.hand
+		p.hand = (p.hand + 1) % n
+		if !f.valid {
+			return idx, nil
+		}
+		if f.pins > 0 {
+			continue
+		}
+		if f.ref {
+			f.ref = false
+			continue
+		}
+		if f.dirty {
+			d, ok := p.disks[f.key.disk]
+			if !ok {
+				return 0, fmt.Errorf("bufferpool: dirty page for unregistered disk %d", f.key.disk)
+			}
+			if err := d.WritePage(f.key.no, f.buf); err != nil {
+				return 0, err
+			}
+			p.stats.Writes++
+			f.dirty = false
+		}
+		delete(p.table, f.key)
+		f.valid = false
+		return idx, nil
+	}
+	return 0, fmt.Errorf("bufferpool: all %d frames pinned", n)
+}
+
+// Pin fetches the page into the pool (reading from disk on a miss), pins
+// it, and returns the frame's buffer. The buffer remains valid until the
+// matching Unpin. Callers that modify the buffer must pass dirty=true to
+// Unpin.
+func (p *Pool) Pin(h, no int64) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	k := pageKey{h, no}
+	if idx, ok := p.table[k]; ok {
+		f := &p.frames[idx]
+		f.pins++
+		f.ref = true
+		p.stats.Hits++
+		return f.buf, nil
+	}
+	d, ok := p.disks[h]
+	if !ok {
+		return nil, fmt.Errorf("bufferpool: pin on unregistered disk %d", h)
+	}
+	idx, err := p.victim()
+	if err != nil {
+		return nil, err
+	}
+	f := &p.frames[idx]
+	if err := d.ReadPage(no, f.buf); err != nil {
+		return nil, err
+	}
+	p.stats.Reads++
+	f.key = k
+	f.pins = 1
+	f.ref = true
+	f.dirty = false
+	f.valid = true
+	p.table[k] = idx
+	return f.buf, nil
+}
+
+// NewPage allocates a fresh page on the disk, pins it and returns its
+// number and buffer. The page starts zeroed and dirty.
+func (p *Pool) NewPage(h int64) (int64, []byte, error) {
+	p.mu.Lock()
+	d, ok := p.disks[h]
+	p.mu.Unlock()
+	if !ok {
+		return 0, nil, fmt.Errorf("bufferpool: NewPage on unregistered disk %d", h)
+	}
+	no, err := d.Allocate()
+	if err != nil {
+		return 0, nil, err
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	idx, err := p.victim()
+	if err != nil {
+		return 0, nil, err
+	}
+	f := &p.frames[idx]
+	for i := range f.buf {
+		f.buf[i] = 0
+	}
+	f.key = pageKey{h, no}
+	f.pins = 1
+	f.ref = true
+	f.dirty = true
+	f.valid = true
+	p.table[f.key] = idx
+	return no, f.buf, nil
+}
+
+// Unpin releases one pin on the page, marking it dirty if modified.
+func (p *Pool) Unpin(h, no int64, dirty bool) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	idx, ok := p.table[pageKey{h, no}]
+	if !ok {
+		return fmt.Errorf("bufferpool: unpin of non-resident page %d/%d", h, no)
+	}
+	f := &p.frames[idx]
+	if f.pins <= 0 {
+		return fmt.Errorf("bufferpool: unpin of unpinned page %d/%d", h, no)
+	}
+	f.pins--
+	if dirty {
+		f.dirty = true
+	}
+	return nil
+}
+
+// FlushAll writes back every dirty unpinned page. Pinned dirty pages are
+// an error.
+func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.frames {
+		f := &p.frames[i]
+		if !f.valid || !f.dirty {
+			continue
+		}
+		if f.pins > 0 {
+			return fmt.Errorf("bufferpool: flush with pinned dirty page %d/%d", f.key.disk, f.key.no)
+		}
+		d, ok := p.disks[f.key.disk]
+		if !ok {
+			return fmt.Errorf("bufferpool: dirty page for unregistered disk %d", f.key.disk)
+		}
+		if err := d.WritePage(f.key.no, f.buf); err != nil {
+			return err
+		}
+		p.stats.Writes++
+		f.dirty = false
+	}
+	return nil
+}

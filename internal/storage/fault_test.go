@@ -1,0 +1,184 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+)
+
+// faultDisk wraps a MemDisk and fails operations after a countdown,
+// simulating media errors for failure-injection tests.
+type faultDisk struct {
+	inner      *MemDisk
+	failReads  int // fail all reads once this many succeeded
+	failWrites int // fail all writes once this many succeeded
+	failAlloc  bool
+	reads      int
+	writes     int
+}
+
+var errInjected = errors.New("injected disk fault")
+
+func (d *faultDisk) ReadPage(no int64, buf []byte) error {
+	if d.failReads >= 0 && d.reads >= d.failReads {
+		return errInjected
+	}
+	d.reads++
+	return d.inner.ReadPage(no, buf)
+}
+
+func (d *faultDisk) WritePage(no int64, buf []byte) error {
+	if d.failWrites >= 0 && d.writes >= d.failWrites {
+		return errInjected
+	}
+	d.writes++
+	return d.inner.WritePage(no, buf)
+}
+
+func (d *faultDisk) Allocate() (int64, error) {
+	if d.failAlloc {
+		return 0, errInjected
+	}
+	return d.inner.Allocate()
+}
+
+func (d *faultDisk) NumPages() int64 { return d.inner.NumPages() }
+func (d *faultDisk) Close() error    { return d.inner.Close() }
+
+func newFaultDisk(failReads, failWrites int, failAlloc bool) *faultDisk {
+	return &faultDisk{inner: NewMemDisk(), failReads: failReads, failWrites: failWrites, failAlloc: failAlloc}
+}
+
+func TestPinSurfacesReadFault(t *testing.T) {
+	pool := NewPool(2)
+	d := newFaultDisk(0, -1, false)
+	h := pool.Register(d)
+	no, _, err := pool.NewPage(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Unpin(h, no, true); err != nil {
+		t.Fatal(err)
+	}
+	// Force eviction so the page must be re-read, which fails.
+	for i := 0; i < 2; i++ {
+		n2, _, err := pool.NewPage(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool.Unpin(h, n2, false)
+	}
+	if _, err := pool.Pin(h, no); !errors.Is(err, errInjected) {
+		t.Fatalf("expected injected read fault, got %v", err)
+	}
+}
+
+func TestEvictionSurfacesWriteFault(t *testing.T) {
+	pool := NewPool(2)
+	d := newFaultDisk(-1, 0, false)
+	h := pool.Register(d)
+	// Two dirty pages fill the pool; the third allocation must evict and
+	// write back, which fails.
+	for i := 0; i < 2; i++ {
+		no, _, err := pool.NewPage(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool.Unpin(h, no, true)
+	}
+	if _, _, err := pool.NewPage(h); !errors.Is(err, errInjected) {
+		t.Fatalf("expected injected write fault on eviction, got %v", err)
+	}
+}
+
+func TestAllocateFaultSurfacesInNewPage(t *testing.T) {
+	pool := NewPool(2)
+	d := newFaultDisk(-1, -1, true)
+	h := pool.Register(d)
+	if _, _, err := pool.NewPage(h); !errors.Is(err, errInjected) {
+		t.Fatalf("expected injected alloc fault, got %v", err)
+	}
+}
+
+func TestFlushAllSurfacesWriteFault(t *testing.T) {
+	pool := NewPool(4)
+	d := newFaultDisk(-1, 0, false)
+	h := pool.Register(d)
+	no, _, err := pool.NewPage(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Unpin(h, no, true)
+	if err := pool.FlushAll(); !errors.Is(err, errInjected) {
+		t.Fatalf("expected injected write fault from FlushAll, got %v", err)
+	}
+}
+
+func TestHeapAppendSurfacesFault(t *testing.T) {
+	pool := NewPool(4)
+	d := newFaultDisk(-1, -1, true)
+	heap, err := NewHeap(pool, d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := heap.Append([]int32{0}, 1); !errors.Is(err, errInjected) {
+		t.Fatalf("expected injected fault from Append, got %v", err)
+	}
+}
+
+func TestScanSurfacesReadFault(t *testing.T) {
+	pool := NewPool(2)
+	d := newFaultDisk(-1, -1, false)
+	heap, err := NewHeap(pool, d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := TuplesPerPage(1)
+	for i := 0; i < per*3; i++ {
+		if err := heap.Append([]int32{int32(i % 100)}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Now fail all further reads; the scan must stop with the error.
+	d.failReads = d.reads
+	// Evict everything by filling the pool from another disk.
+	d2 := NewMemDisk()
+	h2 := pool.Register(d2)
+	for i := 0; i < 2; i++ {
+		no, _, err := pool.NewPage(h2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool.Unpin(h2, no, false)
+	}
+	it := heap.Scan()
+	defer it.Close()
+	count := 0
+	for {
+		_, _, ok := it.Next()
+		if !ok {
+			break
+		}
+		count++
+	}
+	if !errors.Is(it.Err(), errInjected) {
+		t.Fatalf("expected injected fault from scan (after %d tuples), got %v", count, it.Err())
+	}
+}
+
+func TestDiscardSkipsWriteback(t *testing.T) {
+	pool := NewPool(4)
+	d := newFaultDisk(-1, 0, false) // any writeback would fail
+	h := pool.Register(d)
+	no, _, err := pool.NewPage(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Unpin(h, no, true)
+	// Discard must succeed despite the dirty page because it never writes.
+	if err := pool.Discard(h); err != nil {
+		t.Fatalf("Discard should skip writeback: %v", err)
+	}
+}

@@ -1,0 +1,335 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Heap page layout:
+//
+//	offset 0: uint16 tuple count
+//	offset 2: 6 reserved bytes
+//	offset 8: packed fixed-width tuples
+//
+// A tuple is arity little-endian int32 variable values followed by a
+// float64 measure (IEEE bits, little endian).
+const pageHeaderSize = 8
+
+// Heap is a heap file of fixed-width functional-relation tuples accessed
+// through a buffer pool. A Heap knows its tuple arity but not attribute
+// names; schema bookkeeping lives in the catalog.
+type Heap struct {
+	pool       *Pool
+	disk       Disk
+	handle     int64
+	arity      int
+	tupleSize  int
+	perPage    int
+	ntuples    int64
+	lastPage   int64 // -1 when empty
+	lastCount  int   // tuples on last page
+	statsOwned bool
+}
+
+// tupleSize returns the byte width of a tuple with the given arity.
+func tupleSize(arity int) int { return 4*arity + 8 }
+
+// TuplesPerPage returns how many tuples of the given arity fit on a page.
+func TuplesPerPage(arity int) int {
+	return (PageSize - pageHeaderSize) / tupleSize(arity)
+}
+
+// PagesFor returns the number of pages a heap with the given arity needs
+// to hold n tuples; the unit of the engine's IO-based cost model.
+func PagesFor(arity int, n int64) int64 {
+	per := int64(TuplesPerPage(arity))
+	if n == 0 {
+		return 0
+	}
+	return (n + per - 1) / per
+}
+
+// NewHeap creates an empty heap of the given arity on a fresh disk from
+// the pool's registered disk d.
+func NewHeap(pool *Pool, d Disk, arity int) (*Heap, error) {
+	if arity < 0 {
+		return nil, fmt.Errorf("heap: negative arity %d", arity)
+	}
+	per := TuplesPerPage(arity)
+	if per <= 0 {
+		return nil, fmt.Errorf("heap: arity %d tuples do not fit in a page", arity)
+	}
+	if d.NumPages() != 0 {
+		return nil, fmt.Errorf("heap: disk not empty (%d pages)", d.NumPages())
+	}
+	return &Heap{
+		pool:      pool,
+		disk:      d,
+		handle:    pool.Register(d),
+		arity:     arity,
+		tupleSize: tupleSize(arity),
+		perPage:   per,
+		lastPage:  -1,
+	}, nil
+}
+
+// OpenHeap attaches to a non-empty disk previously written by a Heap of
+// the same arity. Heaps are append-only with every page except the last
+// filled to capacity, which lets the tuple count be recovered from the
+// page count and the last page's header.
+func OpenHeap(pool *Pool, d Disk, arity int) (*Heap, error) {
+	per := TuplesPerPage(arity)
+	if per <= 0 {
+		return nil, fmt.Errorf("heap: arity %d tuples do not fit in a page", arity)
+	}
+	h := &Heap{
+		pool:      pool,
+		disk:      d,
+		handle:    pool.Register(d),
+		arity:     arity,
+		tupleSize: tupleSize(arity),
+		perPage:   per,
+		lastPage:  -1,
+	}
+	npages := d.NumPages()
+	if npages == 0 {
+		return h, nil
+	}
+	buf, err := pool.Pin(h.handle, npages-1)
+	if err != nil {
+		pool.Unregister(h.handle)
+		return nil, err
+	}
+	lastCount := int(binary.LittleEndian.Uint16(buf[0:]))
+	if err := pool.Unpin(h.handle, npages-1, false); err != nil {
+		return nil, err
+	}
+	if lastCount > per {
+		pool.Unregister(h.handle)
+		return nil, fmt.Errorf("heap: last page holds %d tuples but arity-%d pages fit %d — wrong arity?", lastCount, arity, per)
+	}
+	h.lastPage = npages - 1
+	h.lastCount = lastCount
+	h.ntuples = (npages-1)*int64(per) + int64(lastCount)
+	return h, nil
+}
+
+// NewTempHeap creates a heap on a disk from the factory. The disk is
+// closed (removing any backing temp file) when the heap is Dropped.
+func NewTempHeap(pool *Pool, factory DiskFactory, arity int) (*Heap, error) {
+	d, err := factory()
+	if err != nil {
+		return nil, err
+	}
+	h, err := NewHeap(pool, d, arity)
+	if err != nil {
+		d.Close()
+		return nil, err
+	}
+	h.statsOwned = true
+	return h, nil
+}
+
+// Arity returns the tuple arity.
+func (h *Heap) Arity() int { return h.arity }
+
+// NumTuples returns the number of tuples in the heap.
+func (h *Heap) NumTuples() int64 { return h.ntuples }
+
+// NumPages returns the number of allocated pages.
+func (h *Heap) NumPages() int64 { return h.disk.NumPages() }
+
+// Append adds one tuple. vals must have length equal to the heap's arity.
+func (h *Heap) Append(vals []int32, measure float64) error {
+	_, _, err := h.AppendLocated(vals, measure)
+	return err
+}
+
+// AppendLocated adds one tuple and returns its (page, slot) address, for
+// callers maintaining indexes.
+func (h *Heap) AppendLocated(vals []int32, measure float64) (pageNo int64, slot int, err error) {
+	if len(vals) != h.arity {
+		return 0, 0, fmt.Errorf("heap: append of %d values to arity-%d heap", len(vals), h.arity)
+	}
+	var buf []byte
+	if h.lastPage >= 0 && h.lastCount < h.perPage {
+		pageNo = h.lastPage
+		buf, err = h.pool.Pin(h.handle, pageNo)
+		if err != nil {
+			return 0, 0, err
+		}
+	} else {
+		pageNo, buf, err = h.pool.NewPage(h.handle)
+		if err != nil {
+			return 0, 0, err
+		}
+		h.lastPage = pageNo
+		h.lastCount = 0
+	}
+	slot = h.lastCount
+	off := pageHeaderSize + h.lastCount*h.tupleSize
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(buf[off+4*i:], uint32(v))
+	}
+	binary.LittleEndian.PutUint64(buf[off+4*h.arity:], math.Float64bits(measure))
+	h.lastCount++
+	binary.LittleEndian.PutUint16(buf[0:], uint16(h.lastCount))
+	h.ntuples++
+	return pageNo, slot, h.pool.Unpin(h.handle, pageNo, true)
+}
+
+// Iterator streams a heap's tuples in storage order.
+type Iterator struct {
+	h       *Heap
+	pageNo  int64
+	buf     []byte
+	inPage  int
+	count   int
+	valBuf  []int32
+	done    bool
+	err     error
+	pinned  bool
+	npages  int64
+	started bool
+}
+
+// Scan returns an iterator over the heap. The iterator must be Closed.
+// Appending to the heap during a scan is not supported.
+func (h *Heap) Scan() *Iterator {
+	return &Iterator{h: h, valBuf: make([]int32, h.arity), npages: h.disk.NumPages()}
+}
+
+// Next returns the next tuple, or ok=false at the end. The returned slice
+// is reused between calls; callers must copy values they retain.
+func (it *Iterator) Next() (vals []int32, measure float64, ok bool) {
+	if it.done || it.err != nil {
+		return nil, 0, false
+	}
+	for {
+		if !it.pinned {
+			if it.started {
+				it.pageNo++
+			}
+			it.started = true
+			if it.pageNo >= it.npages {
+				it.done = true
+				return nil, 0, false
+			}
+			buf, err := it.h.pool.Pin(it.h.handle, it.pageNo)
+			if err != nil {
+				it.err = err
+				it.done = true
+				return nil, 0, false
+			}
+			it.buf = buf
+			it.pinned = true
+			it.inPage = 0
+			it.count = int(binary.LittleEndian.Uint16(buf[0:]))
+		}
+		if it.inPage < it.count {
+			off := pageHeaderSize + it.inPage*it.h.tupleSize
+			for i := 0; i < it.h.arity; i++ {
+				it.valBuf[i] = int32(binary.LittleEndian.Uint32(it.buf[off+4*i:]))
+			}
+			m := math.Float64frombits(binary.LittleEndian.Uint64(it.buf[off+4*it.h.arity:]))
+			it.inPage++
+			return it.valBuf, m, true
+		}
+		if err := it.h.pool.Unpin(it.h.handle, it.pageNo, false); err != nil {
+			it.err = err
+			it.done = true
+			return nil, 0, false
+		}
+		it.pinned = false
+	}
+}
+
+// Location returns the (page, slot) address of the tuple most recently
+// returned by Next; it is only valid after a successful Next. Locations
+// feed index construction.
+func (it *Iterator) Location() (pageNo int64, slot int) {
+	return it.pageNo, it.inPage - 1
+}
+
+// Err returns the first error encountered during iteration.
+func (it *Iterator) Err() error { return it.err }
+
+// Close releases any pinned page.
+func (it *Iterator) Close() error {
+	if it.pinned {
+		it.pinned = false
+		if err := it.h.pool.Unpin(it.h.handle, it.pageNo, false); err != nil && it.err == nil {
+			it.err = err
+		}
+	}
+	it.done = true
+	return it.err
+}
+
+// ReadTuple fetches the tuple at (pageNo, slot) through the buffer pool.
+// The returned value slice is freshly allocated.
+func (h *Heap) ReadTuple(pageNo int64, slot int) ([]int32, float64, error) {
+	if pageNo < 0 || pageNo >= h.disk.NumPages() {
+		return nil, 0, fmt.Errorf("heap: page %d out of range", pageNo)
+	}
+	buf, err := h.pool.Pin(h.handle, pageNo)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer h.pool.Unpin(h.handle, pageNo, false)
+	count := int(binary.LittleEndian.Uint16(buf[0:]))
+	if slot < 0 || slot >= count {
+		return nil, 0, fmt.Errorf("heap: slot %d out of range on page %d (%d tuples)", slot, pageNo, count)
+	}
+	off := pageHeaderSize + slot*h.tupleSize
+	vals := make([]int32, h.arity)
+	for i := 0; i < h.arity; i++ {
+		vals[i] = int32(binary.LittleEndian.Uint32(buf[off+4*i:]))
+	}
+	m := math.Float64frombits(binary.LittleEndian.Uint64(buf[off+4*h.arity:]))
+	return vals, m, nil
+}
+
+// ReadTupleBatch fetches several tuples from one page under a single pin,
+// invoking fn for each requested slot in order. The vals slice passed to
+// fn is reused between calls.
+func (h *Heap) ReadTupleBatch(pageNo int64, slots []int32, fn func(vals []int32, measure float64) error) error {
+	if pageNo < 0 || pageNo >= h.disk.NumPages() {
+		return fmt.Errorf("heap: page %d out of range", pageNo)
+	}
+	buf, err := h.pool.Pin(h.handle, pageNo)
+	if err != nil {
+		return err
+	}
+	defer h.pool.Unpin(h.handle, pageNo, false)
+	count := int(binary.LittleEndian.Uint16(buf[0:]))
+	vals := make([]int32, h.arity)
+	for _, slot := range slots {
+		if slot < 0 || int(slot) >= count {
+			return fmt.Errorf("heap: slot %d out of range on page %d (%d tuples)", slot, pageNo, count)
+		}
+		off := pageHeaderSize + int(slot)*h.tupleSize
+		for i := 0; i < h.arity; i++ {
+			vals[i] = int32(binary.LittleEndian.Uint32(buf[off+4*i:]))
+		}
+		m := math.Float64frombits(binary.LittleEndian.Uint64(buf[off+4*h.arity:]))
+		if err := fn(vals, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Drop detaches the heap from the pool and, for temp heaps, discards
+// dirty pages (their contents are dead) and closes the underlying disk,
+// removing backing temp files.
+func (h *Heap) Drop() error {
+	if h.statsOwned {
+		if err := h.pool.Discard(h.handle); err != nil {
+			return err
+		}
+		return h.disk.Close()
+	}
+	return h.pool.Unregister(h.handle)
+}

@@ -1,0 +1,144 @@
+// Package mpf is a query engine for MPF (Marginalize-a-Product-Function)
+// queries, reproducing "Optimizing MPF Queries: Decision Support and
+// Probabilistic Inference" (Corrada Bravo & Ramakrishnan, SIGMOD 2007).
+//
+// MPF queries are aggregate queries over functional relations — relations
+// whose non-measure attributes functionally determine a real-valued
+// measure. A view r = s₁ ⋈* s₂ ⋈* … ⋈* sₙ combines local functions with a
+// semiring product join, and a query
+//
+//	select X, AGG(r.f) from r group by X
+//
+// marginalizes the joint function onto the query variables X. This covers
+// decision-support aggregates (total/min/max investment per entity) and
+// exact probabilistic inference on Bayesian networks (the view is a
+// factored joint distribution; the query is a posterior marginal).
+//
+// The package offers:
+//
+//   - functional relations and the extended algebra (product join,
+//     marginalizing GroupBy, product/update semijoins) over pluggable
+//     commutative semirings;
+//   - a disk-resident execution engine (paged heap files, buffer pool
+//     with IO accounting, hash and sort physical operators);
+//   - the paper's single-query optimizers: CS, linear and nonlinear CS+,
+//     and Variable Elimination (VE/VE+) with degree, width,
+//     elimination-cost, random and combined ordering heuristics;
+//   - the workload optimizer: Belief Propagation, Junction Trees, and the
+//     VE-cache materialized-view scheme with the Definition 5 correctness
+//     invariant;
+//   - Bayesian-network utilities (construction, sampling, parameter
+//     estimation, conversion to MPF views);
+//   - a SQL subset with the paper's `create mpfview` extension.
+//
+// # Quick start
+//
+//	db, _ := mpf.Open(mpf.Config{})
+//	db.CreateTable(contracts) // *mpf.Relation values
+//	db.CreateTable(location)
+//	db.CreateView("invest", []string{"contracts", "location"})
+//	res, _ := db.Query(&mpf.QuerySpec{
+//		View:      "invest",
+//		GroupVars: []string{"wid"},
+//	})
+//	fmt.Println(res.Relation)
+//
+// See examples/ for runnable programs and EXPERIMENTS.md for the
+// reproduction of the paper's evaluation.
+package mpf
+
+import (
+	"math/rand"
+
+	"mpf/internal/core"
+	"mpf/internal/opt"
+	"mpf/internal/relation"
+	"mpf/internal/semiring"
+)
+
+// Core data types, aliased from the implementation packages so the public
+// surface is a single import.
+type (
+	// Relation is an in-memory functional relation.
+	Relation = relation.Relation
+	// Attr is a variable attribute: name plus categorical domain size.
+	Attr = relation.Attr
+	// Predicate is a conjunction of equality constraints.
+	Predicate = relation.Predicate
+	// VarSet is a set of variable names.
+	VarSet = relation.VarSet
+	// Semiring supplies the measure operations (Add/Mul and identities).
+	Semiring = semiring.Semiring
+	// Optimizer plans MPF queries.
+	Optimizer = opt.Optimizer
+	// Config parameterizes Open.
+	Config = core.Config
+	// Database is the engine facade.
+	Database = core.Database
+	// QuerySpec describes an MPF query against a view.
+	QuerySpec = core.QuerySpec
+	// Result is a query answer with plan and measurements.
+	Result = core.Result
+)
+
+// Execution modes for QuerySpec.Exec.
+const (
+	// EngineExec runs plans on the paged, IO-accounted engine.
+	EngineExec = core.EngineExec
+	// MemoryExec interprets plans over in-memory relations.
+	MemoryExec = core.MemoryExec
+)
+
+// Predefined semirings.
+var (
+	// SumProduct is (ℝ, +, ×): totals and probability marginals.
+	SumProduct = semiring.SumProduct
+	// MinProduct aggregates with min over products.
+	MinProduct = semiring.MinProduct
+	// MaxProduct aggregates with max over products (Viterbi).
+	MaxProduct = semiring.MaxProduct
+	// MinSum is the tropical semiring (min, +).
+	MinSum = semiring.MinSum
+	// MaxSum is (max, +).
+	MaxSum = semiring.MaxSum
+	// LogSumExp is sum-product in log space (numerically stable
+	// marginalization of tiny probabilities).
+	LogSumExp = semiring.LogSumExp
+	// BoolOrAnd is ({0,1}, ∨, ∧).
+	BoolOrAnd = semiring.BoolOrAnd
+)
+
+// Open creates a database.
+func Open(cfg Config) (*Database, error) { return core.Open(cfg) }
+
+// NewRelation creates an empty functional relation with the given
+// attributes.
+func NewRelation(name string, attrs []Attr) (*Relation, error) {
+	return relation.New(name, attrs)
+}
+
+// FromRows builds a functional relation from explicit rows and measures.
+func FromRows(name string, attrs []Attr, rows [][]int32, measures []float64) (*Relation, error) {
+	return relation.FromRows(name, attrs, rows, measures)
+}
+
+// CompleteRelation builds a relation containing every domain combination
+// with measures from fn.
+func CompleteRelation(name string, attrs []Attr, fn func(vals []int32) float64) (*Relation, error) {
+	return relation.Complete(name, attrs, fn)
+}
+
+// SemiringByName resolves a semiring by its report name, e.g.
+// "sum-product" or "min-product".
+func SemiringByName(name string) (Semiring, error) { return semiring.ByName(name) }
+
+// OptimizerByName resolves an optimizer by its report name, e.g. "cs",
+// "cs+linear", "cs+nonlinear", "ve(deg)", "ve(width)+ext".
+func OptimizerByName(name string) (Optimizer, error) { return opt.ByName(name) }
+
+// Optimizers lists the report names of all optimizer variants.
+func Optimizers() []string { return opt.Names() }
+
+// AllOptimizers returns every optimizer variant studied in the paper; rng
+// seeds the random elimination heuristic (nil for a fixed seed).
+func AllOptimizers(rng *rand.Rand) []Optimizer { return opt.All(rng) }

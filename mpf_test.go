@@ -1,0 +1,153 @@
+package mpf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPublicAPIRoundTrip exercises the package-level facade end to end:
+// relation construction, table/view DDL, query forms, plan access, and
+// optimizer/semiring lookups.
+func TestPublicAPIRoundTrip(t *testing.T) {
+	db, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	price, err := FromRows("price",
+		[]Attr{{Name: "part", Domain: 3}, {Name: "supplier", Domain: 2}},
+		[][]int32{{0, 0}, {1, 0}, {2, 1}},
+		[]float64{10, 7, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qty, err := CompleteRelation("qty",
+		[]Attr{{Name: "part", Domain: 3}, {Name: "warehouse", Domain: 2}},
+		func(v []int32) float64 { return float64(v[0] + v[1] + 1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(price); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(qty); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateView("spend", []string{"price", "qty"}); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := db.Query(&QuerySpec{View: "spend", GroupVars: []string{"warehouse"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Relation.Len() != 2 || res.Plan == nil {
+		t.Fatalf("unexpected result: %v", res.Relation)
+	}
+	// Expected: Σ_part price(part)·qty(part, w).
+	res.Relation.Sort()
+	want := []float64{10*1 + 7*2 + 30*3, 10*2 + 7*3 + 30*4}
+	for i, w := range want {
+		if res.Relation.Measure(i) != w {
+			t.Fatalf("warehouse %d: %v, want %v", i, res.Relation.Measure(i), w)
+		}
+	}
+
+	// Memory execution agrees.
+	mem, err := db.Query(&QuerySpec{View: "spend", GroupVars: []string{"warehouse"}, Exec: MemoryExec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem.Relation.Sort()
+	for i := range want {
+		if mem.Relation.Measure(i) != want[i] {
+			t.Fatal("memory execution disagrees")
+		}
+	}
+
+	// Predicate form.
+	sel, err := db.Query(&QuerySpec{
+		View: "spend", GroupVars: []string{"warehouse"}, Where: Predicate{"part": 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel.Relation.Sort()
+	if sel.Relation.Measure(0) != 30*3 || sel.Relation.Measure(1) != 30*4 {
+		t.Fatalf("predicate query wrong: %v", sel.Relation)
+	}
+}
+
+func TestPublicOptimizerRegistry(t *testing.T) {
+	names := Optimizers()
+	if len(names) == 0 {
+		t.Fatal("no optimizers")
+	}
+	for _, n := range names {
+		o, err := OptimizerByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.Name() != n {
+			t.Fatalf("%q resolved to %q", n, o.Name())
+		}
+	}
+	if _, err := OptimizerByName("nope"); err == nil {
+		t.Fatal("unknown optimizer should error")
+	}
+	all := AllOptimizers(rand.New(rand.NewSource(1)))
+	if len(all) != len(names) {
+		t.Fatal("AllOptimizers out of sync with Optimizers")
+	}
+}
+
+func TestPublicSemirings(t *testing.T) {
+	for _, sr := range []Semiring{SumProduct, MinProduct, MaxProduct, MinSum, MaxSum, LogSumExp, BoolOrAnd} {
+		got, err := SemiringByName(sr.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Name() != sr.Name() {
+			t.Fatal("semiring lookup mismatch")
+		}
+	}
+}
+
+func TestPublicMinProductQuery(t *testing.T) {
+	db, err := Open(Config{Semiring: MinProduct})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	r, _ := FromRows("costs",
+		[]Attr{{Name: "part", Domain: 2}, {Name: "route", Domain: 2}},
+		[][]int32{{0, 0}, {0, 1}, {1, 0}}, []float64{5, 3, 8})
+	if err := db.CreateTable(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateView("v", []string{"costs"}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(&QuerySpec{View: "v", GroupVars: []string{"part"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Relation.Sort()
+	if res.Relation.Measure(0) != 3 || res.Relation.Measure(1) != 8 {
+		t.Fatalf("min query wrong: %v", res.Relation)
+	}
+}
+
+func TestNewRelationValidation(t *testing.T) {
+	if _, err := NewRelation("x", []Attr{{Name: "", Domain: 1}}); err == nil {
+		t.Fatal("invalid attr should error")
+	}
+	r, err := NewRelation("x", []Attr{{Name: "a", Domain: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Arity() != 1 {
+		t.Fatal("arity")
+	}
+}
