@@ -4,9 +4,13 @@
 
 GO ?= go
 
-.PHONY: all build test race bench experiments examples fmt vet clean
+.PHONY: all check build test test-race race bench experiments examples fmt vet clean
 
-all: build test
+all: check
+
+# Full gate: compile, vet, plain tests, then the race-enabled suite
+# (which exercises the parallel executor with Parallelism > 1).
+check: build vet test test-race
 
 build:
 	$(GO) build ./...
@@ -14,8 +18,10 @@ build:
 test:
 	$(GO) test ./...
 
-race:
+test-race:
 	$(GO) test -race ./...
+
+race: test-race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

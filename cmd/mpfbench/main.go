@@ -27,6 +27,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast pass")
 	frames := flag.Int("frames", 0, "buffer pool frames (0 = default 256)")
+	parallel := flag.Int("parallel", 0, "intra-query worker bound (0 or 1 = serial)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -36,7 +37,7 @@ func main() {
 		}
 		return
 	}
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, Quick: *quick, PoolFrames: *frames}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Quick: *quick, PoolFrames: *frames, Parallelism: *parallel}
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = experiments.IDs()

@@ -38,21 +38,22 @@ func main() {
 	script := flag.String("script", "", "execute a SQL script file and exit")
 	command := flag.String("c", "", "execute one statement and exit")
 	frames := flag.Int("frames", 256, "buffer pool frames")
+	parallel := flag.Int("parallel", 0, "intra-query worker bound (0 or 1 = serial)")
 	flag.BoolVar(&analyze, "analyze", false, "print per-operator actuals after each query")
 	flag.Parse()
 
-	if err := run(*load, *scale, *density, *tables, *seed, *srName, *strategy, *script, *command, *frames); err != nil {
+	if err := run(*load, *scale, *density, *tables, *seed, *srName, *strategy, *script, *command, *frames, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "mpfcli:", err)
 		os.Exit(1)
 	}
 }
 
-func run(load string, scale, density float64, tables int, seed int64, srName, strategy, script, command string, frames int) error {
+func run(load string, scale, density float64, tables int, seed int64, srName, strategy, script, command string, frames, parallel int) error {
 	sr, err := semiring.ByName(srName)
 	if err != nil {
 		return err
 	}
-	cfg := core.Config{Semiring: sr, PoolFrames: frames}
+	cfg := core.Config{Semiring: sr, PoolFrames: frames, Parallelism: parallel}
 	if strategy != "" {
 		o, err := opt.ByName(strategy)
 		if err != nil {
@@ -146,9 +147,12 @@ func printOutput(out *sqlx.Output) {
 		fmt.Printf("(%s; optimize %v, execute %v, %d page IOs)\n",
 			out.Message, out.Optimize, out.Exec.Wall, out.Exec.IO.IO())
 		if analyze && len(out.Exec.Ops) > 0 {
-			fmt.Println("operator actuals (bottom-up):")
+			fmt.Println("operator actuals (bottom-up, self time):")
 			for _, op := range out.Exec.Ops {
-				fmt.Printf("  %-24s %8d rows  %v\n", op.Desc, op.Rows, op.Wall)
+				fmt.Printf("  %-24s %8d rows  %v self\n", op.Desc, op.Rows, op.Wall)
+			}
+			if out.Exec.HotKeyFallbacks > 0 {
+				fmt.Printf("  grace hot-key fallbacks: %d\n", out.Exec.HotKeyFallbacks)
 			}
 		}
 		return

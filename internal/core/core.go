@@ -37,6 +37,9 @@ type Config struct {
 	// Optimizer is the default planning algorithm; nil defaults to
 	// nonlinear CS+.
 	Optimizer opt.Optimizer
+	// Parallelism is the engine's intra-query worker bound; 0 or 1 keeps
+	// execution strictly serial (see exec.Engine.Parallelism).
+	Parallelism int
 }
 
 // Database is the engine facade. Concurrent read-only queries (Query,
@@ -77,6 +80,8 @@ func Open(cfg Config) (*Database, error) {
 	} else {
 		factory = storage.MemDiskFactory()
 	}
+	engine := exec.NewEngine(pool, factory, cfg.Semiring)
+	engine.Parallelism = cfg.Parallelism
 	return &Database{
 		cfg:     cfg,
 		pool:    pool,
@@ -84,7 +89,7 @@ func Open(cfg Config) (*Database, error) {
 		cat:     catalog.New(),
 		rels:    make(map[string]*relation.Relation),
 		tables:  make(map[string]*exec.Table),
-		engine:  exec.NewEngine(pool, factory, cfg.Semiring),
+		engine:  engine,
 		caches:  make(map[string]*infer.Cache),
 	}, nil
 }

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"time"
 
@@ -33,6 +34,18 @@ type Engine struct {
 	// fused operator, skipping the join's materialization. Off by default
 	// so operator IO matches the paper's materializing cost model.
 	FuseJoinGroupBy bool
+	// Parallelism bounds the worker goroutines used inside a single query:
+	// Grace-join partition pairs, partitioned hash group-by, and external
+	// sort run generation all fan out across this many workers. 0 or 1
+	// preserves today's strictly serial execution. Parallel execution of a
+	// plan produces the same result relation, and (absent buffer-pool
+	// eviction) the same physical IO counts, as serial execution.
+	Parallelism int
+	// ParallelGroupByMinTuples is the minimum input size (in tuples) for
+	// the partitioned parallel group-by; smaller inputs aggregate serially
+	// because the extra partition pass would dominate. Zero selects a
+	// default of 1<<13.
+	ParallelGroupByMinTuples int
 }
 
 // NewEngine returns an engine with hash-based operators.
@@ -41,21 +54,30 @@ func NewEngine(pool *storage.Pool, factory storage.DiskFactory, sr semiring.Semi
 }
 
 // OpStat records one executed operator's actuals (EXPLAIN ANALYZE
-// style): what ran, how many rows it produced, and how long it took
-// (inclusive of its inputs).
+// style): what ran, how many rows it produced, and how long it took.
+// Wall is exclusive (self) time — the operator's own work with its
+// children's time subtracted — matching PostgreSQL's per-node "actual
+// time" semantics.
 type OpStat struct {
 	Desc string
 	Rows int64
 	Wall time.Duration
 }
 
-// RunStats describes one plan execution.
+// RunStats describes one plan execution. On error the counters hold the
+// partial work done up to the failure (Wall and IO included), so EXPLAIN
+// ANALYZE of a failed query still reports what was spent.
 type RunStats struct {
 	Wall       time.Duration
 	IO         storage.Stats
 	RowsOut    int64
 	Operators  int
 	TempTuples int64 // tuples written to intermediate tables
+	// HotKeyFallbacks counts Grace-join partitions that hit the recursion
+	// depth limit still oversized (a hot join key) and fell back to an
+	// in-memory join above the build cap. Non-zero means pathological
+	// skew worth knowing about.
+	HotKeyFallbacks int64
 	// Ops lists per-operator actuals in completion (bottom-up) order.
 	Ops []OpStat
 }
@@ -70,37 +92,52 @@ func (e *Engine) Run(p *plan.Node, resolve Resolver) (*relation.Relation, RunSta
 	start := time.Now()
 	before := e.Pool.Stats()
 	st := &RunStats{}
-	out, err := e.exec(p, resolve, st)
+	// finish stamps Wall and IO on every exit, error paths included, so
+	// callers always see the true partial work.
+	finish := func() {
+		st.Wall = time.Since(start)
+		st.IO = e.Pool.Stats().Sub(before)
+	}
+	out, _, err := e.exec(p, resolve, st)
 	if err != nil {
+		finish()
 		return nil, *st, err
 	}
 	rel, err := ReadRelation(out)
 	if err != nil {
-		out.Drop()
+		err = errors.Join(err, out.Drop())
+		finish()
 		return nil, *st, err
 	}
 	if err := out.Drop(); err != nil {
+		finish()
 		return nil, *st, err
 	}
-	st.Wall = time.Since(start)
-	st.IO = e.Pool.Stats().Sub(before)
+	finish()
 	st.RowsOut = int64(rel.Len())
 	return rel, *st, nil
 }
 
-// exec evaluates one node; the returned table is temporary unless it is a
-// base table.
-func (e *Engine) exec(p *plan.Node, resolve Resolver, st *RunStats) (*Table, error) {
+// exec evaluates one node, recording its OpStat. The returned duration is
+// the node's inclusive wall time (children included); parents subtract it
+// so that recorded OpStat.Wall is exclusive self time. The returned table
+// is temporary unless it is a base table.
+func (e *Engine) exec(p *plan.Node, resolve Resolver, st *RunStats) (*Table, time.Duration, error) {
 	start := time.Now()
-	out, err := e.execOp(p, resolve, st)
+	out, childWall, err := e.execOp(p, resolve, st)
+	incl := time.Since(start)
 	if err == nil && out != nil {
+		self := incl - childWall
+		if self < 0 {
+			self = 0
+		}
 		st.Ops = append(st.Ops, OpStat{
 			Desc: opDesc(p),
 			Rows: out.Heap.NumTuples(),
-			Wall: time.Since(start),
+			Wall: self,
 		})
 	}
-	return out, err
+	return out, incl, err
 }
 
 // opDesc renders a short operator description for OpStat.
@@ -119,29 +156,32 @@ func opDesc(p *plan.Node) string {
 	}
 }
 
-// execOp dispatches one operator.
-func (e *Engine) execOp(p *plan.Node, resolve Resolver, st *RunStats) (*Table, error) {
+// execOp dispatches one operator. The returned duration sums the
+// inclusive wall time of the operator's direct children, letting exec
+// compute exclusive self time.
+func (e *Engine) execOp(p *plan.Node, resolve Resolver, st *RunStats) (*Table, time.Duration, error) {
 	st.Operators++
 	switch p.Op {
 	case plan.OpScan:
-		return resolve(p.Table)
+		out, err := resolve(p.Table)
+		return out, 0, err
 	case plan.OpSelect:
-		in, err := e.exec(p.Left, resolve, st)
+		in, childWall, err := e.exec(p.Left, resolve, st)
 		if err != nil {
-			return nil, err
+			return nil, childWall, err
 		}
 		out, err := e.selectOp(in, p.Pred, st)
 		dropInput(in, err == nil)
-		return out, err
+		return out, childWall, err
 	case plan.OpJoin:
-		l, err := e.exec(p.Left, resolve, st)
+		l, lWall, err := e.exec(p.Left, resolve, st)
 		if err != nil {
-			return nil, err
+			return nil, lWall, err
 		}
-		r, err := e.exec(p.Right, resolve, st)
+		r, rWall, err := e.exec(p.Right, resolve, st)
 		if err != nil {
 			l.Drop()
-			return nil, err
+			return nil, lWall + rWall, err
 		}
 		var out *Table
 		if e.SortJoin {
@@ -151,14 +191,14 @@ func (e *Engine) execOp(p *plan.Node, resolve Resolver, st *RunStats) (*Table, e
 		}
 		dropInput(l, err == nil)
 		dropInput(r, err == nil)
-		return out, err
+		return out, lWall + rWall, err
 	case plan.OpGroupBy:
-		if fused, err := e.tryFuse(p, resolve, st); err != nil || fused != nil {
-			return fused, err
+		if fused, childWall, err := e.tryFuse(p, resolve, st); err != nil || fused != nil {
+			return fused, childWall, err
 		}
-		in, err := e.exec(p.Left, resolve, st)
+		in, childWall, err := e.exec(p.Left, resolve, st)
 		if err != nil {
-			return nil, err
+			return nil, childWall, err
 		}
 		var out *Table
 		if e.SortGroupBy {
@@ -167,9 +207,9 @@ func (e *Engine) execOp(p *plan.Node, resolve Resolver, st *RunStats) (*Table, e
 			out, err = e.hashGroupBy(in, p.GroupVars, st)
 		}
 		dropInput(in, err == nil)
-		return out, err
+		return out, childWall, err
 	default:
-		return nil, fmt.Errorf("exec: unknown op %v", p.Op)
+		return nil, 0, fmt.Errorf("exec: unknown op %v", p.Op)
 	}
 }
 
@@ -320,7 +360,9 @@ func (e *Engine) hashJoin(l, r *Table, st *RunStats) (*Table, error) {
 }
 
 // hashJoinInto performs an in-memory-build hash join of l and r,
-// appending result tuples to out.
+// appending result tuples to out. It is safe to run concurrently with
+// other appenders to the same out (Grace partition pairs do): appends go
+// through out.LockedAppend and shared counters are merged atomically.
 func (e *Engine) hashJoinInto(l, r *Table, lCols, rCols, rExtra []int, out *Table, st *RunStats) error {
 	build, probe := l, r
 	buildCols, probeCols := lCols, rCols
@@ -346,14 +388,16 @@ func (e *Engine) hashJoinInto(l, r *Table, lCols, rCols, rExtra []int, out *Tabl
 		return err
 	}
 
+	var tmp int64
+	defer func() { st.addTempTuples(tmp) }()
 	rowBuf := make([]int32, len(out.Attrs))
 	emit := func(lv []int32, lm float64, rv []int32, rm float64) error {
 		copy(rowBuf, lv)
 		for i, c := range rExtra {
 			rowBuf[len(l.Attrs)+i] = rv[c]
 		}
-		st.TempTuples++
-		return out.Heap.Append(rowBuf, e.Sr.Mul(lm, rm))
+		tmp++
+		return out.LockedAppend(rowBuf, e.Sr.Mul(lm, rm))
 	}
 
 	pit := probe.Heap.Scan()
@@ -385,19 +429,28 @@ type aggEntry struct {
 	measure float64
 }
 
-func (e *Engine) hashGroupBy(in *Table, groupVars []string, st *RunStats) (*Table, error) {
-	cols := make([]int, len(groupVars))
-	outAttrs := make([]relation.Attr, len(groupVars))
+// groupSchema resolves the group variables to column indexes and the
+// aggregate output schema.
+func groupSchema(in *Table, groupVars []string) (cols []int, outAttrs []relation.Attr, err error) {
+	cols = make([]int, len(groupVars))
+	outAttrs = make([]relation.Attr, len(groupVars))
 	for i, v := range groupVars {
 		c := in.ColIndex(v)
 		if c < 0 {
-			return nil, fmt.Errorf("exec: group variable %s not in %s", v, in.Name)
+			return nil, nil, fmt.Errorf("exec: group variable %s not in %s", v, in.Name)
 		}
 		cols[i] = c
 		outAttrs[i] = in.Attrs[c]
 	}
-	groups := make(map[string]*aggEntry)
-	order := make([]string, 0, 1024) // preserve first-seen order for determinism
+	return cols, outAttrs, nil
+}
+
+// aggregate runs one in-memory hash-aggregation pass over in, returning
+// the groups keyed by encoded group values together with their first-seen
+// order (scan order, for determinism).
+func (e *Engine) aggregate(in *Table, cols []int) (order []string, groups map[string]*aggEntry, err error) {
+	groups = make(map[string]*aggEntry)
+	order = make([]string, 0, 1024)
 	it := in.Heap.Scan()
 	keyBuf := make([]byte, 4*len(cols))
 	for {
@@ -419,6 +472,21 @@ func (e *Engine) hashGroupBy(in *Table, groupVars []string, st *RunStats) (*Tabl
 		g.measure = e.Sr.Add(g.measure, m)
 	}
 	if err := it.Close(); err != nil {
+		return nil, nil, err
+	}
+	return order, groups, nil
+}
+
+func (e *Engine) hashGroupBy(in *Table, groupVars []string, st *RunStats) (*Table, error) {
+	cols, outAttrs, err := groupSchema(in, groupVars)
+	if err != nil {
+		return nil, err
+	}
+	if e.workers() > 1 && len(cols) > 0 && in.Heap.NumTuples() >= e.parallelGroupByMin() {
+		return e.parallelHashGroupBy(in, cols, outAttrs, st)
+	}
+	order, groups, err := e.aggregate(in, cols)
+	if err != nil {
 		return nil, err
 	}
 	out, err := e.newTemp("γ("+in.Name+")", outAttrs)

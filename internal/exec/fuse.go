@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"time"
+
 	"mpf/internal/plan"
 	"mpf/internal/relation"
 )
@@ -131,23 +133,26 @@ func (e *groupVarError) Error() string {
 }
 
 // tryFuse recognizes GroupBy(Join(..)) and runs the fused operator,
-// returning (nil, nil) when the pattern does not apply.
-func (e *Engine) tryFuse(p *plan.Node, resolve Resolver, st *RunStats) (*Table, error) {
+// returning (nil, 0, nil) when the pattern does not apply. The returned
+// duration sums the inclusive wall time of the child subtrees it
+// executed, for exclusive-time accounting in exec.
+func (e *Engine) tryFuse(p *plan.Node, resolve Resolver, st *RunStats) (*Table, time.Duration, error) {
 	if !e.FuseJoinGroupBy || p.Op != plan.OpGroupBy || p.Left == nil || p.Left.Op != plan.OpJoin {
-		return nil, nil
+		return nil, 0, nil
 	}
 	if e.SortJoin || e.SortGroupBy {
-		return nil, nil // fusion is a hash-pipeline optimization
+		return nil, 0, nil // fusion is a hash-pipeline optimization
 	}
 	join := p.Left
-	l, err := e.exec(join.Left, resolve, st)
+	l, lWall, err := e.exec(join.Left, resolve, st)
 	if err != nil {
-		return nil, err
+		return nil, lWall, err
 	}
-	r, err := e.exec(join.Right, resolve, st)
+	r, rWall, err := e.exec(join.Right, resolve, st)
+	childWall := lWall + rWall
 	if err != nil {
 		l.Drop()
-		return nil, err
+		return nil, childWall, err
 	}
 	// Very large builds go through the materializing Grace path instead.
 	smaller := l.Heap.NumTuples()
@@ -159,15 +164,15 @@ func (e *Engine) tryFuse(p *plan.Node, resolve Resolver, st *RunStats) (*Table, 
 		dropInput(l, err == nil)
 		dropInput(r, err == nil)
 		if err != nil {
-			return nil, err
+			return nil, childWall, err
 		}
 		out, err := e.hashGroupBy(jt, p.GroupVars, st)
 		dropInput(jt, err == nil)
-		return out, err
+		return out, childWall, err
 	}
 	st.Operators++ // the caller counted the GroupBy; count the fused join
 	out, err := e.fusedJoinGroupBy(l, r, p.GroupVars, st)
 	dropInput(l, err == nil)
 	dropInput(r, err == nil)
-	return out, err
+	return out, childWall, err
 }

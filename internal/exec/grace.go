@@ -3,6 +3,8 @@ package exec
 import (
 	"encoding/binary"
 	"hash/fnv"
+	"sync"
+	"sync/atomic"
 )
 
 // graceFanOut is the number of partitions per Grace hash-join pass.
@@ -20,17 +22,31 @@ const defaultMaxBuildTuples = 1 << 20
 // in-memory join regardless of size.
 const graceDepthLimit = 3
 
-// partitionHash buckets a join key for pass depth.
+// partitionHash buckets a join key for pass depth. The seed is
+// (depth+1)·2654435761 so that depth 0 already mixes a non-zero seed into
+// the FNV state — depth·K would be a zero-byte no-op on the first pass.
+// The final avalanche (murmur3 fmix32) is load-bearing: raw FNV mod a
+// power-of-two fan-out keys the bucket off the hash's low bits, which for
+// short keys depend only on the key's low bits regardless of the seed —
+// the same keys would then collide at EVERY depth and recursive
+// repartitioning could never split a colliding pair, driving every such
+// partition to the depth-limit fallback.
 func partitionHash(vals []int32, cols []int, depth int) int {
 	h := fnv.New32a()
 	var b [4]byte
-	binary.LittleEndian.PutUint32(b[:], uint32(depth)*2654435761)
+	binary.LittleEndian.PutUint32(b[:], (uint32(depth)+1)*2654435761)
 	h.Write(b[:])
 	for _, c := range cols {
 		binary.LittleEndian.PutUint32(b[:], uint32(vals[c]))
 		h.Write(b[:])
 	}
-	return int(h.Sum32() % graceFanOut)
+	s := h.Sum32()
+	s ^= s >> 16
+	s *= 0x85ebca6b
+	s ^= s >> 13
+	s *= 0xc2b2ae35
+	s ^= s >> 16
+	return int(s % graceFanOut)
 }
 
 // maxBuild returns the engine's build-side cap.
@@ -42,34 +58,64 @@ func (e *Engine) maxBuild() int64 {
 }
 
 // graceJoin hash-partitions both inputs on the shared variables and joins
-// partition pairs, appending results to out.
+// partition pairs, appending results to out. With Engine.Parallelism > 1
+// the two partition passes run concurrently and the partition pairs are
+// spread over a bounded worker pool, each pair appending into out under
+// its lock; recursive repartitioning stays serial inside its worker.
+// Partition pairs touch disjoint pages and every result row performs the
+// same appends as in serial order, so (absent pool eviction) the IO
+// counters match serial execution exactly.
 func (e *Engine) graceJoin(l, r *Table, lCols, rCols, rExtra []int, out *Table, depth int, st *RunStats) error {
-	lParts, err := e.partition(l, lCols, depth, st)
-	if err != nil {
-		return err
+	parallel := depth == 0 && e.workers() > 1
+	var lParts, rParts []*Table
+	var lErr, rErr error
+	if parallel {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lParts, lErr = e.partition(l, lCols, depth, st)
+		}()
+		rParts, rErr = e.partition(r, rCols, depth, st)
+		wg.Wait()
+	} else {
+		lParts, lErr = e.partition(l, lCols, depth, st)
+		if lErr == nil {
+			rParts, rErr = e.partition(r, rCols, depth, st)
+		}
 	}
 	defer dropAll(lParts)
-	rParts, err := e.partition(r, rCols, depth, st)
-	if err != nil {
-		return err
-	}
 	defer dropAll(rParts)
-	for i := 0; i < graceFanOut; i++ {
+	if lErr != nil {
+		return lErr
+	}
+	if rErr != nil {
+		return rErr
+	}
+	pair := func(i int) error {
 		lp, rp := lParts[i], rParts[i]
 		if lp.Heap.NumTuples() == 0 || rp.Heap.NumTuples() == 0 {
-			continue
+			return nil
 		}
 		small := lp.Heap.NumTuples()
 		if rp.Heap.NumTuples() < small {
 			small = rp.Heap.NumTuples()
 		}
-		if small > e.maxBuild() && depth < graceDepthLimit {
-			if err := e.graceJoin(lp, rp, lCols, rCols, rExtra, out, depth+1, st); err != nil {
-				return err
+		if small > e.maxBuild() {
+			if depth < graceDepthLimit {
+				return e.graceJoin(lp, rp, lCols, rCols, rExtra, out, depth+1, st)
 			}
-			continue
+			// Hot key: every repartition left this pair oversized, so join
+			// it in memory anyway and surface the event.
+			atomic.AddInt64(&st.HotKeyFallbacks, 1)
 		}
-		if err := e.hashJoinInto(lp, rp, lCols, rCols, rExtra, out, st); err != nil {
+		return e.hashJoinInto(lp, rp, lCols, rCols, rExtra, out, st)
+	}
+	if parallel {
+		return runParallel(graceFanOut, e.workers(), pair)
+	}
+	for i := 0; i < graceFanOut; i++ {
+		if err := pair(i); err != nil {
 			return err
 		}
 	}
@@ -87,6 +133,8 @@ func (e *Engine) partition(t *Table, cols []int, depth int, st *RunStats) ([]*Ta
 		}
 		parts[i] = p
 	}
+	var tmp int64
+	defer func() { st.addTempTuples(tmp) }()
 	it := t.Heap.Scan()
 	defer it.Close()
 	for {
@@ -99,7 +147,7 @@ func (e *Engine) partition(t *Table, cols []int, depth int, st *RunStats) ([]*Ta
 			dropAll(parts)
 			return nil, err
 		}
-		st.TempTuples++
+		tmp++
 	}
 	if err := it.Err(); err != nil {
 		dropAll(parts)

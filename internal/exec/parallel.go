@@ -1,0 +1,130 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"mpf/internal/relation"
+)
+
+// defaultParallelGroupByMinTuples is the input size below which parallel
+// group-by is not worth the extra partition pass.
+const defaultParallelGroupByMinTuples = 1 << 13
+
+// workers returns the bounded worker count for parallel operators; 1
+// means serial execution.
+func (e *Engine) workers() int {
+	if e.Parallelism <= 1 {
+		return 1
+	}
+	return e.Parallelism
+}
+
+// parallelGroupByMin returns the tuple threshold for parallel group-by.
+func (e *Engine) parallelGroupByMin() int64 {
+	if e.ParallelGroupByMinTuples > 0 {
+		return int64(e.ParallelGroupByMinTuples)
+	}
+	return defaultParallelGroupByMinTuples
+}
+
+// addTempTuples merges a worker-local intermediate-tuple count into the
+// run's shared counter.
+func (st *RunStats) addTempTuples(n int64) {
+	if n != 0 {
+		atomic.AddInt64(&st.TempTuples, n)
+	}
+}
+
+// runParallel executes task(0..n-1) on at most w goroutines, handing out
+// indexes by work-stealing. The first task error stops the handout and is
+// returned after all in-flight tasks finish.
+func runParallel(n, w int, task func(i int) error) error {
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := task(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	next := int64(-1)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				mu.Lock()
+				stop := firstErr != nil
+				mu.Unlock()
+				if stop {
+					return
+				}
+				if err := task(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// parallelHashGroupBy partitions the input on the group-key hash, runs the
+// in-memory aggregation on each partition concurrently, and concatenates
+// the partition results. Rows of one group always land in one partition,
+// and partitioning preserves scan order within a partition, so every
+// group's measures are accumulated in exactly the serial order — results
+// are bit-identical to serial hash aggregation (only output row order
+// differs, which is immaterial for a functional relation).
+func (e *Engine) parallelHashGroupBy(in *Table, cols []int, outAttrs []relation.Attr, st *RunStats) (*Table, error) {
+	parts, err := e.partition(in, cols, 0, st)
+	if err != nil {
+		return nil, err
+	}
+	defer dropAll(parts)
+	out, err := e.newTemp("γ("+in.Name+")", outAttrs)
+	if err != nil {
+		return nil, err
+	}
+	err = runParallel(len(parts), e.workers(), func(i int) error {
+		p := parts[i]
+		if p.Heap.NumTuples() == 0 {
+			return nil
+		}
+		order, groups, err := e.aggregate(p, cols)
+		if err != nil {
+			return err
+		}
+		var tmp int64
+		defer func() { st.addTempTuples(tmp) }()
+		for _, k := range order {
+			g := groups[k]
+			if err := out.LockedAppend(g.vals, g.measure); err != nil {
+				return err
+			}
+			tmp++
+		}
+		return nil
+	})
+	if err != nil {
+		out.Drop()
+		return nil, err
+	}
+	return out, nil
+}

@@ -3,8 +3,7 @@ package exec
 import (
 	"container/heap"
 	"sort"
-
-	"fmt"
+	"sync"
 
 	"mpf/internal/relation"
 )
@@ -52,40 +51,45 @@ func (r *memRun) sortBy(cols []int) {
 	r.vals, r.measures = nv, nm
 }
 
-// externalSort sorts the input table by cols, producing a temporary table.
-// Runs of at most SortRunTuples tuples are sorted in memory and spilled to
-// temp heaps, then merged with a k-way merge.
-func (e *Engine) externalSort(in *Table, cols []int, st *RunStats) (*Table, error) {
-	runSize := e.SortRunTuples
-	if runSize <= 0 {
-		runSize = defaultSortRunTuples
+// spillRun sorts one in-memory run on cols and writes it to a fresh temp
+// heap. Safe to call from several goroutines at once (distinct runs).
+func (e *Engine) spillRun(run *memRun, cols []int, attrs []relation.Attr, st *RunStats) (*Table, error) {
+	run.sortBy(cols)
+	rt, err := e.newTemp("sortrun", attrs)
+	if err != nil {
+		return nil, err
 	}
-	arity := len(in.Attrs)
+	var tmp int64
+	defer func() { st.addTempTuples(tmp) }()
+	for i := 0; i < run.len(); i++ {
+		if err := rt.Heap.Append(run.row(i), run.measures[i]); err != nil {
+			rt.Drop()
+			return nil, err
+		}
+		tmp++
+	}
+	return rt, nil
+}
 
+// serialRuns generates sorted runs of at most runSize tuples, one at a
+// time on the calling goroutine.
+func (e *Engine) serialRuns(in *Table, cols []int, runSize int, st *RunStats) ([]*Table, error) {
+	arity := len(in.Attrs)
 	var runs []*Table
 	cleanup := func() {
 		for _, r := range runs {
 			r.Drop()
 		}
 	}
-
 	it := in.Heap.Scan()
 	cur := &memRun{arity: arity}
 	flush := func() error {
 		if cur.len() == 0 {
 			return nil
 		}
-		cur.sortBy(cols)
-		rt, err := e.newTemp("sortrun", in.Attrs)
+		rt, err := e.spillRun(cur, cols, in.Attrs, st)
 		if err != nil {
 			return err
-		}
-		for i := 0; i < cur.len(); i++ {
-			if err := rt.Heap.Append(cur.row(i), cur.measures[i]); err != nil {
-				rt.Drop()
-				return err
-			}
-			st.TempTuples++
 		}
 		runs = append(runs, rt)
 		cur = &memRun{arity: arity}
@@ -112,6 +116,111 @@ func (e *Engine) externalSort(in *Table, cols []int, st *RunStats) (*Table, erro
 	}
 	if err := flush(); err != nil {
 		cleanup()
+		return nil, err
+	}
+	return runs, nil
+}
+
+// parallelRuns generates sorted runs with the scan on the calling
+// goroutine and sort+spill work fanned out over the engine's workers. The
+// runs slice is indexed by chunk order, so the downstream k-way merge
+// breaks ties between runs exactly as it would for serial generation and
+// the sorted output is identical.
+func (e *Engine) parallelRuns(in *Table, cols []int, runSize int, st *RunStats) ([]*Table, error) {
+	arity := len(in.Attrs)
+	var (
+		mu       sync.Mutex
+		runs     []*Table
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	sem := make(chan struct{}, e.workers())
+	launch := func(idx int, run *memRun) {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rt, err := e.spillRun(run, cols, in.Attrs, st)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			runs[idx] = rt
+		}()
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+
+	it := in.Heap.Scan()
+	cur := &memRun{arity: arity}
+	for {
+		vals, m, ok := it.Next()
+		if !ok {
+			break
+		}
+		cur.vals = append(cur.vals, vals...)
+		cur.measures = append(cur.measures, m)
+		if cur.len() >= runSize {
+			if failed() {
+				break
+			}
+			mu.Lock()
+			idx := len(runs)
+			runs = append(runs, nil)
+			mu.Unlock()
+			launch(idx, cur)
+			cur = &memRun{arity: arity}
+		}
+	}
+	scanErr := it.Close()
+	if scanErr == nil && cur.len() > 0 && !failed() {
+		mu.Lock()
+		idx := len(runs)
+		runs = append(runs, nil)
+		mu.Unlock()
+		launch(idx, cur)
+	}
+	wg.Wait()
+	if firstErr == nil {
+		firstErr = scanErr
+	}
+	if firstErr != nil {
+		for _, r := range runs {
+			if r != nil {
+				r.Drop()
+			}
+		}
+		return nil, firstErr
+	}
+	return runs, nil
+}
+
+// externalSort sorts the input table by cols, producing a temporary table.
+// Runs of at most SortRunTuples tuples are sorted in memory and spilled to
+// temp heaps (concurrently when Engine.Parallelism > 1), then merged with
+// a k-way merge.
+func (e *Engine) externalSort(in *Table, cols []int, st *RunStats) (*Table, error) {
+	runSize := e.SortRunTuples
+	if runSize <= 0 {
+		runSize = defaultSortRunTuples
+	}
+
+	var runs []*Table
+	var err error
+	if e.workers() > 1 && in.Heap.NumTuples() > int64(runSize) {
+		runs, err = e.parallelRuns(in, cols, runSize, st)
+	} else {
+		runs, err = e.serialRuns(in, cols, runSize, st)
+	}
+	if err != nil {
 		return nil, err
 	}
 
@@ -266,15 +375,9 @@ func (r *rowIter) Close() error { return r.it.Close() }
 // sortGroupBy implements marginalization by external sort on the group
 // columns followed by a streaming aggregation pass.
 func (e *Engine) sortGroupBy(in *Table, groupVars []string, st *RunStats) (*Table, error) {
-	cols := make([]int, len(groupVars))
-	outAttrs := make([]relation.Attr, len(groupVars))
-	for i, v := range groupVars {
-		c := in.ColIndex(v)
-		if c < 0 {
-			return nil, fmt.Errorf("exec: group variable %s not in %s", v, in.Name)
-		}
-		cols[i] = c
-		outAttrs[i] = in.Attrs[c]
+	cols, outAttrs, err := groupSchema(in, groupVars)
+	if err != nil {
+		return nil, err
 	}
 	sorted, err := e.externalSort(in, cols, st)
 	if err != nil {

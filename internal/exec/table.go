@@ -13,6 +13,7 @@ package exec
 
 import (
 	"fmt"
+	"sync"
 
 	"mpf/internal/relation"
 	"mpf/internal/storage"
@@ -28,6 +29,17 @@ type Table struct {
 	// automatically when one covers a predicate variable.
 	Indexes map[string]*Index
 	temp    bool
+	mu      sync.Mutex // serializes LockedAppend for parallel producers
+}
+
+// LockedAppend appends one tuple under the table's mutex, allowing many
+// goroutines (e.g. Grace-join partition workers) to produce into one
+// output table. The heap performs exactly the same page operations as the
+// equivalent serial Appends, only in a different interleaving.
+func (t *Table) LockedAppend(vals []int32, measure float64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.Heap.Append(vals, measure)
 }
 
 // Vars returns the table's variable set.

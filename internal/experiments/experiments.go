@@ -36,6 +36,9 @@ type Config struct {
 	Quick bool
 	// PoolFrames is the buffer pool size; 0 defaults to 256 frames.
 	PoolFrames int
+	// Parallelism is the engine's intra-query worker bound applied to
+	// every experiment session; 0 or 1 is serial (today's default).
+	Parallelism int
 }
 
 func (c Config) scale() float64 {
@@ -122,6 +125,7 @@ func Registry() []struct {
 		{"ablation-workload", AblationWorkload},
 		{"ablation-costmodel", AblationCostModel},
 		{"ablation-fusion", AblationFusion},
+		{"parallel-exec", ParallelExec},
 	}
 }
 
@@ -159,9 +163,10 @@ type session struct {
 	ds *gen.Dataset
 }
 
-// openDataset loads a dataset into a fresh engine-backed database.
-func openDataset(ds *gen.Dataset, frames int) (*session, error) {
-	db, err := core.Open(core.Config{PoolFrames: frames})
+// openDataset loads a dataset into a fresh engine-backed database with
+// the given buffer-pool size and intra-query parallelism.
+func openDataset(ds *gen.Dataset, frames, parallelism int) (*session, error) {
+	db, err := core.Open(core.Config{PoolFrames: frames, Parallelism: parallelism})
 	if err != nil {
 		return nil, err
 	}

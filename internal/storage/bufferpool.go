@@ -28,19 +28,27 @@ type pageKey struct {
 }
 
 type frame struct {
-	key   pageKey
-	buf   []byte
-	pins  int
-	dirty bool
-	ref   bool // clock reference bit
-	valid bool
+	key     pageKey
+	buf     []byte
+	pins    int
+	dirty   bool
+	ref     bool // clock reference bit
+	valid   bool
+	loading bool // a pinner is filling buf from disk outside the pool lock
 }
 
 // Pool is a shared buffer pool with clock (second-chance) eviction. All
 // page access in the engine flows through a Pool so that Stats faithfully
 // reflect every plan's physical IO.
+//
+// A Pool is safe for concurrent use. The critical sections under the pool
+// mutex are kept short: a miss reserves a frame under the lock but
+// performs the physical page read with the lock released, so concurrent
+// pins — the access pattern of the engine's intra-query parallel
+// operators — overlap their IO waits instead of serializing on the pool.
 type Pool struct {
 	mu      sync.Mutex
+	loaded  sync.Cond // signaled when a loading frame settles
 	frames  []frame
 	table   map[pageKey]int
 	hand    int
@@ -60,6 +68,7 @@ func NewPool(frames int) *Pool {
 		table:  make(map[pageKey]int, frames),
 		disks:  make(map[int64]Disk),
 	}
+	p.loaded.L = &p.mu
 	for i := range p.frames {
 		p.frames[i].buf = make([]byte, PageSize)
 	}
@@ -171,12 +180,27 @@ func (p *Pool) victim() (int, error) {
 // it, and returns the frame's buffer. The buffer remains valid until the
 // matching Unpin. Callers that modify the buffer must pass dirty=true to
 // Unpin.
+//
+// On a miss the frame is reserved under the pool lock but filled from
+// disk with the lock released, so concurrent pins of other pages proceed
+// while the read is in flight. Concurrent pins of the SAME page wait for
+// the in-flight read and then share the frame, counting a hit — exactly
+// the accounting a serial execution of the same accesses would produce.
 func (p *Pool) Pin(h, no int64) ([]byte, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	k := pageKey{h, no}
-	if idx, ok := p.table[k]; ok {
+	for {
+		idx, ok := p.table[k]
+		if !ok {
+			break
+		}
 		f := &p.frames[idx]
+		if f.loading {
+			// Re-look-up after waiting: a failed load vacates the frame.
+			p.loaded.Wait()
+			continue
+		}
 		f.pins++
 		f.ref = true
 		p.stats.Hits++
@@ -190,17 +214,32 @@ func (p *Pool) Pin(h, no int64) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Reserve the frame (pinned + loading) so neither the clock hand nor a
+	// concurrent pin of the same page can touch it, then read unlocked.
 	f := &p.frames[idx]
-	if err := d.ReadPage(no, f.buf); err != nil {
-		return nil, err
-	}
-	p.stats.Reads++
 	f.key = k
 	f.pins = 1
 	f.ref = true
 	f.dirty = false
 	f.valid = true
+	f.loading = true
 	p.table[k] = idx
+	p.stats.Reads++
+	p.mu.Unlock()
+	rerr := d.ReadPage(no, f.buf)
+	p.mu.Lock()
+	f.loading = false
+	if rerr != nil {
+		// Undo the reservation: the page never made it into the pool, so
+		// the read must not be counted and waiters must retry the miss.
+		f.pins--
+		f.valid = false
+		p.stats.Reads--
+		delete(p.table, k)
+		p.loaded.Broadcast()
+		return nil, rerr
+	}
+	p.loaded.Broadcast()
 	return f.buf, nil
 }
 

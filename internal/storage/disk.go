@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"time"
 )
 
 // PageSize is the size of every page in bytes.
@@ -184,6 +185,51 @@ func (d *FileDisk) Close() error {
 	return err
 }
 
+// LatencyDisk wraps a Disk and sleeps for a fixed duration on every page
+// read and/or write. It models a storage device with non-trivial access
+// latency, letting tests and benchmarks reproduce the paper's
+// disk-resident regime — where execution time is dominated by page IO —
+// on top of a MemDisk, deterministically and without real files. Because
+// the buffer pool issues reads with its lock released, concurrent
+// pinners overlap these stalls, which is what intra-query parallelism
+// exploits.
+type LatencyDisk struct {
+	d          Disk
+	readDelay  time.Duration
+	writeDelay time.Duration
+}
+
+// NewLatencyDisk wraps d, adding readDelay to every ReadPage and
+// writeDelay to every WritePage.
+func NewLatencyDisk(d Disk, readDelay, writeDelay time.Duration) *LatencyDisk {
+	return &LatencyDisk{d: d, readDelay: readDelay, writeDelay: writeDelay}
+}
+
+// ReadPage implements Disk.
+func (d *LatencyDisk) ReadPage(no int64, buf []byte) error {
+	if d.readDelay > 0 {
+		time.Sleep(d.readDelay)
+	}
+	return d.d.ReadPage(no, buf)
+}
+
+// WritePage implements Disk.
+func (d *LatencyDisk) WritePage(no int64, buf []byte) error {
+	if d.writeDelay > 0 {
+		time.Sleep(d.writeDelay)
+	}
+	return d.d.WritePage(no, buf)
+}
+
+// Allocate implements Disk.
+func (d *LatencyDisk) Allocate() (int64, error) { return d.d.Allocate() }
+
+// NumPages implements Disk.
+func (d *LatencyDisk) NumPages() int64 { return d.d.NumPages() }
+
+// Close implements Disk.
+func (d *LatencyDisk) Close() error { return d.d.Close() }
+
 // DiskFactory creates fresh disks; the engine uses one to allocate
 // temporary heap files for intermediate results.
 type DiskFactory func() (Disk, error)
@@ -196,4 +242,10 @@ func MemDiskFactory() DiskFactory {
 // TempFileDiskFactory returns a factory producing temp-file disks in dir.
 func TempFileDiskFactory(dir string) DiskFactory {
 	return func() (Disk, error) { return NewTempFileDisk(dir) }
+}
+
+// LatencyMemDiskFactory returns a factory producing in-memory disks with
+// the given per-page read/write latency.
+func LatencyMemDiskFactory(readDelay, writeDelay time.Duration) DiskFactory {
+	return func() (Disk, error) { return NewLatencyDisk(NewMemDisk(), readDelay, writeDelay), nil }
 }

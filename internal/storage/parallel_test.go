@@ -1,0 +1,199 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentPinStatsConsistent hammers one pool from many goroutines
+// and checks that the IO counters balance: every successful pin is either
+// a physical read or a hit, and re-reads after the storm see intact data.
+func TestConcurrentPinStatsConsistent(t *testing.T) {
+	const pages, workers, iters = 64, 8, 500
+	pool := NewPool(16) // smaller than the page set: eviction under contention
+	d := NewMemDisk()
+	h := pool.Register(d)
+	for i := 0; i < pages; i++ {
+		no, buf, err := pool.NewPage(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf[0] = byte(no)
+		if err := pool.Unpin(h, no, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	pool.ResetStats()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				no := int64((w*31 + i*7) % pages)
+				buf, err := pool.Pin(h, no)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if buf[0] != byte(no) {
+					errCh <- fmt.Errorf("page %d holds byte %d", no, buf[0])
+					pool.Unpin(h, no, false)
+					return
+				}
+				if err := pool.Unpin(h, no, false); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	st := pool.Stats()
+	if st.Reads+st.Hits != workers*iters {
+		t.Fatalf("reads(%d)+hits(%d) != %d pins", st.Reads, st.Hits, workers*iters)
+	}
+	if st.Writes != 0 {
+		t.Fatalf("clean workload wrote %d pages", st.Writes)
+	}
+}
+
+// TestConcurrentPinSamePage checks the loading-frame protocol: many
+// goroutines pinning one cold page must see exactly one physical read and
+// the rest hits, with everyone getting the same valid buffer.
+func TestConcurrentPinSamePage(t *testing.T) {
+	pool := NewPool(4)
+	d := NewLatencyDisk(NewMemDisk(), 2*time.Millisecond, 0)
+	h := pool.Register(d)
+	no, buf, err := pool.NewPage(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 42
+	pool.Unpin(h, no, true)
+	if err := pool.Unregister(h); err != nil { // evict: next pin is a cold read
+		t.Fatal(err)
+	}
+	h = pool.Register(d)
+	pool.ResetStats()
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b, err := pool.Pin(h, no)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if b[0] != 42 {
+				errCh <- fmt.Errorf("read byte %d, want 42", b[0])
+			}
+			pool.Unpin(h, no, false)
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	st := pool.Stats()
+	if st.Reads != 1 || st.Hits != workers-1 {
+		t.Fatalf("got Reads=%d Hits=%d, want 1 read and %d hits", st.Reads, st.Hits, workers-1)
+	}
+}
+
+// TestConcurrentPinReadFaultRecovers checks that a failed load vacates the
+// frame, leaves no read counted, and lets a later pin succeed.
+func TestConcurrentPinReadFaultRecovers(t *testing.T) {
+	pool := NewPool(2)
+	d := newFaultDisk(0, -1, false)
+	h := pool.Register(d)
+	no, _, err := pool.NewPage(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Unpin(h, no, true)
+	for i := 0; i < 2; i++ { // evict page no
+		n2, _, err := pool.NewPage(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool.Unpin(h, n2, false)
+	}
+	before := pool.Stats()
+	if _, err := pool.Pin(h, no); !errors.Is(err, errInjected) {
+		t.Fatalf("expected injected read fault, got %v", err)
+	}
+	if got := pool.Stats().Sub(before); got.Reads != 0 {
+		t.Fatalf("failed read left Reads=%d counted", got.Reads)
+	}
+	// Heal the disk; the page must now load normally.
+	d.failReads = -1
+	buf, err := pool.Pin(h, no)
+	if err != nil {
+		t.Fatalf("pin after healed fault: %v", err)
+	}
+	_ = buf
+	pool.Unpin(h, no, false)
+	if got := pool.Stats().Sub(before); got.Reads != 1 {
+		t.Fatalf("healed read counted Reads=%d, want 1", got.Reads)
+	}
+}
+
+// BenchmarkPoolParallelPin measures pin throughput on a latency disk as
+// client parallelism grows. Because Pin reads outside the pool lock,
+// concurrent misses overlap their simulated seeks; throughput should
+// scale with parallelism even on one core.
+func BenchmarkPoolParallelPin(b *testing.B) {
+	const pages = 256
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("clients=%d", par), func(b *testing.B) {
+			pool := NewPool(8) // far below the page set: almost every pin misses
+			d := NewLatencyDisk(NewMemDisk(), 50*time.Microsecond, 0)
+			h := pool.Register(d)
+			for i := 0; i < pages; i++ {
+				no, _, err := pool.NewPage(h)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pool.Unpin(h, no, false)
+			}
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			per := b.N/par + 1
+			for w := 0; w < par; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						no := int64((w*131 + i*17) % pages)
+						buf, err := pool.Pin(h, no)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						_ = buf
+						pool.Unpin(h, no, false)
+					}
+				}(w)
+			}
+			wg.Wait()
+		})
+	}
+}
