@@ -10,7 +10,9 @@
 //	mpfcli -script setup.sql                 # run a script, then exit
 //	mpfcli -c "select wid, sum(f) from invest group by wid"
 //
-// REPL meta-commands: \tables, \views, \strategies, \stats, \quit.
+// REPL meta-commands: \tables, \views, \strategies, \stats, \metrics,
+// \quit. The -metrics flag prints the engine-wide metrics snapshot on
+// exit; `explain analyze select ...` reports per-operator actuals.
 package main
 
 import (
@@ -40,6 +42,7 @@ func main() {
 	frames := flag.Int("frames", 256, "buffer pool frames")
 	parallel := flag.Int("parallel", 0, "intra-query worker bound (0 or 1 = serial)")
 	flag.BoolVar(&analyze, "analyze", false, "print per-operator actuals after each query")
+	flag.BoolVar(&showMetrics, "metrics", false, "print the engine metrics snapshot before exiting")
 	flag.Parse()
 
 	if err := run(*load, *scale, *density, *tables, *seed, *srName, *strategy, *script, *command, *frames, *parallel); err != nil {
@@ -47,6 +50,9 @@ func main() {
 		os.Exit(1)
 	}
 }
+
+// showMetrics controls the exit-time engine metrics report (-metrics).
+var showMetrics bool
 
 func run(load string, scale, density float64, tables int, seed int64, srName, strategy, script, command string, frames, parallel int) error {
 	sr, err := semiring.ByName(srName)
@@ -66,6 +72,9 @@ func run(load string, scale, density float64, tables int, seed int64, srName, st
 		return err
 	}
 	defer db.Close()
+	if showMetrics {
+		defer func() { fmt.Print(db.Metrics().String()) }()
+	}
 
 	if load != "" {
 		if err := loadDataset(db, load, scale, density, tables, seed); err != nil {
@@ -222,6 +231,8 @@ func meta(db *core.Database, cmd string) (quit bool) {
 	case "\\stats":
 		st := db.Pool().Stats()
 		fmt.Printf("buffer pool: %d reads, %d writes, %d hits\n", st.Reads, st.Writes, st.Hits)
+	case "\\metrics":
+		fmt.Print(db.Metrics().String())
 	case "\\cache":
 		fields := strings.Fields(cmd)
 		if len(fields) < 3 {
@@ -256,7 +267,7 @@ func meta(db *core.Database, cmd string) (quit bool) {
 			fmt.Println("usage: \\cache build <view> | \\cache answer <view> <variable>")
 		}
 	default:
-		fmt.Println("meta-commands: \\tables \\views \\strategies \\stats \\cache \\quit")
+		fmt.Println("meta-commands: \\tables \\views \\strategies \\stats \\metrics \\cache \\quit")
 	}
 	return false
 }

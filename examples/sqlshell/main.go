@@ -80,6 +80,9 @@ func main() {
 	show("select pid, sum(f) from invest group by pid having f > 400 using ve(deg)+ext")
 	// Explain shows the optimized plan.
 	show("explain select wid, sum(f) from invest group by wid using cs+nonlinear")
+	// Explain analyze executes the query and reports per-operator actuals
+	// (exclusive wall time, rows, physical IO) plus run totals.
+	show("explain analyze select wid, sum(f) from invest group by wid")
 }
 
 // asCore unwraps the public alias; examples live in the module so they

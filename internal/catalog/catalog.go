@@ -6,11 +6,23 @@
 package catalog
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
 	"mpf/internal/relation"
+)
+
+// Sentinel errors for catalog lookups. They are wrapped (with the name
+// that failed) by the returning methods, so callers match them with
+// errors.Is across every layer the error crosses.
+var (
+	// ErrUnknownTable reports a lookup of a table the catalog does not
+	// know.
+	ErrUnknownTable = errors.New("unknown table")
+	// ErrUnknownView reports a lookup of a view the catalog does not know.
+	ErrUnknownView = errors.New("unknown view")
 )
 
 // TableStats describes one base functional relation.
@@ -145,7 +157,7 @@ func (c *Catalog) Table(name string) (*TableStats, error) {
 	defer c.mu.RUnlock()
 	t, ok := c.tables[name]
 	if !ok {
-		return nil, fmt.Errorf("catalog: unknown table %q", name)
+		return nil, fmt.Errorf("catalog: %w %q", ErrUnknownTable, name)
 	}
 	return t.Clone(), nil
 }
@@ -204,7 +216,7 @@ func (c *Catalog) View(name string) (*ViewDef, error) {
 	defer c.mu.RUnlock()
 	v, ok := c.views[name]
 	if !ok {
-		return nil, fmt.Errorf("catalog: unknown view %q", name)
+		return nil, fmt.Errorf("catalog: %w %q", ErrUnknownView, name)
 	}
 	cp := *v
 	cp.Tables = append([]string(nil), v.Tables...)

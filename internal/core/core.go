@@ -7,6 +7,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -14,6 +16,7 @@ import (
 	"mpf/internal/cost"
 	"mpf/internal/exec"
 	"mpf/internal/infer"
+	"mpf/internal/metrics"
 	"mpf/internal/opt"
 	"mpf/internal/plan"
 	"mpf/internal/relation"
@@ -32,6 +35,10 @@ type Config struct {
 	// Dir, when non-empty, stores heap files as temp files under this
 	// directory; empty keeps pages in memory (identical IO accounting).
 	Dir string
+	// DiskFactory, when non-nil, overrides Dir and supplies the disks
+	// backing heap files directly — e.g. storage.LatencyMemDiskFactory to
+	// simulate slow media in cancellation experiments.
+	DiskFactory storage.DiskFactory
 	// CostModel for the optimizers; nil defaults to cost.Simple.
 	CostModel cost.Model
 	// Optimizer is the default planning algorithm; nil defaults to
@@ -57,6 +64,7 @@ type Database struct {
 	tables  map[string]*exec.Table
 	engine  *exec.Engine
 	caches  map[string]*infer.Cache
+	metrics *metrics.Registry
 }
 
 // Open creates a database with the given configuration.
@@ -75,9 +83,12 @@ func Open(cfg Config) (*Database, error) {
 	}
 	pool := storage.NewPool(cfg.PoolFrames)
 	var factory storage.DiskFactory
-	if cfg.Dir != "" {
+	switch {
+	case cfg.DiskFactory != nil:
+		factory = cfg.DiskFactory
+	case cfg.Dir != "":
 		factory = storage.TempFileDiskFactory(cfg.Dir)
-	} else {
+	default:
 		factory = storage.MemDiskFactory()
 	}
 	engine := exec.NewEngine(pool, factory, cfg.Semiring)
@@ -91,6 +102,7 @@ func Open(cfg Config) (*Database, error) {
 		tables:  make(map[string]*exec.Table),
 		engine:  engine,
 		caches:  make(map[string]*infer.Cache),
+		metrics: metrics.NewRegistry(),
 	}, nil
 }
 
@@ -118,6 +130,13 @@ func (db *Database) Pool() *storage.Pool { return db.pool }
 // Engine exposes the physical engine (for operator knobs).
 func (db *Database) Engine() *exec.Engine { return db.engine }
 
+// Metrics returns a snapshot of the engine-wide metrics: query lifecycle
+// counts, cumulative buffer-pool IO, and per-operator-kind totals. Safe
+// to call concurrently with running queries.
+func (db *Database) Metrics() metrics.Snapshot {
+	return db.metrics.Snapshot(db.pool.Stats())
+}
+
 // CreateTable validates the relation as an FR, loads it into paged
 // storage, and registers its statistics.
 func (db *Database) CreateTable(r *relation.Relation) error {
@@ -125,10 +144,10 @@ func (db *Database) CreateTable(r *relation.Relation) error {
 		return fmt.Errorf("core: relation needs a name")
 	}
 	if _, dup := db.rels[r.Name()]; dup {
-		return fmt.Errorf("core: table %q already exists", r.Name())
+		return fmt.Errorf("core: %w: %q", ErrDuplicateTable, r.Name())
 	}
 	if err := r.CheckFD(); err != nil {
-		return fmt.Errorf("core: not a functional relation: %w", err)
+		return fmt.Errorf("core: %w: %w", ErrNotFunctional, err)
 	}
 	t, err := exec.LoadRelation(db.pool, db.factory, r)
 	if err != nil {
@@ -149,7 +168,7 @@ func (db *Database) CreateTable(r *relation.Relation) error {
 func (db *Database) CreateIndex(table, attr string) error {
 	t, ok := db.tables[table]
 	if !ok {
-		return fmt.Errorf("core: unknown table %q", table)
+		return fmt.Errorf("core: %w %q", ErrUnknownTable, table)
 	}
 	idx, err := exec.BuildIndex(t, attr)
 	if err != nil {
@@ -173,7 +192,7 @@ func (db *Database) CreateView(name string, tables []string) error {
 func (db *Database) Relation(name string) (*relation.Relation, error) {
 	r, ok := db.rels[name]
 	if !ok {
-		return nil, fmt.Errorf("core: unknown table %q", name)
+		return nil, fmt.Errorf("core: %w %q", ErrUnknownTable, name)
 	}
 	return r, nil
 }
@@ -274,6 +293,10 @@ type Result struct {
 	Plan     *plan.Node
 	Optimize time.Duration
 	Exec     exec.RunStats
+	// Trace lists per-operator spans in completion order (EXPLAIN
+	// ANALYZE's data source); same slice as Exec.Trace, surfaced here for
+	// discoverability. Empty for MemoryExec.
+	Trace []exec.Span
 }
 
 // optQuery converts a spec to the optimizer-facing form.
@@ -304,7 +327,7 @@ func (db *Database) validateHypothetical(q *QuerySpec, viewTables []string) erro
 			return err
 		}
 		if err := h.CheckFD(); err != nil {
-			return fmt.Errorf("core: hypothetical %s: %w", name, err)
+			return fmt.Errorf("core: hypothetical %s: %w: %w", name, ErrNotFunctional, err)
 		}
 		if !h.Vars().Equal(orig.Vars()) {
 			return fmt.Errorf("core: hypothetical %s has variables %v, want %v",
@@ -351,8 +374,29 @@ func (db *Database) planCatalog(q *QuerySpec, viewTables []string) (*catalog.Cat
 	return overlay, nil
 }
 
+// validateExec checks the spec's execution mode up-front, before any
+// planning work, so a typo'd mode fails fast with a typed error.
+func validateExec(q *QuerySpec) error {
+	switch q.Exec {
+	case EngineExec, MemoryExec:
+		return nil
+	default:
+		return fmt.Errorf("core: %w %d", ErrUnknownExecMode, q.Exec)
+	}
+}
+
 // Explain optimizes the query and returns the plan without executing it.
 func (db *Database) Explain(q *QuerySpec) (*plan.Node, time.Duration, error) {
+	return db.ExplainContext(context.Background(), q)
+}
+
+// ExplainContext is Explain with cancellation: ctx is observed at the
+// planning phase boundaries. A canceled explain returns an error
+// matching both ErrCanceled and ctx's error.
+func (db *Database) ExplainContext(ctx context.Context, q *QuerySpec) (*plan.Node, time.Duration, error) {
+	if err := validateExec(q); err != nil {
+		return nil, 0, err
+	}
 	oq, err := db.optQuery(q)
 	if err != nil {
 		return nil, 0, err
@@ -369,19 +413,65 @@ func (db *Database) Explain(q *QuerySpec) (*plan.Node, time.Duration, error) {
 		o = db.cfg.Optimizer
 	}
 	b := plan.NewBuilder(cat, db.cfg.CostModel)
-	res, err := opt.Run(o, oq, b)
+	res, err := opt.RunContext(ctx, o, oq, b)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, wrapCancel(err)
 	}
 	return res.Plan, res.Optimize, nil
 }
 
 // Query optimizes and executes an MPF query.
 func (db *Database) Query(q *QuerySpec) (*Result, error) {
-	p, optTime, err := db.Explain(q)
+	return db.QueryContext(context.Background(), q)
+}
+
+// QueryContext is Query with cancellation: ctx is plumbed from planning
+// through every physical operator down to buffer-pool page misses. A
+// canceled query returns an error matching both ErrCanceled and ctx's
+// error (context.Canceled or context.DeadlineExceeded), with all
+// temporary tables dropped and no buffer-pool frames left pinned. Every
+// query — finished, failed, or canceled — is recorded in the engine
+// metrics (Metrics).
+func (db *Database) QueryContext(ctx context.Context, q *QuerySpec) (*Result, error) {
+	p, optTime, err := db.ExplainContext(ctx, q)
 	if err != nil {
 		return nil, err
 	}
+	db.metrics.QueryStarted()
+	out, err := db.execute(ctx, q, p, optTime)
+	db.metrics.QueryFinished(querySample(out, err))
+	return out, err
+}
+
+// querySample converts one query outcome into its metrics sample.
+func querySample(out *Result, err error) metrics.QuerySample {
+	s := metrics.QuerySample{
+		Canceled: errorsIsCanceled(err),
+		Failed:   err != nil && !errorsIsCanceled(err),
+	}
+	if out != nil {
+		s.RowsOut = out.Exec.RowsOut
+		s.TempTuples = out.Exec.TempTuples
+		s.Operators = int64(out.Exec.Operators)
+		s.HotKeyFallbacks = out.Exec.HotKeyFallbacks
+		s.Wall = out.Exec.Wall
+		s.Ops = make([]metrics.OpSample, len(out.Exec.Trace))
+		for i, sp := range out.Exec.Trace {
+			s.Ops[i] = metrics.OpSample{Kind: sp.Kind, Wall: sp.Wall, IO: sp.IO}
+		}
+	}
+	return s
+}
+
+// errorsIsCanceled reports whether err is a query cancellation.
+func errorsIsCanceled(err error) bool {
+	return err != nil && errors.Is(err, ErrCanceled)
+}
+
+// execute runs an optimized plan in the spec's execution mode. It always
+// returns a non-nil Result carrying whatever stats were gathered, even
+// on error, so callers (and the metrics registry) see partial work.
+func (db *Database) execute(ctx context.Context, q *QuerySpec, p *plan.Node, optTime time.Duration) (*Result, error) {
 	out := &Result{Plan: p, Optimize: optTime}
 	switch q.Exec {
 	case EngineExec:
@@ -396,24 +486,26 @@ func (db *Database) Query(q *QuerySpec) (*Result, error) {
 		for name, h := range q.Hypothetical {
 			ht, err := exec.LoadRelation(db.pool, db.factory, h)
 			if err != nil {
-				return nil, err
+				return out, err
 			}
 			hypTables[name] = ht
 		}
-		rel, st, err := db.engine.Run(p, func(name string) (*exec.Table, error) {
+		rel, st, err := db.engine.RunContext(ctx, p, func(name string) (*exec.Table, error) {
 			if t, ok := hypTables[name]; ok {
 				return t, nil
 			}
 			t, ok := db.tables[name]
 			if !ok {
-				return nil, fmt.Errorf("core: unknown base table %q", name)
+				return nil, fmt.Errorf("core: %w %q", ErrUnknownTable, name)
 			}
 			return t, nil
 		})
+		out.Exec = st
+		out.Trace = st.Trace
 		if err != nil {
-			return nil, err
+			return out, wrapCancel(err)
 		}
-		out.Relation, out.Exec = rel, st
+		out.Relation = rel
 	case MemoryExec:
 		start := time.Now()
 		rel, err := plan.Eval(p, func(name string) (*relation.Relation, error) {
@@ -423,13 +515,11 @@ func (db *Database) Query(q *QuerySpec) (*Result, error) {
 			return db.Relation(name)
 		}, db.cfg.Semiring)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 		out.Relation = rel
 		out.Exec.Wall = time.Since(start)
 		out.Exec.RowsOut = int64(rel.Len())
-	default:
-		return nil, fmt.Errorf("core: unknown exec mode %d", q.Exec)
 	}
 	if q.Having != nil {
 		out.Relation = filterHaving(out.Relation, q.Having)
@@ -457,7 +547,13 @@ func filterHaving(r *relation.Relation, h *Having) *relation.Relation {
 // MPF results ("the result of an MPF query is an FR; thus MPF queries may
 // be used as subqueries", §2).
 func (db *Database) Materialize(name string, q *QuerySpec) (*relation.Relation, error) {
-	res, err := db.Query(q)
+	return db.MaterializeContext(context.Background(), name, q)
+}
+
+// MaterializeContext is Materialize with cancellation: the underlying
+// query observes ctx; a canceled materialization registers nothing.
+func (db *Database) MaterializeContext(ctx context.Context, name string, q *QuerySpec) (*relation.Relation, error) {
+	res, err := db.QueryContext(ctx, q)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"context"
+	"errors"
+
+	"mpf/internal/catalog"
+)
+
+// Sentinel errors returned from the Database API. All are matched with
+// errors.Is: the returned errors wrap a sentinel plus the specific name
+// or cause, so call sites can branch on the category without parsing
+// messages.
+var (
+	// ErrUnknownTable reports a reference to a table the database does not
+	// have. It is the catalog sentinel, so errors from catalog lookups and
+	// from the database's own table map match identically.
+	ErrUnknownTable = catalog.ErrUnknownTable
+	// ErrUnknownView reports a reference to an unregistered MPF view.
+	ErrUnknownView = catalog.ErrUnknownView
+	// ErrDuplicateTable reports CreateTable of an existing name.
+	ErrDuplicateTable = errors.New("table already exists")
+	// ErrNotFunctional reports a relation whose variable attributes do not
+	// functionally determine the measure (CheckFD failed), so it cannot be
+	// a base table or hypothetical replacement.
+	ErrNotFunctional = errors.New("not a functional relation")
+	// ErrUnknownExecMode reports a QuerySpec.Exec value that names no
+	// execution mode; Query validates it before planning.
+	ErrUnknownExecMode = errors.New("unknown exec mode")
+	// ErrCanceled reports a query ended by its context. The returned error
+	// also matches the underlying context.Canceled or
+	// context.DeadlineExceeded via errors.Is.
+	ErrCanceled = errors.New("query canceled")
+)
+
+// CancelError wraps the context error that ended a query. errors.Is
+// matches it against both ErrCanceled (the engine's category sentinel)
+// and the wrapped cause (context.Canceled or context.DeadlineExceeded).
+type CancelError struct {
+	// Cause is the context error that ended the query.
+	Cause error
+}
+
+// Error describes the cancellation with its cause.
+func (e *CancelError) Error() string { return "core: query canceled: " + e.Cause.Error() }
+
+// Unwrap exposes the context error for errors.Is/As.
+func (e *CancelError) Unwrap() error { return e.Cause }
+
+// Is matches the ErrCanceled sentinel.
+func (e *CancelError) Is(target error) bool { return target == ErrCanceled }
+
+// wrapCancel converts a context error into a *CancelError; other errors
+// pass through unchanged.
+func wrapCancel(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return &CancelError{Cause: err}
+	}
+	return err
+}

@@ -17,7 +17,7 @@ import (
 func (db *Database) Insert(table string, vals []int32, measure float64) error {
 	rel, ok := db.rels[table]
 	if !ok {
-		return fmt.Errorf("core: unknown table %q", table)
+		return fmt.Errorf("core: %w %q", ErrUnknownTable, table)
 	}
 	// FD check: the assignment must be new.
 	arity := rel.Arity()
@@ -58,7 +58,7 @@ func (db *Database) Insert(table string, vals []int32, measure float64) error {
 func (db *Database) Delete(table string, vals []int32) (bool, error) {
 	rel, ok := db.rels[table]
 	if !ok {
-		return false, fmt.Errorf("core: unknown table %q", table)
+		return false, fmt.Errorf("core: %w %q", ErrUnknownTable, table)
 	}
 	arity := rel.Arity()
 	if len(vals) != arity {
@@ -114,7 +114,7 @@ func (db *Database) Delete(table string, vals []int32) (bool, error) {
 func (db *Database) DropTable(table string) error {
 	t, ok := db.tables[table]
 	if !ok {
-		return fmt.Errorf("core: unknown table %q", table)
+		return fmt.Errorf("core: %w %q", ErrUnknownTable, table)
 	}
 	for _, v := range db.cat.Views() {
 		def, err := db.cat.View(v)

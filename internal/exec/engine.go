@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -64,6 +65,31 @@ type OpStat struct {
 	Wall time.Duration
 }
 
+// Span is one operator's execution window within a query trace. Spans
+// mirror RunStats.Ops (same completion order — post-order over the plan
+// tree) but add the operator kind, tree depth, start/stop timestamps
+// relative to the run's start, and the buffer-pool stats delta observed
+// over the operator's own window (children subtracted, like Wall).
+// Under concurrent queries on one Database the pool is shared, so IO
+// attribution is approximate: pages another query moved during this
+// operator's window land in its delta.
+type Span struct {
+	// Desc is the operator description, e.g. "Scan(contracts)".
+	Desc string
+	// Kind is the operator kind, e.g. "Scan", "ProductJoin", "GroupBy".
+	Kind string
+	// Depth is the operator's distance from the plan root (root = 0).
+	Depth int
+	// Rows is the operator's output cardinality.
+	Rows int64
+	// Start and Stop are offsets from the run's start time.
+	Start, Stop time.Duration
+	// Wall is exclusive (self) time, children subtracted.
+	Wall time.Duration
+	// IO is the pool-stats delta attributed to this operator alone.
+	IO storage.Stats
+}
+
 // RunStats describes one plan execution. On error the counters hold the
 // partial work done up to the failure (Wall and IO included), so EXPLAIN
 // ANALYZE of a failed query still reports what was spent.
@@ -80,30 +106,45 @@ type RunStats struct {
 	HotKeyFallbacks int64
 	// Ops lists per-operator actuals in completion (bottom-up) order.
 	Ops []OpStat
+	// Trace lists per-operator spans in the same order as Ops, with
+	// timestamps and IO deltas (EXPLAIN ANALYZE's data source).
+	Trace []Span
 }
 
 // Run executes the plan and returns the result as an in-memory relation
 // together with execution statistics. Intermediate tables are dropped
 // before returning.
 func (e *Engine) Run(p *plan.Node, resolve Resolver) (*relation.Relation, RunStats, error) {
+	return e.RunContext(context.Background(), p, resolve)
+}
+
+// RunContext is Run with cancellation: ctx is observed at every operator
+// boundary, inside operator inner loops (join build/probe, aggregation,
+// Grace partitioning, sort-run generation and merging — including the
+// parallel worker pools), and by the buffer pool on page misses. A
+// canceled run returns ctx's error with all temporary tables dropped and
+// every buffer-pool pin released; RunStats still reports the partial
+// work done up to the cancellation.
+func (e *Engine) RunContext(ctx context.Context, p *plan.Node, resolve Resolver) (*relation.Relation, RunStats, error) {
 	if err := plan.Validate(p); err != nil {
 		return nil, RunStats{}, err
 	}
 	start := time.Now()
 	before := e.Pool.Stats()
 	st := &RunStats{}
+	env := &runEnv{resolve: resolve, st: st, start: start}
 	// finish stamps Wall and IO on every exit, error paths included, so
 	// callers always see the true partial work.
 	finish := func() {
 		st.Wall = time.Since(start)
 		st.IO = e.Pool.Stats().Sub(before)
 	}
-	out, _, err := e.exec(p, resolve, st)
+	out, _, _, err := e.exec(ctx, p, env, 0)
 	if err != nil {
 		finish()
 		return nil, *st, err
 	}
-	rel, err := ReadRelation(out)
+	rel, err := readRelationContext(ctx, out)
 	if err != nil {
 		err = errors.Join(err, out.Drop())
 		finish()
@@ -118,33 +159,79 @@ func (e *Engine) Run(p *plan.Node, resolve Resolver) (*relation.Relation, RunSta
 	return rel, *st, nil
 }
 
-// exec evaluates one node, recording its OpStat. The returned duration is
-// the node's inclusive wall time (children included); parents subtract it
-// so that recorded OpStat.Wall is exclusive self time. The returned table
-// is temporary unless it is a base table.
-func (e *Engine) exec(p *plan.Node, resolve Resolver, st *RunStats) (*Table, time.Duration, error) {
+// runEnv carries per-run state through the operator tree: the base-table
+// resolver, the stats sink, and the run's start time (the zero point for
+// trace-span timestamps).
+type runEnv struct {
+	resolve Resolver
+	st      *RunStats
+	start   time.Time
+}
+
+// exec evaluates one node, recording its OpStat and trace Span. The
+// returned duration and stats delta are the node's inclusive wall time
+// and IO (children included); parents subtract them so that recorded
+// exclusive figures are self-only. The returned table is temporary
+// unless it is a base table.
+func (e *Engine) exec(ctx context.Context, p *plan.Node, env *runEnv, depth int) (*Table, time.Duration, storage.Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, storage.Stats{}, err
+	}
 	start := time.Now()
-	out, childWall, err := e.execOp(p, resolve, st)
+	ioBefore := e.Pool.Stats()
+	out, childWall, childIO, err := e.execOp(ctx, p, env, depth)
 	incl := time.Since(start)
+	inclIO := e.Pool.Stats().Sub(ioBefore)
 	if err == nil && out != nil {
 		self := incl - childWall
 		if self < 0 {
 			self = 0
 		}
-		st.Ops = append(st.Ops, OpStat{
-			Desc: opDesc(p),
-			Rows: out.Heap.NumTuples(),
-			Wall: self,
+		rows := out.Heap.NumTuples()
+		env.st.Ops = append(env.st.Ops, OpStat{Desc: opDesc(p), Rows: rows, Wall: self})
+		env.st.Trace = append(env.st.Trace, Span{
+			Desc:  opDesc(p),
+			Kind:  opKind(p),
+			Depth: depth,
+			Rows:  rows,
+			Start: start.Sub(env.start),
+			Stop:  start.Sub(env.start) + incl,
+			Wall:  self,
+			IO:    clampStats(inclIO.Sub(childIO)),
 		})
 	}
-	return out, incl, err
+	return out, incl, inclIO, err
+}
+
+// clampStats floors each counter at zero. Exclusive per-operator deltas
+// are computed by subtraction and can dip below zero when a concurrent
+// query's IO lands in a child's window but not the parent's.
+func clampStats(s storage.Stats) storage.Stats {
+	if s.Reads < 0 {
+		s.Reads = 0
+	}
+	if s.Writes < 0 {
+		s.Writes = 0
+	}
+	if s.Hits < 0 {
+		s.Hits = 0
+	}
+	return s
 }
 
 // opDesc renders a short operator description for OpStat.
 func opDesc(p *plan.Node) string {
+	if p.Op == plan.OpScan {
+		return "Scan(" + p.Table + ")"
+	}
+	return opKind(p)
+}
+
+// opKind names the operator kind, the key for per-kind engine metrics.
+func opKind(p *plan.Node) string {
 	switch p.Op {
 	case plan.OpScan:
-		return "Scan(" + p.Table + ")"
+		return "Scan"
 	case plan.OpSelect:
 		return "Select"
 	case plan.OpJoin:
@@ -156,60 +243,62 @@ func opDesc(p *plan.Node) string {
 	}
 }
 
-// execOp dispatches one operator. The returned duration sums the
-// inclusive wall time of the operator's direct children, letting exec
-// compute exclusive self time.
-func (e *Engine) execOp(p *plan.Node, resolve Resolver, st *RunStats) (*Table, time.Duration, error) {
+// execOp dispatches one operator. The returned duration and stats sum
+// the inclusive wall time and IO of the operator's direct children,
+// letting exec compute exclusive self figures.
+func (e *Engine) execOp(ctx context.Context, p *plan.Node, env *runEnv, depth int) (*Table, time.Duration, storage.Stats, error) {
+	st := env.st
 	st.Operators++
 	switch p.Op {
 	case plan.OpScan:
-		out, err := resolve(p.Table)
-		return out, 0, err
+		out, err := env.resolve(p.Table)
+		return out, 0, storage.Stats{}, err
 	case plan.OpSelect:
-		in, childWall, err := e.exec(p.Left, resolve, st)
+		in, childWall, childIO, err := e.exec(ctx, p.Left, env, depth+1)
 		if err != nil {
-			return nil, childWall, err
+			return nil, childWall, childIO, err
 		}
-		out, err := e.selectOp(in, p.Pred, st)
+		out, err := e.selectOp(ctx, in, p.Pred, st)
 		dropInput(in, err == nil)
-		return out, childWall, err
+		return out, childWall, childIO, err
 	case plan.OpJoin:
-		l, lWall, err := e.exec(p.Left, resolve, st)
+		l, lWall, lIO, err := e.exec(ctx, p.Left, env, depth+1)
 		if err != nil {
-			return nil, lWall, err
+			return nil, lWall, lIO, err
 		}
-		r, rWall, err := e.exec(p.Right, resolve, st)
+		r, rWall, rIO, err := e.exec(ctx, p.Right, env, depth+1)
+		childIO := lIO.Add(rIO)
 		if err != nil {
 			l.Drop()
-			return nil, lWall + rWall, err
+			return nil, lWall + rWall, childIO, err
 		}
 		var out *Table
 		if e.SortJoin {
-			out, err = e.sortMergeJoin(l, r, st)
+			out, err = e.sortMergeJoin(ctx, l, r, st)
 		} else {
-			out, err = e.hashJoin(l, r, st)
+			out, err = e.hashJoin(ctx, l, r, st)
 		}
 		dropInput(l, err == nil)
 		dropInput(r, err == nil)
-		return out, lWall + rWall, err
+		return out, lWall + rWall, childIO, err
 	case plan.OpGroupBy:
-		if fused, childWall, err := e.tryFuse(p, resolve, st); err != nil || fused != nil {
-			return fused, childWall, err
+		if fused, childWall, childIO, err := e.tryFuse(ctx, p, env, depth); err != nil || fused != nil {
+			return fused, childWall, childIO, err
 		}
-		in, childWall, err := e.exec(p.Left, resolve, st)
+		in, childWall, childIO, err := e.exec(ctx, p.Left, env, depth+1)
 		if err != nil {
-			return nil, childWall, err
+			return nil, childWall, childIO, err
 		}
 		var out *Table
 		if e.SortGroupBy {
-			out, err = e.sortGroupBy(in, p.GroupVars, st)
+			out, err = e.sortGroupBy(ctx, in, p.GroupVars, st)
 		} else {
-			out, err = e.hashGroupBy(in, p.GroupVars, st)
+			out, err = e.hashGroupBy(ctx, in, p.GroupVars, st)
 		}
 		dropInput(in, err == nil)
-		return out, childWall, err
+		return out, childWall, childIO, err
 	default:
-		return nil, 0, fmt.Errorf("exec: unknown op %v", p.Op)
+		return nil, 0, storage.Stats{}, fmt.Errorf("exec: unknown op %v", p.Op)
 	}
 }
 
@@ -227,13 +316,38 @@ func dropInput(t *Table, report bool) {
 	}
 }
 
-// newTemp creates a temporary output table with the given schema.
-func (e *Engine) newTemp(name string, attrs []relation.Attr) (*Table, error) {
+// newTemp creates a temporary output table with the given schema. The
+// heap is bound to ctx: appends that miss in the pool observe it.
+func (e *Engine) newTemp(ctx context.Context, name string, attrs []relation.Attr) (*Table, error) {
 	h, err := storage.NewTempHeap(e.Pool, e.Factory, len(attrs))
 	if err != nil {
 		return nil, err
 	}
+	h.SetContext(ctx)
 	return &Table{Name: name, Attrs: attrs, Heap: h, temp: true}, nil
+}
+
+// ctxPollInterval bounds how many inner-loop iterations run between
+// context checks; small enough that a canceled CPU-bound loop stops
+// within microseconds, large enough that the check cost (a mutex in
+// context.cancelCtx.Err) is amortized away.
+const ctxPollInterval = 512
+
+// poller amortizes context checks over tuple-loop iterations. The zero
+// count means the first check happens after ctxPollInterval tuples —
+// callers already check ctx at operator entry.
+type poller struct {
+	ctx context.Context
+	n   uint32
+}
+
+// check polls ctx.Err about every ctxPollInterval calls.
+func (p *poller) check() error {
+	p.n++
+	if p.n%ctxPollInterval == 0 {
+		return p.ctx.Err()
+	}
+	return nil
 }
 
 // hashKey encodes the values of cols into a map key.
@@ -246,9 +360,9 @@ func hashKey(vals []int32, cols []int, buf []byte) string {
 
 // selectOp filters the input by the equality predicate, using a hash
 // index when one covers a predicate variable and falling back to a scan.
-func (e *Engine) selectOp(in *Table, pred relation.Predicate, st *RunStats) (*Table, error) {
+func (e *Engine) selectOp(ctx context.Context, in *Table, pred relation.Predicate, st *RunStats) (*Table, error) {
 	if len(in.Indexes) > 0 {
-		out, err := e.indexedSelect(in, pred, st)
+		out, err := e.indexedSelect(ctx, in, pred, st)
 		if err != nil {
 			return nil, err
 		}
@@ -266,16 +380,21 @@ func (e *Engine) selectOp(in *Table, pred relation.Predicate, st *RunStats) (*Ta
 		cols = append(cols, c)
 		want = append(want, val)
 	}
-	out, err := e.newTemp("σ("+in.Name+")", in.Attrs)
+	out, err := e.newTemp(ctx, "σ("+in.Name+")", in.Attrs)
 	if err != nil {
 		return nil, err
 	}
-	it := in.Heap.Scan()
+	it := in.Heap.ScanContext(ctx)
 	defer it.Close()
+	poll := poller{ctx: ctx}
 	for {
 		vals, m, ok := it.Next()
 		if !ok {
 			break
+		}
+		if err := poll.check(); err != nil {
+			out.Drop()
+			return nil, err
 		}
 		match := true
 		for i, c := range cols {
@@ -332,12 +451,12 @@ type buildRow struct {
 // table on the smaller input and probing with the larger; when even the
 // smaller input exceeds the build cap, the Grace partitioned strategy is
 // used instead (classic hybrid behaviour for disk-resident operands).
-func (e *Engine) hashJoin(l, r *Table, st *RunStats) (*Table, error) {
+func (e *Engine) hashJoin(ctx context.Context, l, r *Table, st *RunStats) (*Table, error) {
 	lCols, rCols, rExtra, outAttrs, err := joinSchema(l, r)
 	if err != nil {
 		return nil, err
 	}
-	out, err := e.newTemp("("+l.Name+"⋈*"+r.Name+")", outAttrs)
+	out, err := e.newTemp(ctx, "("+l.Name+"⋈*"+r.Name+")", outAttrs)
 	if err != nil {
 		return nil, err
 	}
@@ -346,13 +465,13 @@ func (e *Engine) hashJoin(l, r *Table, st *RunStats) (*Table, error) {
 		smaller = r.Heap.NumTuples()
 	}
 	if smaller > e.maxBuild() && len(lCols) > 0 {
-		if err := e.graceJoin(l, r, lCols, rCols, rExtra, out, 0, st); err != nil {
+		if err := e.graceJoin(ctx, l, r, lCols, rCols, rExtra, out, 0, st); err != nil {
 			out.Drop()
 			return nil, err
 		}
 		return out, nil
 	}
-	if err := e.hashJoinInto(l, r, lCols, rCols, rExtra, out, st); err != nil {
+	if err := e.hashJoinInto(ctx, l, r, lCols, rCols, rExtra, out, st); err != nil {
 		out.Drop()
 		return nil, err
 	}
@@ -363,7 +482,7 @@ func (e *Engine) hashJoin(l, r *Table, st *RunStats) (*Table, error) {
 // appending result tuples to out. It is safe to run concurrently with
 // other appenders to the same out (Grace partition pairs do): appends go
 // through out.LockedAppend and shared counters are merged atomically.
-func (e *Engine) hashJoinInto(l, r *Table, lCols, rCols, rExtra []int, out *Table, st *RunStats) error {
+func (e *Engine) hashJoinInto(ctx context.Context, l, r *Table, lCols, rCols, rExtra []int, out *Table, st *RunStats) error {
 	build, probe := l, r
 	buildCols, probeCols := lCols, rCols
 	buildIsLeft := true
@@ -373,13 +492,18 @@ func (e *Engine) hashJoinInto(l, r *Table, lCols, rCols, rExtra []int, out *Tabl
 		buildIsLeft = false
 	}
 
+	poll := poller{ctx: ctx}
 	ht := make(map[string][]buildRow, build.Heap.NumTuples())
-	bit := build.Heap.Scan()
+	bit := build.Heap.ScanContext(ctx)
 	keyBuf := make([]byte, 4*len(buildCols))
 	for {
 		vals, m, ok := bit.Next()
 		if !ok {
 			break
+		}
+		if err := poll.check(); err != nil {
+			bit.Close()
+			return err
 		}
 		k := hashKey(vals, buildCols, keyBuf)
 		ht[k] = append(ht[k], buildRow{vals: append([]int32(nil), vals...), measure: m})
@@ -400,12 +524,15 @@ func (e *Engine) hashJoinInto(l, r *Table, lCols, rCols, rExtra []int, out *Tabl
 		return out.LockedAppend(rowBuf, e.Sr.Mul(lm, rm))
 	}
 
-	pit := probe.Heap.Scan()
+	pit := probe.Heap.ScanContext(ctx)
 	defer pit.Close()
 	for {
 		vals, m, ok := pit.Next()
 		if !ok {
 			break
+		}
+		if err := poll.check(); err != nil {
+			return err
 		}
 		k := hashKey(vals, probeCols, keyBuf)
 		for _, b := range ht[k] {
@@ -448,15 +575,20 @@ func groupSchema(in *Table, groupVars []string) (cols []int, outAttrs []relation
 // aggregate runs one in-memory hash-aggregation pass over in, returning
 // the groups keyed by encoded group values together with their first-seen
 // order (scan order, for determinism).
-func (e *Engine) aggregate(in *Table, cols []int) (order []string, groups map[string]*aggEntry, err error) {
+func (e *Engine) aggregate(ctx context.Context, in *Table, cols []int) (order []string, groups map[string]*aggEntry, err error) {
 	groups = make(map[string]*aggEntry)
 	order = make([]string, 0, 1024)
-	it := in.Heap.Scan()
+	it := in.Heap.ScanContext(ctx)
 	keyBuf := make([]byte, 4*len(cols))
+	poll := poller{ctx: ctx}
 	for {
 		vals, m, ok := it.Next()
 		if !ok {
 			break
+		}
+		if err := poll.check(); err != nil {
+			it.Close()
+			return nil, nil, err
 		}
 		k := hashKey(vals, cols, keyBuf)
 		g, seen := groups[k]
@@ -477,19 +609,19 @@ func (e *Engine) aggregate(in *Table, cols []int) (order []string, groups map[st
 	return order, groups, nil
 }
 
-func (e *Engine) hashGroupBy(in *Table, groupVars []string, st *RunStats) (*Table, error) {
+func (e *Engine) hashGroupBy(ctx context.Context, in *Table, groupVars []string, st *RunStats) (*Table, error) {
 	cols, outAttrs, err := groupSchema(in, groupVars)
 	if err != nil {
 		return nil, err
 	}
 	if e.workers() > 1 && len(cols) > 0 && in.Heap.NumTuples() >= e.parallelGroupByMin() {
-		return e.parallelHashGroupBy(in, cols, outAttrs, st)
+		return e.parallelHashGroupBy(ctx, in, cols, outAttrs, st)
 	}
-	order, groups, err := e.aggregate(in, cols)
+	order, groups, err := e.aggregate(ctx, in, cols)
 	if err != nil {
 		return nil, err
 	}
-	out, err := e.newTemp("γ("+in.Name+")", outAttrs)
+	out, err := e.newTemp(ctx, "γ("+in.Name+")", outAttrs)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -315,7 +316,7 @@ func TestExternalSortManyRuns(t *testing.T) {
 	h.engine.SortRunTuples = 16
 	tb := h.tables["r"]
 	st := &RunStats{}
-	sorted, err := h.engine.externalSort(tb, []int{0, 1}, st)
+	sorted, err := h.engine.externalSort(context.Background(), tb, []int{0, 1}, st)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -323,7 +324,7 @@ func TestExternalSortManyRuns(t *testing.T) {
 	if sorted.Heap.NumTuples() != tb.Heap.NumTuples() {
 		t.Fatalf("sort changed tuple count: %d != %d", sorted.Heap.NumTuples(), tb.Heap.NumTuples())
 	}
-	it := newRowIter(sorted)
+	it := newRowIter(context.Background(), sorted)
 	defer it.Close()
 	var prev []int32
 	for {
@@ -345,7 +346,7 @@ func TestExternalSortEmptyInput(t *testing.T) {
 	empty := relation.MustNew("e", []relation.Attr{{Name: "A", Domain: 2}})
 	h := newHarness(t, 8, empty)
 	st := &RunStats{}
-	sorted, err := h.engine.externalSort(h.tables["e"], []int{0}, st)
+	sorted, err := h.engine.externalSort(context.Background(), h.tables["e"], []int{0}, st)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,10 +1,12 @@
 package exec
 
 import (
+	"context"
 	"time"
 
 	"mpf/internal/plan"
 	"mpf/internal/relation"
+	"mpf/internal/storage"
 )
 
 // fusedJoinGroupBy evaluates GroupBy(Join(l, r)) without materializing
@@ -12,7 +14,7 @@ import (
 // This is the classic pipelined join+aggregate fusion; it is gated behind
 // Engine.FuseJoinGroupBy because the default materializing operators are
 // what the paper's IO-based cost model describes.
-func (e *Engine) fusedJoinGroupBy(l, r *Table, groupVars []string, st *RunStats) (*Table, error) {
+func (e *Engine) fusedJoinGroupBy(ctx context.Context, l, r *Table, groupVars []string, st *RunStats) (*Table, error) {
 	lCols, rCols, rExtra, outAttrs, err := joinSchema(l, r)
 	if err != nil {
 		return nil, err
@@ -49,13 +51,18 @@ func (e *Engine) fusedJoinGroupBy(l, r *Table, groupVars []string, st *RunStats)
 		buildCols, probeCols = rCols, lCols
 		buildIsLeft = false
 	}
+	poll := poller{ctx: ctx}
 	ht := make(map[string][]buildRow, build.Heap.NumTuples())
-	bit := build.Heap.Scan()
+	bit := build.Heap.ScanContext(ctx)
 	keyBuf := make([]byte, 4*max(len(buildCols), len(groupCols)))
 	for {
 		vals, m, ok := bit.Next()
 		if !ok {
 			break
+		}
+		if err := poll.check(); err != nil {
+			bit.Close()
+			return nil, err
 		}
 		k := hashKey(vals, buildCols, keyBuf)
 		ht[k] = append(ht[k], buildRow{vals: append([]int32(nil), vals...), measure: m})
@@ -86,12 +93,15 @@ func (e *Engine) fusedJoinGroupBy(l, r *Table, groupVars []string, st *RunStats)
 		order = append(order, k)
 	}
 
-	pit := probe.Heap.Scan()
+	pit := probe.Heap.ScanContext(ctx)
 	defer pit.Close()
 	for {
 		vals, m, ok := pit.Next()
 		if !ok {
 			break
+		}
+		if err := poll.check(); err != nil {
+			return nil, err
 		}
 		k := hashKey(vals, probeCols, keyBuf)
 		for _, b := range ht[k] {
@@ -106,7 +116,7 @@ func (e *Engine) fusedJoinGroupBy(l, r *Table, groupVars []string, st *RunStats)
 		return nil, err
 	}
 
-	out, err := e.newTemp("γ⋈("+l.Name+","+r.Name+")", aggAttrs)
+	out, err := e.newTemp(ctx, "γ⋈("+l.Name+","+r.Name+")", aggAttrs)
 	if err != nil {
 		return nil, err
 	}
@@ -133,26 +143,30 @@ func (e *groupVarError) Error() string {
 }
 
 // tryFuse recognizes GroupBy(Join(..)) and runs the fused operator,
-// returning (nil, 0, nil) when the pattern does not apply. The returned
-// duration sums the inclusive wall time of the child subtrees it
-// executed, for exclusive-time accounting in exec.
-func (e *Engine) tryFuse(p *plan.Node, resolve Resolver, st *RunStats) (*Table, time.Duration, error) {
+// returning a nil table when the pattern does not apply. The returned
+// duration and stats sum the inclusive wall time and IO of the child
+// subtrees it executed, for exclusive accounting in exec. Fused
+// grandchildren record their spans at depth+1: the elided Join node gets
+// no span of its own, so the trace tree stays contiguous.
+func (e *Engine) tryFuse(ctx context.Context, p *plan.Node, env *runEnv, depth int) (*Table, time.Duration, storage.Stats, error) {
 	if !e.FuseJoinGroupBy || p.Op != plan.OpGroupBy || p.Left == nil || p.Left.Op != plan.OpJoin {
-		return nil, 0, nil
+		return nil, 0, storage.Stats{}, nil
 	}
 	if e.SortJoin || e.SortGroupBy {
-		return nil, 0, nil // fusion is a hash-pipeline optimization
+		return nil, 0, storage.Stats{}, nil // fusion is a hash-pipeline optimization
 	}
+	st := env.st
 	join := p.Left
-	l, lWall, err := e.exec(join.Left, resolve, st)
+	l, lWall, lIO, err := e.exec(ctx, join.Left, env, depth+1)
 	if err != nil {
-		return nil, lWall, err
+		return nil, lWall, lIO, err
 	}
-	r, rWall, err := e.exec(join.Right, resolve, st)
+	r, rWall, rIO, err := e.exec(ctx, join.Right, env, depth+1)
 	childWall := lWall + rWall
+	childIO := lIO.Add(rIO)
 	if err != nil {
 		l.Drop()
-		return nil, childWall, err
+		return nil, childWall, childIO, err
 	}
 	// Very large builds go through the materializing Grace path instead.
 	smaller := l.Heap.NumTuples()
@@ -160,19 +174,19 @@ func (e *Engine) tryFuse(p *plan.Node, resolve Resolver, st *RunStats) (*Table, 
 		smaller = r.Heap.NumTuples()
 	}
 	if smaller > e.maxBuild() {
-		jt, err := e.hashJoin(l, r, st)
+		jt, err := e.hashJoin(ctx, l, r, st)
 		dropInput(l, err == nil)
 		dropInput(r, err == nil)
 		if err != nil {
-			return nil, childWall, err
+			return nil, childWall, childIO, err
 		}
-		out, err := e.hashGroupBy(jt, p.GroupVars, st)
+		out, err := e.hashGroupBy(ctx, jt, p.GroupVars, st)
 		dropInput(jt, err == nil)
-		return out, childWall, err
+		return out, childWall, childIO, err
 	}
 	st.Operators++ // the caller counted the GroupBy; count the fused join
-	out, err := e.fusedJoinGroupBy(l, r, p.GroupVars, st)
+	out, err := e.fusedJoinGroupBy(ctx, l, r, p.GroupVars, st)
 	dropInput(l, err == nil)
 	dropInput(r, err == nil)
-	return out, childWall, err
+	return out, childWall, childIO, err
 }

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"encoding/binary"
 	"hash/fnv"
 	"sync"
@@ -65,7 +66,7 @@ func (e *Engine) maxBuild() int64 {
 // Partition pairs touch disjoint pages and every result row performs the
 // same appends as in serial order, so (absent pool eviction) the IO
 // counters match serial execution exactly.
-func (e *Engine) graceJoin(l, r *Table, lCols, rCols, rExtra []int, out *Table, depth int, st *RunStats) error {
+func (e *Engine) graceJoin(ctx context.Context, l, r *Table, lCols, rCols, rExtra []int, out *Table, depth int, st *RunStats) error {
 	parallel := depth == 0 && e.workers() > 1
 	var lParts, rParts []*Table
 	var lErr, rErr error
@@ -74,14 +75,14 @@ func (e *Engine) graceJoin(l, r *Table, lCols, rCols, rExtra []int, out *Table, 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			lParts, lErr = e.partition(l, lCols, depth, st)
+			lParts, lErr = e.partition(ctx, l, lCols, depth, st)
 		}()
-		rParts, rErr = e.partition(r, rCols, depth, st)
+		rParts, rErr = e.partition(ctx, r, rCols, depth, st)
 		wg.Wait()
 	} else {
-		lParts, lErr = e.partition(l, lCols, depth, st)
+		lParts, lErr = e.partition(ctx, l, lCols, depth, st)
 		if lErr == nil {
-			rParts, rErr = e.partition(r, rCols, depth, st)
+			rParts, rErr = e.partition(ctx, r, rCols, depth, st)
 		}
 	}
 	defer dropAll(lParts)
@@ -93,6 +94,9 @@ func (e *Engine) graceJoin(l, r *Table, lCols, rCols, rExtra []int, out *Table, 
 		return rErr
 	}
 	pair := func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		lp, rp := lParts[i], rParts[i]
 		if lp.Heap.NumTuples() == 0 || rp.Heap.NumTuples() == 0 {
 			return nil
@@ -103,13 +107,13 @@ func (e *Engine) graceJoin(l, r *Table, lCols, rCols, rExtra []int, out *Table, 
 		}
 		if small > e.maxBuild() {
 			if depth < graceDepthLimit {
-				return e.graceJoin(lp, rp, lCols, rCols, rExtra, out, depth+1, st)
+				return e.graceJoin(ctx, lp, rp, lCols, rCols, rExtra, out, depth+1, st)
 			}
 			// Hot key: every repartition left this pair oversized, so join
 			// it in memory anyway and surface the event.
 			atomic.AddInt64(&st.HotKeyFallbacks, 1)
 		}
-		return e.hashJoinInto(lp, rp, lCols, rCols, rExtra, out, st)
+		return e.hashJoinInto(ctx, lp, rp, lCols, rCols, rExtra, out, st)
 	}
 	if parallel {
 		return runParallel(graceFanOut, e.workers(), pair)
@@ -123,10 +127,10 @@ func (e *Engine) graceJoin(l, r *Table, lCols, rCols, rExtra []int, out *Table, 
 }
 
 // partition splits t into graceFanOut temp heaps by join-key hash.
-func (e *Engine) partition(t *Table, cols []int, depth int, st *RunStats) ([]*Table, error) {
+func (e *Engine) partition(ctx context.Context, t *Table, cols []int, depth int, st *RunStats) ([]*Table, error) {
 	parts := make([]*Table, graceFanOut)
 	for i := range parts {
-		p, err := e.newTemp("part", t.Attrs)
+		p, err := e.newTemp(ctx, "part", t.Attrs)
 		if err != nil {
 			dropAll(parts[:i])
 			return nil, err
@@ -135,12 +139,17 @@ func (e *Engine) partition(t *Table, cols []int, depth int, st *RunStats) ([]*Ta
 	}
 	var tmp int64
 	defer func() { st.addTempTuples(tmp) }()
-	it := t.Heap.Scan()
+	it := t.Heap.ScanContext(ctx)
 	defer it.Close()
+	poll := poller{ctx: ctx}
 	for {
 		vals, m, ok := it.Next()
 		if !ok {
 			break
+		}
+		if err := poll.check(); err != nil {
+			dropAll(parts)
+			return nil, err
 		}
 		p := parts[partitionHash(vals, cols, depth)]
 		if err := p.Heap.Append(vals, m); err != nil {

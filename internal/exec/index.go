@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -90,7 +91,7 @@ func (t *Table) AddIndex(idx *Index) {
 // multi-variable predicates) are checked per fetched tuple. Returns nil
 // when no suitable index exists, signalling the caller to fall back to a
 // scan.
-func (e *Engine) indexedSelect(in *Table, pred relation.Predicate, st *RunStats) (*Table, error) {
+func (e *Engine) indexedSelect(ctx context.Context, in *Table, pred relation.Predicate, st *RunStats) (*Table, error) {
 	// Pick the indexed predicate variable with the fewest matches.
 	var best *Index
 	var bestVal int32
@@ -119,7 +120,7 @@ func (e *Engine) indexedSelect(in *Table, pred relation.Predicate, st *RunStats)
 		residCols = append(residCols, c)
 		residWant = append(residWant, val)
 	}
-	out, err := e.newTemp("σix("+in.Name+")", in.Attrs)
+	out, err := e.newTemp(ctx, "σix("+in.Name+")", in.Attrs)
 	if err != nil {
 		return nil, err
 	}
@@ -141,7 +142,7 @@ func (e *Engine) indexedSelect(in *Table, pred relation.Predicate, st *RunStats)
 		for ; j < len(locs) && locs[j].page == locs[i].page; j++ {
 			slots = append(slots, locs[j].slot)
 		}
-		if err := in.Heap.ReadTupleBatch(locs[i].page, slots, emit); err != nil {
+		if err := in.Heap.ReadTupleBatchContext(ctx, locs[i].page, slots, emit); err != nil {
 			out.Drop()
 			return nil, err
 		}

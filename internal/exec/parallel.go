@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -92,22 +93,25 @@ func runParallel(n, w int, task func(i int) error) error {
 // group's measures are accumulated in exactly the serial order — results
 // are bit-identical to serial hash aggregation (only output row order
 // differs, which is immaterial for a functional relation).
-func (e *Engine) parallelHashGroupBy(in *Table, cols []int, outAttrs []relation.Attr, st *RunStats) (*Table, error) {
-	parts, err := e.partition(in, cols, 0, st)
+func (e *Engine) parallelHashGroupBy(ctx context.Context, in *Table, cols []int, outAttrs []relation.Attr, st *RunStats) (*Table, error) {
+	parts, err := e.partition(ctx, in, cols, 0, st)
 	if err != nil {
 		return nil, err
 	}
 	defer dropAll(parts)
-	out, err := e.newTemp("γ("+in.Name+")", outAttrs)
+	out, err := e.newTemp(ctx, "γ("+in.Name+")", outAttrs)
 	if err != nil {
 		return nil, err
 	}
 	err = runParallel(len(parts), e.workers(), func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		p := parts[i]
 		if p.Heap.NumTuples() == 0 {
 			return nil
 		}
-		order, groups, err := e.aggregate(p, cols)
+		order, groups, err := e.aggregate(ctx, p, cols)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -114,7 +115,7 @@ func TestParallelSortRunsMatchSerial(t *testing.T) {
 		h.engine.SortRunTuples = 64 // many runs
 		h.engine.Parallelism = parallelism
 		st := &RunStats{}
-		sorted, err := h.engine.externalSort(h.tables["r"], []int{0, 1}, st)
+		sorted, err := h.engine.externalSort(context.Background(), h.tables["r"], []int{0, 1}, st)
 		if err != nil {
 			t.Fatal(err)
 		}

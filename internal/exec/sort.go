@@ -2,6 +2,7 @@ package exec
 
 import (
 	"container/heap"
+	"context"
 	"sort"
 	"sync"
 
@@ -53,15 +54,20 @@ func (r *memRun) sortBy(cols []int) {
 
 // spillRun sorts one in-memory run on cols and writes it to a fresh temp
 // heap. Safe to call from several goroutines at once (distinct runs).
-func (e *Engine) spillRun(run *memRun, cols []int, attrs []relation.Attr, st *RunStats) (*Table, error) {
+func (e *Engine) spillRun(ctx context.Context, run *memRun, cols []int, attrs []relation.Attr, st *RunStats) (*Table, error) {
 	run.sortBy(cols)
-	rt, err := e.newTemp("sortrun", attrs)
+	rt, err := e.newTemp(ctx, "sortrun", attrs)
 	if err != nil {
 		return nil, err
 	}
 	var tmp int64
 	defer func() { st.addTempTuples(tmp) }()
+	poll := poller{ctx: ctx}
 	for i := 0; i < run.len(); i++ {
+		if err := poll.check(); err != nil {
+			rt.Drop()
+			return nil, err
+		}
 		if err := rt.Heap.Append(run.row(i), run.measures[i]); err != nil {
 			rt.Drop()
 			return nil, err
@@ -73,7 +79,7 @@ func (e *Engine) spillRun(run *memRun, cols []int, attrs []relation.Attr, st *Ru
 
 // serialRuns generates sorted runs of at most runSize tuples, one at a
 // time on the calling goroutine.
-func (e *Engine) serialRuns(in *Table, cols []int, runSize int, st *RunStats) ([]*Table, error) {
+func (e *Engine) serialRuns(ctx context.Context, in *Table, cols []int, runSize int, st *RunStats) ([]*Table, error) {
 	arity := len(in.Attrs)
 	var runs []*Table
 	cleanup := func() {
@@ -81,13 +87,13 @@ func (e *Engine) serialRuns(in *Table, cols []int, runSize int, st *RunStats) ([
 			r.Drop()
 		}
 	}
-	it := in.Heap.Scan()
+	it := in.Heap.ScanContext(ctx)
 	cur := &memRun{arity: arity}
 	flush := func() error {
 		if cur.len() == 0 {
 			return nil
 		}
-		rt, err := e.spillRun(cur, cols, in.Attrs, st)
+		rt, err := e.spillRun(ctx, cur, cols, in.Attrs, st)
 		if err != nil {
 			return err
 		}
@@ -95,10 +101,16 @@ func (e *Engine) serialRuns(in *Table, cols []int, runSize int, st *RunStats) ([
 		cur = &memRun{arity: arity}
 		return nil
 	}
+	poll := poller{ctx: ctx}
 	for {
 		vals, m, ok := it.Next()
 		if !ok {
 			break
+		}
+		if err := poll.check(); err != nil {
+			it.Close()
+			cleanup()
+			return nil, err
 		}
 		cur.vals = append(cur.vals, vals...)
 		cur.measures = append(cur.measures, m)
@@ -126,7 +138,7 @@ func (e *Engine) serialRuns(in *Table, cols []int, runSize int, st *RunStats) ([
 // runs slice is indexed by chunk order, so the downstream k-way merge
 // breaks ties between runs exactly as it would for serial generation and
 // the sorted output is identical.
-func (e *Engine) parallelRuns(in *Table, cols []int, runSize int, st *RunStats) ([]*Table, error) {
+func (e *Engine) parallelRuns(ctx context.Context, in *Table, cols []int, runSize int, st *RunStats) ([]*Table, error) {
 	arity := len(in.Attrs)
 	var (
 		mu       sync.Mutex
@@ -141,7 +153,7 @@ func (e *Engine) parallelRuns(in *Table, cols []int, runSize int, st *RunStats) 
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			rt, err := e.spillRun(run, cols, in.Attrs, st)
+			rt, err := e.spillRun(ctx, run, cols, in.Attrs, st)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -159,11 +171,20 @@ func (e *Engine) parallelRuns(in *Table, cols []int, runSize int, st *RunStats) 
 		return firstErr != nil
 	}
 
-	it := in.Heap.Scan()
+	it := in.Heap.ScanContext(ctx)
 	cur := &memRun{arity: arity}
+	poll := poller{ctx: ctx}
 	for {
 		vals, m, ok := it.Next()
 		if !ok {
+			break
+		}
+		if err := poll.check(); err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
 			break
 		}
 		cur.vals = append(cur.vals, vals...)
@@ -207,7 +228,7 @@ func (e *Engine) parallelRuns(in *Table, cols []int, runSize int, st *RunStats) 
 // Runs of at most SortRunTuples tuples are sorted in memory and spilled to
 // temp heaps (concurrently when Engine.Parallelism > 1), then merged with
 // a k-way merge.
-func (e *Engine) externalSort(in *Table, cols []int, st *RunStats) (*Table, error) {
+func (e *Engine) externalSort(ctx context.Context, in *Table, cols []int, st *RunStats) (*Table, error) {
 	runSize := e.SortRunTuples
 	if runSize <= 0 {
 		runSize = defaultSortRunTuples
@@ -216,9 +237,9 @@ func (e *Engine) externalSort(in *Table, cols []int, st *RunStats) (*Table, erro
 	var runs []*Table
 	var err error
 	if e.workers() > 1 && in.Heap.NumTuples() > int64(runSize) {
-		runs, err = e.parallelRuns(in, cols, runSize, st)
+		runs, err = e.parallelRuns(ctx, in, cols, runSize, st)
 	} else {
-		runs, err = e.serialRuns(in, cols, runSize, st)
+		runs, err = e.serialRuns(ctx, in, cols, runSize, st)
 	}
 	if err != nil {
 		return nil, err
@@ -226,7 +247,7 @@ func (e *Engine) externalSort(in *Table, cols []int, st *RunStats) (*Table, erro
 
 	if len(runs) == 0 {
 		// Empty input: empty output table.
-		return e.newTemp("sorted("+in.Name+")", in.Attrs)
+		return e.newTemp(ctx, "sorted("+in.Name+")", in.Attrs)
 	}
 
 	// Multi-pass merge with fan-in bounded by the buffer pool: each open
@@ -250,7 +271,7 @@ func (e *Engine) externalSort(in *Table, cols []int, st *RunStats) (*Table, erro
 				continue
 			}
 			var merged *Table
-			merged, mergeErr = e.mergeRuns(runs[i:j], cols, in.Attrs, st)
+			merged, mergeErr = e.mergeRuns(ctx, runs[i:j], cols, in.Attrs, st)
 			if mergeErr != nil {
 				break
 			}
@@ -304,8 +325,8 @@ func (h *mergeHeap) Pop() any {
 	return c
 }
 
-func (e *Engine) mergeRuns(runs []*Table, cols []int, attrs []relation.Attr, st *RunStats) (*Table, error) {
-	out, err := e.newTemp("merge", attrs)
+func (e *Engine) mergeRuns(ctx context.Context, runs []*Table, cols []int, attrs []relation.Attr, st *RunStats) (*Table, error) {
+	out, err := e.newTemp(ctx, "merge", attrs)
 	if err != nil {
 		return nil, err
 	}
@@ -317,7 +338,7 @@ func (e *Engine) mergeRuns(runs []*Table, cols []int, attrs []relation.Attr, st 
 		}
 	}()
 	for _, r := range runs {
-		it := newRowIter(r)
+		it := newRowIter(ctx, r)
 		iters = append(iters, it)
 		vals, m, ok, err := it.Next()
 		if err != nil {
@@ -329,8 +350,13 @@ func (e *Engine) mergeRuns(runs []*Table, cols []int, attrs []relation.Attr, st 
 		}
 	}
 	heap.Init(mh)
+	poll := poller{ctx: ctx}
 	for mh.Len() > 0 {
 		c := mh.cursors[0]
+		if err := poll.check(); err != nil {
+			out.Drop()
+			return nil, err
+		}
 		if err := out.Heap.Append(c.vals, c.measure); err != nil {
 			out.Drop()
 			return nil, err
@@ -360,7 +386,9 @@ type rowIter struct {
 	}
 }
 
-func newRowIter(t *Table) *rowIter { return &rowIter{it: t.Heap.Scan()} }
+func newRowIter(ctx context.Context, t *Table) *rowIter {
+	return &rowIter{it: t.Heap.ScanContext(ctx)}
+}
 
 func (r *rowIter) Next() ([]int32, float64, bool, error) {
 	vals, m, ok := r.it.Next()
@@ -374,22 +402,22 @@ func (r *rowIter) Close() error { return r.it.Close() }
 
 // sortGroupBy implements marginalization by external sort on the group
 // columns followed by a streaming aggregation pass.
-func (e *Engine) sortGroupBy(in *Table, groupVars []string, st *RunStats) (*Table, error) {
+func (e *Engine) sortGroupBy(ctx context.Context, in *Table, groupVars []string, st *RunStats) (*Table, error) {
 	cols, outAttrs, err := groupSchema(in, groupVars)
 	if err != nil {
 		return nil, err
 	}
-	sorted, err := e.externalSort(in, cols, st)
+	sorted, err := e.externalSort(ctx, in, cols, st)
 	if err != nil {
 		return nil, err
 	}
 	defer sorted.Drop()
 
-	out, err := e.newTemp("γ("+in.Name+")", outAttrs)
+	out, err := e.newTemp(ctx, "γ("+in.Name+")", outAttrs)
 	if err != nil {
 		return nil, err
 	}
-	it := newRowIter(sorted)
+	it := newRowIter(ctx, sorted)
 	defer it.Close()
 
 	var curKey []int32
@@ -445,30 +473,30 @@ func equalRows(a, b []int32) bool {
 // shared variables and merging, emitting the cross product of each pair of
 // matching key groups. Inputs without shared variables fall back to the
 // hash join (which degenerates to a nested cross product).
-func (e *Engine) sortMergeJoin(l, r *Table, st *RunStats) (*Table, error) {
+func (e *Engine) sortMergeJoin(ctx context.Context, l, r *Table, st *RunStats) (*Table, error) {
 	lCols, rCols, rExtra, outAttrs, err := joinSchema(l, r)
 	if err != nil {
 		return nil, err
 	}
 	if len(lCols) == 0 {
-		return e.hashJoin(l, r, st)
+		return e.hashJoin(ctx, l, r, st)
 	}
-	ls, err := e.externalSort(l, lCols, st)
+	ls, err := e.externalSort(ctx, l, lCols, st)
 	if err != nil {
 		return nil, err
 	}
 	defer ls.Drop()
-	rs, err := e.externalSort(r, rCols, st)
+	rs, err := e.externalSort(ctx, r, rCols, st)
 	if err != nil {
 		return nil, err
 	}
 	defer rs.Drop()
 
-	out, err := e.newTemp("("+l.Name+"⋈*"+r.Name+")", outAttrs)
+	out, err := e.newTemp(ctx, "("+l.Name+"⋈*"+r.Name+")", outAttrs)
 	if err != nil {
 		return nil, err
 	}
-	lit, rit := newRowIter(ls), newRowIter(rs)
+	lit, rit := newRowIter(ctx, ls), newRowIter(ctx, rs)
 	defer lit.Close()
 	defer rit.Close()
 
@@ -487,7 +515,12 @@ func (e *Engine) sortMergeJoin(l, r *Table, st *RunStats) (*Table, error) {
 		return nil, err
 	}
 	rowBuf := make([]int32, len(outAttrs))
+	poll := poller{ctx: ctx}
 	for lok && rok {
+		if err := poll.check(); err != nil {
+			out.Drop()
+			return nil, err
+		}
 		c := compareCols(lv, lCols, rv, rCols)
 		if c < 0 {
 			lv, lm, lok, err = lit.Next()

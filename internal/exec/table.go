@@ -12,6 +12,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -90,11 +91,17 @@ func LoadRelation(pool *storage.Pool, factory storage.DiskFactory, r *relation.R
 
 // ReadRelation scans the table back into an in-memory relation.
 func ReadRelation(t *Table) (*relation.Relation, error) {
+	return readRelationContext(context.Background(), t)
+}
+
+// readRelationContext scans the table back into an in-memory relation,
+// observing ctx on page misses.
+func readRelationContext(ctx context.Context, t *Table) (*relation.Relation, error) {
 	r, err := relation.New(t.Name, t.Attrs)
 	if err != nil {
 		return nil, err
 	}
-	it := t.Heap.Scan()
+	it := t.Heap.ScanContext(ctx)
 	defer it.Close()
 	for {
 		vals, m, ok := it.Next()

@@ -1,0 +1,192 @@
+// Package metrics is the engine-wide metrics registry: a Database owns
+// one Registry, every query lifecycle event (started, finished, canceled)
+// and every finished query's RunStats-derived counters accumulate into
+// it, and Snapshot returns a consistent point-in-time copy for reporting
+// (mpfcli -metrics, monitoring loops). The registry is additive-only and
+// safe for concurrent use.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mpf/internal/storage"
+)
+
+// OpSample is one executed operator's contribution to the registry: its
+// kind (Scan, Select, ProductJoin, GroupBy) plus exclusive wall time and
+// IO delta, as recorded in a query's trace.
+type OpSample struct {
+	// Kind is the operator kind.
+	Kind string
+	// Wall is the operator's exclusive (self) wall time.
+	Wall time.Duration
+	// IO is the pool-stats delta attributed to the operator.
+	IO storage.Stats
+}
+
+// QuerySample summarizes one finished query for the registry.
+type QuerySample struct {
+	// Canceled marks a query that ended with a context error.
+	Canceled bool
+	// Failed marks a query that ended with any other error.
+	Failed bool
+	// RowsOut is the result cardinality.
+	RowsOut int64
+	// TempTuples counts tuples written to intermediate tables.
+	TempTuples int64
+	// Operators counts executed physical operators.
+	Operators int64
+	// HotKeyFallbacks counts Grace-join hot-key fallbacks.
+	HotKeyFallbacks int64
+	// Wall is the query's execution wall time.
+	Wall time.Duration
+	// Ops lists the per-operator samples from the query trace.
+	Ops []OpSample
+}
+
+// OpKindStats aggregates all executed operators of one kind.
+type OpKindStats struct {
+	// Count is the number of operators of this kind executed.
+	Count int64
+	// Wall sums their exclusive wall time.
+	Wall time.Duration
+	// IO sums their attributed pool-stats deltas.
+	IO storage.Stats
+}
+
+// Registry accumulates engine-wide metrics. The zero value is NOT ready;
+// use NewRegistry.
+type Registry struct {
+	mu              sync.Mutex
+	started         int64
+	finished        int64
+	canceled        int64
+	failed          int64
+	rowsOut         int64
+	tempTuples      int64
+	operators       int64
+	hotKeyFallbacks int64
+	execWall        time.Duration
+	opKinds         map[string]OpKindStats
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{opKinds: make(map[string]OpKindStats)}
+}
+
+// QueryStarted records the start of a query.
+func (r *Registry) QueryStarted() {
+	r.mu.Lock()
+	r.started++
+	r.mu.Unlock()
+}
+
+// QueryFinished records a query's end. Every QueryStarted must be paired
+// with exactly one QueryFinished, whatever the outcome; the sample's
+// Canceled/Failed flags classify it.
+func (r *Registry) QueryFinished(q QuerySample) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.finished++
+	if q.Canceled {
+		r.canceled++
+	} else if q.Failed {
+		r.failed++
+	}
+	r.rowsOut += q.RowsOut
+	r.tempTuples += q.TempTuples
+	r.operators += q.Operators
+	r.hotKeyFallbacks += q.HotKeyFallbacks
+	r.execWall += q.Wall
+	for _, op := range q.Ops {
+		k := r.opKinds[op.Kind]
+		k.Count++
+		k.Wall += op.Wall
+		k.IO = k.IO.Add(op.IO)
+		r.opKinds[op.Kind] = k
+	}
+}
+
+// Snapshot is a point-in-time copy of the registry, extended with the
+// buffer pool's cumulative IO counters (read directly from the pool at
+// snapshot time, so they cover everything the pool did — including
+// operator overlap that per-query deltas cannot attribute exactly).
+type Snapshot struct {
+	// QueriesStarted counts queries that entered execution.
+	QueriesStarted int64
+	// QueriesFinished counts queries that returned (any outcome).
+	QueriesFinished int64
+	// QueriesCanceled counts queries that ended with a context error.
+	QueriesCanceled int64
+	// QueriesFailed counts queries that ended with a non-context error.
+	QueriesFailed int64
+	// RowsOut sums result cardinalities over finished queries.
+	RowsOut int64
+	// TempTuples sums intermediate tuples written.
+	TempTuples int64
+	// Operators counts executed physical operators.
+	Operators int64
+	// HotKeyFallbacks counts Grace-join hot-key fallbacks.
+	HotKeyFallbacks int64
+	// ExecWall sums query execution wall time.
+	ExecWall time.Duration
+	// Pool is the buffer pool's cumulative IO (reads, writes, hits).
+	Pool storage.Stats
+	// OpKinds aggregates operators by kind.
+	OpKinds map[string]OpKindStats
+}
+
+// Snapshot returns a consistent copy of the counters; pool is the buffer
+// pool's own cumulative stats to embed.
+func (r *Registry) Snapshot(pool storage.Stats) Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	kinds := make(map[string]OpKindStats, len(r.opKinds))
+	for k, v := range r.opKinds {
+		kinds[k] = v
+	}
+	return Snapshot{
+		QueriesStarted:  r.started,
+		QueriesFinished: r.finished,
+		QueriesCanceled: r.canceled,
+		QueriesFailed:   r.failed,
+		RowsOut:         r.rowsOut,
+		TempTuples:      r.tempTuples,
+		Operators:       r.operators,
+		HotKeyFallbacks: r.hotKeyFallbacks,
+		ExecWall:        r.execWall,
+		Pool:            pool,
+		OpKinds:         kinds,
+	}
+}
+
+// String renders the snapshot as an aligned text report.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "queries: %d started, %d finished (%d canceled, %d failed)\n",
+		s.QueriesStarted, s.QueriesFinished, s.QueriesCanceled, s.QueriesFailed)
+	fmt.Fprintf(&b, "rows out: %d   temp tuples: %d   operators: %d   hot-key fallbacks: %d\n",
+		s.RowsOut, s.TempTuples, s.Operators, s.HotKeyFallbacks)
+	fmt.Fprintf(&b, "exec wall: %v\n", s.ExecWall)
+	fmt.Fprintf(&b, "pool IO: %d reads, %d writes, %d hits\n",
+		s.Pool.Reads, s.Pool.Writes, s.Pool.Hits)
+	if len(s.OpKinds) > 0 {
+		kinds := make([]string, 0, len(s.OpKinds))
+		for k := range s.OpKinds {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		b.WriteString("per-operator kind:\n")
+		for _, k := range kinds {
+			st := s.OpKinds[k]
+			fmt.Fprintf(&b, "  %-12s %6d ops  wall %-12v io %d reads / %d writes / %d hits\n",
+				k, st.Count, st.Wall, st.IO.Reads, st.IO.Writes, st.IO.Hits)
+		}
+	}
+	return b.String()
+}

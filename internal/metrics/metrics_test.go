@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mpf/internal/storage"
+)
+
+// TestRegistryAccumulates checks that finished-query samples add into the
+// registry counters and per-kind aggregates.
+func TestRegistryAccumulates(t *testing.T) {
+	r := NewRegistry()
+	r.QueryStarted()
+	r.QueryFinished(QuerySample{
+		RowsOut: 10, TempTuples: 100, Operators: 3, Wall: 2 * time.Millisecond,
+		Ops: []OpSample{
+			{Kind: "Scan", Wall: time.Millisecond, IO: storage.Stats{Reads: 4}},
+			{Kind: "Scan", Wall: time.Millisecond, IO: storage.Stats{Reads: 2, Hits: 1}},
+			{Kind: "GroupBy", Wall: time.Millisecond, IO: storage.Stats{Writes: 5}},
+		},
+	})
+	r.QueryStarted()
+	r.QueryFinished(QuerySample{Canceled: true, Operators: 1,
+		Ops: []OpSample{{Kind: "Scan"}}})
+	r.QueryStarted()
+	r.QueryFinished(QuerySample{Failed: true})
+
+	s := r.Snapshot(storage.Stats{Reads: 6, Writes: 5, Hits: 1})
+	if s.QueriesStarted != 3 || s.QueriesFinished != 3 || s.QueriesCanceled != 1 || s.QueriesFailed != 1 {
+		t.Fatalf("query counts wrong: %+v", s)
+	}
+	if s.RowsOut != 10 || s.TempTuples != 100 || s.Operators != 4 {
+		t.Fatalf("totals wrong: %+v", s)
+	}
+	scan := s.OpKinds["Scan"]
+	if scan.Count != 3 || scan.Wall != 2*time.Millisecond || scan.IO.Reads != 6 || scan.IO.Hits != 1 {
+		t.Fatalf("Scan kind stats wrong: %+v", scan)
+	}
+	if gb := s.OpKinds["GroupBy"]; gb.Count != 1 || gb.IO.Writes != 5 {
+		t.Fatalf("GroupBy kind stats wrong: %+v", gb)
+	}
+
+	// The snapshot is a copy: mutating the registry afterwards must not
+	// change it.
+	r.QueryFinished(QuerySample{RowsOut: 99, Ops: []OpSample{{Kind: "Scan"}}})
+	if s.RowsOut != 10 || s.OpKinds["Scan"].Count != 3 {
+		t.Fatal("snapshot aliases registry state")
+	}
+
+	out := s.String()
+	for _, want := range []string{
+		"3 started", "3 finished", "1 canceled", "1 failed",
+		"rows out: 10", "operators: 4", "6 reads", "Scan", "GroupBy",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRegistryConcurrent hammers the registry from many goroutines (the
+// race detector covers the locking) and checks the final totals.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const per = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.QueryStarted()
+				r.QueryFinished(QuerySample{RowsOut: 1, Operators: 2,
+					Ops: []OpSample{{Kind: "Scan"}, {Kind: "GroupBy"}}})
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot(storage.Stats{})
+	total := int64(workers * per)
+	if s.QueriesStarted != total || s.QueriesFinished != total || s.RowsOut != total {
+		t.Fatalf("lost updates: %+v", s)
+	}
+	if s.OpKinds["Scan"].Count != total || s.OpKinds["GroupBy"].Count != total {
+		t.Fatalf("per-kind counts wrong: %+v", s.OpKinds)
+	}
+}

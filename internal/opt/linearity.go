@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -34,12 +35,28 @@ type Result struct {
 
 // Run optimizes q with o, measuring planning time.
 func Run(o Optimizer, q *Query, b *plan.Builder) (Result, error) {
+	return RunContext(context.Background(), o, q, b)
+}
+
+// RunContext is Run with cancellation: ctx is observed before and after
+// the optimize phase. Optimizers themselves are pure CPU work bounded by
+// the plan search space, so phase-boundary checks keep the Optimizer
+// interface unchanged while still letting a canceled query skip planning
+// (and discard a plan that finished after the deadline).
+func RunContext(ctx context.Context, o Optimizer, q *Query, b *plan.Builder) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	start := time.Now()
 	p, err := o.Optimize(q, b)
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{Plan: p, Optimize: time.Since(start)}, nil
+	res := Result{Plan: p, Optimize: time.Since(start)}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	return res, nil
 }
 
 // All returns every optimizer variant evaluated in the paper, in report

@@ -1,0 +1,118 @@
+package sqlx
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mpf/internal/core"
+	"mpf/internal/exec"
+)
+
+// analyzeSession builds a session over a tiny two-table view.
+func analyzeSession(t *testing.T) *Session {
+	t.Helper()
+	db, err := core.Open(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	s := NewSession(db)
+	script := []string{
+		"create table r (a domain 2, b domain 3)",
+		"insert into r values (0, 0, 2)",
+		"insert into r values (0, 1, 3)",
+		"insert into r values (1, 2, 5)",
+		"create table q (b domain 3, c domain 2)",
+		"insert into q values (0, 0, 7)",
+		"insert into q values (1, 1, 11)",
+		"insert into q values (2, 0, 13)",
+		"create mpfview v as select * from r, q",
+	}
+	for _, line := range script {
+		if _, err := s.Exec(line); err != nil {
+			t.Fatalf("%s: %v", line, err)
+		}
+	}
+	return s
+}
+
+// TestParseExplainAnalyze checks the grammar: ANALYZE is accepted only
+// after EXPLAIN and sets the statement flag.
+func TestParseExplainAnalyze(t *testing.T) {
+	st, err := Parse("explain analyze select a, sum(f) from v group by a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := st.(*Select)
+	if !sel.Explain || !sel.Analyze {
+		t.Fatalf("parsed %+v, want Explain and Analyze set", sel)
+	}
+	st, err = Parse("explain select a, sum(f) from v group by a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel := st.(*Select); !sel.Explain || sel.Analyze {
+		t.Fatalf("plain explain parsed %+v", sel)
+	}
+	if _, err := Parse("analyze select a, sum(f) from v group by a"); err == nil {
+		t.Fatal("ANALYZE without EXPLAIN should not parse")
+	}
+}
+
+// TestExplainAnalyzeExecutes runs EXPLAIN ANALYZE end to end: the query
+// executes (stats are populated) but no rows are returned; the rendered
+// report contains the operator tree with actuals and the totals line.
+func TestExplainAnalyzeExecutes(t *testing.T) {
+	s := analyzeSession(t)
+	out, err := s.Exec("explain analyze select a, sum(f) from v group by a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Relation != nil {
+		t.Fatal("explain analyze should not return rows")
+	}
+	if out.Plan == nil {
+		t.Fatal("explain analyze should carry the plan")
+	}
+	if out.Exec.Operators == 0 || out.Exec.RowsOut == 0 {
+		t.Fatalf("query did not execute: %+v", out.Exec)
+	}
+	for _, want := range []string{"GroupBy", "Scan", "actual time=", "rows=", "Total: wall="} {
+		if !strings.Contains(out.Message, want) {
+			t.Fatalf("report missing %q:\n%s", want, out.Message)
+		}
+	}
+	// One line per operator plus the totals line.
+	lines := strings.Count(strings.TrimRight(out.Message, "\n"), "\n") + 1
+	if lines != out.Exec.Operators+1 {
+		t.Fatalf("report has %d lines for %d operators:\n%s", lines, out.Exec.Operators, out.Message)
+	}
+}
+
+// TestBuildSpanTree checks tree reconstruction from a post-order span
+// list: children attach to the first shallower span that follows them.
+func TestBuildSpanTree(t *testing.T) {
+	ms := func(d int) time.Duration { return time.Duration(d) * time.Millisecond }
+	trace := []exec.Span{
+		{Desc: "Scan(r)", Depth: 2, Start: ms(0), Stop: ms(1)},
+		{Desc: "Scan(q)", Depth: 2, Start: ms(1), Stop: ms(2)},
+		{Desc: "Join", Depth: 1, Start: ms(0), Stop: ms(3)},
+		{Desc: "GroupBy", Depth: 0, Start: ms(0), Stop: ms(4)},
+	}
+	roots := buildSpanTree(trace)
+	if len(roots) != 1 {
+		t.Fatalf("%d roots, want 1", len(roots))
+	}
+	root := roots[0]
+	if root.span.Desc != "GroupBy" || len(root.children) != 1 {
+		t.Fatalf("bad root: %+v", root)
+	}
+	join := root.children[0]
+	if join.span.Desc != "Join" || len(join.children) != 2 {
+		t.Fatalf("bad join node: %+v", join)
+	}
+	if join.children[0].span.Desc != "Scan(r)" || join.children[1].span.Desc != "Scan(q)" {
+		t.Fatalf("children out of order: %v, %v", join.children[0].span, join.children[1].span)
+	}
+}

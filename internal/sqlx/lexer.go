@@ -20,7 +20,7 @@
 //	select      := SELECT var (',' var)* ',' agg '(' name ')'
 //	               FROM name [WHERE eq (AND eq)*] GROUP BY var (',' var)*
 //	               [HAVING name cmp number] [USING strategy]
-//	explain     := EXPLAIN select
+//	explain     := EXPLAIN [ANALYZE] select
 //	agg         := SUM | MIN | MAX
 //	eq          := name '=' int
 //	cmp         := '<' | '<=' | '>' | '>=' | '='

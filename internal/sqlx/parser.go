@@ -64,7 +64,10 @@ func (*CreateView) stmt() {}
 
 // Select is an MPF query, optionally explained instead of executed.
 type Select struct {
-	Explain   bool
+	Explain bool
+	// Analyze (EXPLAIN ANALYZE) executes the query and reports the
+	// per-operator actuals instead of the result rows.
+	Analyze   bool
 	GroupVars []string
 	// Agg is the aggregate name: sum, min or max.
 	Agg string
@@ -258,10 +261,16 @@ func (p *parser) statement() (Statement, error) {
 		return p.selectStmt(false)
 	case p.at(tokIdent, "explain"):
 		p.next()
+		analyze := p.accept(tokIdent, "analyze")
 		if err := p.keyword("select"); err != nil {
 			return nil, err
 		}
-		return p.selectStmt(true)
+		st, err := p.selectStmt(true)
+		if err != nil {
+			return nil, err
+		}
+		st.(*Select).Analyze = analyze
+		return st, nil
 	default:
 		return nil, fmt.Errorf("sqlx: expected a statement, found %v", p.peek())
 	}

@@ -134,6 +134,20 @@ func (s *Session) Run(st Statement) (*Output, error) {
 			}
 			spec.Optimizer = o
 		}
+		if st.Explain && st.Analyze {
+			// EXPLAIN ANALYZE executes the query and reports per-operator
+			// actuals from the trace instead of the result rows.
+			res, err := s.DB.Query(spec)
+			if err != nil {
+				return nil, err
+			}
+			return &Output{
+				Plan:     res.Plan,
+				Optimize: res.Optimize,
+				Exec:     res.Exec,
+				Message:  renderAnalyze(res.Exec),
+			}, nil
+		}
 		if st.Explain {
 			p, d, err := s.DB.Explain(spec)
 			if err != nil {

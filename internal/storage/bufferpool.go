@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -20,6 +21,11 @@ func (s Stats) IO() int64 { return s.Reads + s.Writes }
 // snapshotting before and after.
 func (s Stats) Sub(o Stats) Stats {
 	return Stats{Reads: s.Reads - o.Reads, Writes: s.Writes - o.Writes, Hits: s.Hits - o.Hits}
+}
+
+// Add returns s + o, useful for accumulating per-operator deltas.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{Reads: s.Reads + o.Reads, Writes: s.Writes + o.Writes, Hits: s.Hits + o.Hits}
 }
 
 type pageKey struct {
@@ -140,6 +146,28 @@ func (p *Pool) ResetStats() {
 // Size returns the number of frames.
 func (p *Pool) Size() int { return len(p.frames) }
 
+// Pinned returns the total number of outstanding pins across all frames.
+// A quiescent pool — no query in flight — must report zero; a non-zero
+// value after a query returns (successfully or not) is a pin leak.
+func (p *Pool) Pinned() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for i := range p.frames {
+		n += p.frames[i].pins
+	}
+	return n
+}
+
+// Registered returns the number of disks currently attached to the pool.
+// Temporary tables register a disk each, so a query that cleans up after
+// itself leaves this count where it found it.
+func (p *Pool) Registered() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.disks)
+}
+
 // victim finds a frame to reuse using the clock algorithm, writing it back
 // if dirty. Caller holds p.mu.
 func (p *Pool) victim() (int, error) {
@@ -187,6 +215,15 @@ func (p *Pool) victim() (int, error) {
 // the in-flight read and then share the frame, counting a hit — exactly
 // the accounting a serial execution of the same accesses would produce.
 func (p *Pool) Pin(h, no int64) ([]byte, error) {
+	return p.PinContext(context.Background(), h, no)
+}
+
+// PinContext is Pin with cancellation: a request that would miss and
+// stall on a disk read (or on a dirty-page writeback during eviction)
+// first observes ctx and returns its error instead of starting the IO.
+// Hits are served unconditionally — they perform no IO, and refusing
+// them would only delay the caller's own cleanup.
+func (p *Pool) PinContext(ctx context.Context, h, no int64) ([]byte, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	k := pageKey{h, no}
@@ -209,6 +246,12 @@ func (p *Pool) Pin(h, no int64) ([]byte, error) {
 	d, ok := p.disks[h]
 	if !ok {
 		return nil, fmt.Errorf("bufferpool: pin on unregistered disk %d", h)
+	}
+	// Miss: about to stall on physical IO (possibly twice — a dirty
+	// eviction writeback and then the read). A canceled request stops
+	// here, before any state changes.
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	idx, err := p.victim()
 	if err != nil {
@@ -246,6 +289,16 @@ func (p *Pool) Pin(h, no int64) ([]byte, error) {
 // NewPage allocates a fresh page on the disk, pins it and returns its
 // number and buffer. The page starts zeroed and dirty.
 func (p *Pool) NewPage(h int64) (int64, []byte, error) {
+	return p.NewPageContext(context.Background(), h)
+}
+
+// NewPageContext is NewPage with cancellation: the allocation (which may
+// grow a file and evict a dirty frame with a writeback stall) observes
+// ctx before starting.
+func (p *Pool) NewPageContext(ctx context.Context, h int64) (int64, []byte, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
+	}
 	p.mu.Lock()
 	d, ok := p.disks[h]
 	p.mu.Unlock()

@@ -1,0 +1,63 @@
+package storage
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestPinContextCanceled verifies PinContext's cancellation contract:
+// misses observe the context before issuing IO, hits are served even
+// under a canceled context (no IO is at stake), and a canceled miss
+// leaves nothing pinned.
+func TestPinContextCanceled(t *testing.T) {
+	p := NewPool(4)
+	h := p.Register(NewMemDisk())
+	no, buf, err := p.NewPage(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 0xAB
+	p.Unpin(h, no, true)
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	// Hit path: the page is resident, so a canceled context still serves it.
+	got, err := p.PinContext(canceled, h, no)
+	if err != nil {
+		t.Fatalf("pin of resident page under canceled ctx: %v", err)
+	}
+	if got[0] != 0xAB {
+		t.Fatalf("resident page content lost: %x", got[0])
+	}
+	p.Unpin(h, no, false)
+
+	// Evict the page so the next pin is a miss.
+	h2 := p.Register(NewMemDisk())
+	for i := 0; i < 8; i++ {
+		no2, _, err := p.NewPage(h2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Unpin(h2, no2, false)
+	}
+
+	if _, err := p.PinContext(canceled, h, no); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pin miss under canceled ctx = %v, want context.Canceled", err)
+	}
+	if n := p.Pinned(); n != 0 {
+		t.Fatalf("%d frames pinned after canceled miss", n)
+	}
+
+	// NewPageContext observes cancellation too.
+	if _, _, err := p.NewPageContext(canceled, h); !errors.Is(err, context.Canceled) {
+		t.Fatalf("NewPageContext under canceled ctx = %v, want context.Canceled", err)
+	}
+
+	// The same pin succeeds with a live context.
+	if _, err := p.PinContext(context.Background(), h, no); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(h, no, false)
+}

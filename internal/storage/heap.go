@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -30,6 +31,22 @@ type Heap struct {
 	lastPage   int64 // -1 when empty
 	lastCount  int   // tuples on last page
 	statsOwned bool
+	ctx        context.Context // nil means context.Background()
+}
+
+// SetContext attaches a cancellation context to the heap: subsequent
+// appends and scans observe it on every buffer-pool miss. Intended for
+// query-private temporary heaps (set once at creation, before any use);
+// shared base-table heaps must keep the default background context and
+// pass a per-query context to ScanContext instead.
+func (h *Heap) SetContext(ctx context.Context) { h.ctx = ctx }
+
+// context returns the heap's context, defaulting to Background.
+func (h *Heap) context() context.Context {
+	if h.ctx == nil {
+		return context.Background()
+	}
+	return h.ctx
 }
 
 // tupleSize returns the byte width of a tuple with the given arity.
@@ -155,12 +172,12 @@ func (h *Heap) AppendLocated(vals []int32, measure float64) (pageNo int64, slot 
 	var buf []byte
 	if h.lastPage >= 0 && h.lastCount < h.perPage {
 		pageNo = h.lastPage
-		buf, err = h.pool.Pin(h.handle, pageNo)
+		buf, err = h.pool.PinContext(h.context(), h.handle, pageNo)
 		if err != nil {
 			return 0, 0, err
 		}
 	} else {
-		pageNo, buf, err = h.pool.NewPage(h.handle)
+		pageNo, buf, err = h.pool.NewPageContext(h.context(), h.handle)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -182,6 +199,7 @@ func (h *Heap) AppendLocated(vals []int32, measure float64) (pageNo int64, slot 
 // Iterator streams a heap's tuples in storage order.
 type Iterator struct {
 	h       *Heap
+	ctx     context.Context
 	pageNo  int64
 	buf     []byte
 	inPage  int
@@ -195,9 +213,15 @@ type Iterator struct {
 }
 
 // Scan returns an iterator over the heap. The iterator must be Closed.
-// Appending to the heap during a scan is not supported.
-func (h *Heap) Scan() *Iterator {
-	return &Iterator{h: h, valBuf: make([]int32, h.arity), npages: h.disk.NumPages()}
+// Appending to the heap during a scan is not supported. Page fetches
+// observe the heap's context (see SetContext).
+func (h *Heap) Scan() *Iterator { return h.ScanContext(h.context()) }
+
+// ScanContext returns an iterator whose page fetches observe ctx: a scan
+// of a shared base table under a canceled query context stops at the
+// next buffer-pool miss instead of stalling on disk.
+func (h *Heap) ScanContext(ctx context.Context) *Iterator {
+	return &Iterator{h: h, ctx: ctx, valBuf: make([]int32, h.arity), npages: h.disk.NumPages()}
 }
 
 // Next returns the next tuple, or ok=false at the end. The returned slice
@@ -216,7 +240,7 @@ func (it *Iterator) Next() (vals []int32, measure float64, ok bool) {
 				it.done = true
 				return nil, 0, false
 			}
-			buf, err := it.h.pool.Pin(it.h.handle, it.pageNo)
+			buf, err := it.h.pool.PinContext(it.ctx, it.h.handle, it.pageNo)
 			if err != nil {
 				it.err = err
 				it.done = true
@@ -295,10 +319,16 @@ func (h *Heap) ReadTuple(pageNo int64, slot int) ([]int32, float64, error) {
 // invoking fn for each requested slot in order. The vals slice passed to
 // fn is reused between calls.
 func (h *Heap) ReadTupleBatch(pageNo int64, slots []int32, fn func(vals []int32, measure float64) error) error {
+	return h.ReadTupleBatchContext(h.context(), pageNo, slots, fn)
+}
+
+// ReadTupleBatchContext is ReadTupleBatch with cancellation: the page pin
+// observes ctx before stalling on a miss.
+func (h *Heap) ReadTupleBatchContext(ctx context.Context, pageNo int64, slots []int32, fn func(vals []int32, measure float64) error) error {
 	if pageNo < 0 || pageNo >= h.disk.NumPages() {
 		return fmt.Errorf("heap: page %d out of range", pageNo)
 	}
-	buf, err := h.pool.Pin(h.handle, pageNo)
+	buf, err := h.pool.PinContext(ctx, h.handle, pageNo)
 	if err != nil {
 		return err
 	}

@@ -51,6 +51,8 @@ import (
 	"math/rand"
 
 	"mpf/internal/core"
+	"mpf/internal/exec"
+	"mpf/internal/metrics"
 	"mpf/internal/opt"
 	"mpf/internal/relation"
 	"mpf/internal/semiring"
@@ -79,6 +81,40 @@ type (
 	QuerySpec = core.QuerySpec
 	// Result is a query answer with plan and measurements.
 	Result = core.Result
+	// RunStats describes one plan execution (wall, IO, per-operator
+	// actuals, trace spans).
+	RunStats = exec.RunStats
+	// Span is one operator's execution window within a query trace.
+	Span = exec.Span
+	// MetricsSnapshot is a point-in-time copy of the engine-wide metrics,
+	// returned by Database.Metrics.
+	MetricsSnapshot = metrics.Snapshot
+	// OpKindStats aggregates executed operators of one kind in a
+	// MetricsSnapshot.
+	OpKindStats = metrics.OpKindStats
+	// CancelError wraps the context error that ended a query; it matches
+	// both ErrCanceled and the wrapped context error via errors.Is.
+	CancelError = core.CancelError
+)
+
+// Typed sentinel errors returned from the Database API; match them with
+// errors.Is.
+var (
+	// ErrUnknownTable reports a reference to a table the database does not
+	// have.
+	ErrUnknownTable = core.ErrUnknownTable
+	// ErrUnknownView reports a reference to an unregistered MPF view.
+	ErrUnknownView = core.ErrUnknownView
+	// ErrDuplicateTable reports CreateTable of an existing name.
+	ErrDuplicateTable = core.ErrDuplicateTable
+	// ErrNotFunctional reports a relation that is not a functional
+	// relation (its variables do not determine the measure).
+	ErrNotFunctional = core.ErrNotFunctional
+	// ErrUnknownExecMode reports an invalid QuerySpec.Exec value.
+	ErrUnknownExecMode = core.ErrUnknownExecMode
+	// ErrCanceled reports a query ended by its context; the error also
+	// matches context.Canceled or context.DeadlineExceeded.
+	ErrCanceled = core.ErrCanceled
 )
 
 // Execution modes for QuerySpec.Exec.
