@@ -4,13 +4,19 @@
 
 GO ?= go
 
-.PHONY: all check build test test-race race bench experiments examples fmt vet clean
+.PHONY: all check build test test-race race bench experiments examples fmt vet clean docs-check
 
 all: check
 
 # Full gate: compile, vet, plain tests, then the race-enabled suite
 # (which exercises the parallel executor with Parallelism > 1).
 check: build vet test test-race
+
+# Documentation gate: vet, the exported-identifier doc-comment check,
+# and markdown link verification (README/DESIGN/EXPERIMENTS/ARCHITECTURE).
+docs-check:
+	$(GO) vet ./...
+	$(GO) test -run 'TestAllExportedIdentifiersDocumented|TestDocLinksResolve|TestArchitectureDocLinked' -count=1 .
 
 build:
 	$(GO) build ./...

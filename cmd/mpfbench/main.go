@@ -28,6 +28,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast pass")
 	frames := flag.Int("frames", 0, "buffer pool frames (0 = default 256)")
 	parallel := flag.Int("parallel", 0, "intra-query worker bound (0 or 1 = serial)")
+	rcache := flag.Int64("result-cache", 0, "result cache byte budget for cache-aware experiments (0 = experiment default)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -37,7 +38,7 @@ func main() {
 		}
 		return
 	}
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, Quick: *quick, PoolFrames: *frames, Parallelism: *parallel}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Quick: *quick, PoolFrames: *frames, Parallelism: *parallel, ResultCacheBytes: *rcache}
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = experiments.IDs()

@@ -41,11 +41,12 @@ func main() {
 	command := flag.String("c", "", "execute one statement and exit")
 	frames := flag.Int("frames", 256, "buffer pool frames")
 	parallel := flag.Int("parallel", 0, "intra-query worker bound (0 or 1 = serial)")
+	rcache := flag.Int64("result-cache", 0, "shared subplan result cache byte budget (0 = disabled)")
 	flag.BoolVar(&analyze, "analyze", false, "print per-operator actuals after each query")
 	flag.BoolVar(&showMetrics, "metrics", false, "print the engine metrics snapshot before exiting")
 	flag.Parse()
 
-	if err := run(*load, *scale, *density, *tables, *seed, *srName, *strategy, *script, *command, *frames, *parallel); err != nil {
+	if err := run(*load, *scale, *density, *tables, *seed, *srName, *strategy, *script, *command, *frames, *parallel, *rcache); err != nil {
 		fmt.Fprintln(os.Stderr, "mpfcli:", err)
 		os.Exit(1)
 	}
@@ -54,12 +55,12 @@ func main() {
 // showMetrics controls the exit-time engine metrics report (-metrics).
 var showMetrics bool
 
-func run(load string, scale, density float64, tables int, seed int64, srName, strategy, script, command string, frames, parallel int) error {
+func run(load string, scale, density float64, tables int, seed int64, srName, strategy, script, command string, frames, parallel int, rcache int64) error {
 	sr, err := semiring.ByName(srName)
 	if err != nil {
 		return err
 	}
-	cfg := core.Config{Semiring: sr, PoolFrames: frames, Parallelism: parallel}
+	cfg := core.Config{Semiring: sr, PoolFrames: frames, Parallelism: parallel, ResultCacheBytes: rcache}
 	if strategy != "" {
 		o, err := opt.ByName(strategy)
 		if err != nil {

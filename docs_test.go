@@ -1,0 +1,69 @@
+package mpf
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docFiles are the markdown documents whose links docs-check verifies.
+var docFiles = []string{
+	"README.md",
+	"DESIGN.md",
+	"EXPERIMENTS.md",
+	"ROADMAP.md",
+	"docs/ARCHITECTURE.md",
+}
+
+// mdLink matches inline markdown links; group 1 is the target.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocLinksResolve checks every relative link in the tracked markdown
+// documents points at a file that exists (the `make docs-check` gate):
+// external URLs and pure anchors are skipped, in-document anchors are
+// stripped before resolving relative to the linking file's directory.
+func TestDocLinksResolve(t *testing.T) {
+	for _, doc := range docFiles {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatalf("%s: %v", doc, err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "#") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(doc), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s links to %q, which does not resolve (%v)", doc, m[1], err)
+			}
+		}
+	}
+}
+
+// TestArchitectureDocLinked pins the documentation contract: the
+// architecture overview exists and both entry-point documents link to
+// it.
+func TestArchitectureDocLinked(t *testing.T) {
+	if _, err := os.Stat("docs/ARCHITECTURE.md"); err != nil {
+		t.Fatal(err)
+	}
+	for _, doc := range []string{"README.md", "DESIGN.md"} {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), "docs/ARCHITECTURE.md") {
+			t.Errorf("%s does not link to docs/ARCHITECTURE.md", doc)
+		}
+	}
+}

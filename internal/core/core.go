@@ -47,6 +47,13 @@ type Config struct {
 	// Parallelism is the engine's intra-query worker bound; 0 or 1 keeps
 	// execution strictly serial (see exec.Engine.Parallelism).
 	Parallelism int
+	// ResultCacheBytes, when positive, enables the engine-level shared
+	// subplan result cache with this byte budget: aggregated join outputs
+	// (the paper's VE intermediates) are materialized once and reused by
+	// later queries whose plans contain an identical subtree over the same
+	// base-table versions. Zero (the default) disables the cache, keeping
+	// every query's physical IO exactly reproducible.
+	ResultCacheBytes int64
 }
 
 // Database is the engine facade. Concurrent read-only queries (Query,
@@ -65,6 +72,15 @@ type Database struct {
 	engine  *exec.Engine
 	caches  map[string]*infer.Cache
 	metrics *metrics.Registry
+	rcache  *exec.ResultCache
+	// versions assigns each base table a value from verSeq, bumped on
+	// every write; plan fingerprints embed them, so a write lazily
+	// invalidates every cached subplan that read the old contents (the
+	// old fingerprints can never be probed again). verSeq is global, not
+	// per-table, so dropping and recreating a table never reuses a
+	// version.
+	versions map[string]int64
+	verSeq   int64
 }
 
 // Open creates a database with the given configuration.
@@ -93,22 +109,30 @@ func Open(cfg Config) (*Database, error) {
 	}
 	engine := exec.NewEngine(pool, factory, cfg.Semiring)
 	engine.Parallelism = cfg.Parallelism
-	return &Database{
-		cfg:     cfg,
-		pool:    pool,
-		factory: factory,
-		cat:     catalog.New(),
-		rels:    make(map[string]*relation.Relation),
-		tables:  make(map[string]*exec.Table),
-		engine:  engine,
-		caches:  make(map[string]*infer.Cache),
-		metrics: metrics.NewRegistry(),
-	}, nil
+	db := &Database{
+		cfg:      cfg,
+		pool:     pool,
+		factory:  factory,
+		cat:      catalog.New(),
+		rels:     make(map[string]*relation.Relation),
+		tables:   make(map[string]*exec.Table),
+		engine:   engine,
+		caches:   make(map[string]*infer.Cache),
+		metrics:  metrics.NewRegistry(),
+		versions: make(map[string]int64),
+	}
+	if cfg.ResultCacheBytes > 0 {
+		db.rcache = exec.NewResultCache(cfg.ResultCacheBytes)
+	}
+	return db, nil
 }
 
-// Close releases all storage.
+// Close releases all storage, result-cache materializations included.
 func (db *Database) Close() error {
 	var first error
+	if db.rcache != nil {
+		db.rcache.Close()
+	}
 	for name, t := range db.tables {
 		if err := t.Heap.Drop(); err != nil && first == nil {
 			first = err
@@ -131,10 +155,47 @@ func (db *Database) Pool() *storage.Pool { return db.pool }
 func (db *Database) Engine() *exec.Engine { return db.engine }
 
 // Metrics returns a snapshot of the engine-wide metrics: query lifecycle
-// counts, cumulative buffer-pool IO, and per-operator-kind totals. Safe
-// to call concurrently with running queries.
+// counts, cumulative buffer-pool IO, result-cache counters, and
+// per-operator-kind totals. Safe to call concurrently with running
+// queries.
 func (db *Database) Metrics() metrics.Snapshot {
-	return db.metrics.Snapshot(db.pool.Stats())
+	s := db.metrics.Snapshot(db.pool.Stats())
+	if db.rcache != nil {
+		cs := db.rcache.Snapshot()
+		s.ResultCache = metrics.ResultCacheStats{
+			Enabled:       true,
+			Entries:       cs.Entries,
+			Bytes:         cs.Bytes,
+			BudgetBytes:   cs.BudgetBytes,
+			Hits:          cs.Hits,
+			Misses:        cs.Misses,
+			Inserts:       cs.Inserts,
+			Evictions:     cs.Evictions,
+			Invalidations: cs.Invalidations,
+			IOSavedPages:  cs.IOSavedPages,
+		}
+	}
+	return s
+}
+
+// ResultCache exposes the shared subplan result cache, or nil when the
+// database was opened without a cache budget (Config.ResultCacheBytes).
+func (db *Database) ResultCache() *exec.ResultCache { return db.rcache }
+
+// bumpVersion assigns table the next value of the database-wide version
+// sequence. Called on create and after every write, it is what makes
+// version-bearing plan fingerprints (and therefore result-cache keys)
+// stale the moment a table changes.
+func (db *Database) bumpVersion(table string) {
+	db.verSeq++
+	db.versions[table] = db.verSeq
+}
+
+// tableVersion reports the current version of a base table; ok=false for
+// unknown names, which plan.Fingerprints treats as uncacheable.
+func (db *Database) tableVersion(name string) (int64, bool) {
+	v, ok := db.versions[name]
+	return v, ok
 }
 
 // CreateTable validates the relation as an FR, loads it into paged
@@ -159,6 +220,7 @@ func (db *Database) CreateTable(r *relation.Relation) error {
 	}
 	db.rels[r.Name()] = r.Clone()
 	db.tables[r.Name()] = t
+	db.bumpVersion(r.Name())
 	return nil
 }
 
@@ -490,7 +552,21 @@ func (db *Database) execute(ctx context.Context, q *QuerySpec, p *plan.Node, opt
 			}
 			hypTables[name] = ht
 		}
-		rel, st, err := db.engine.RunContext(ctx, p, func(name string) (*exec.Table, error) {
+		// The result cache only sees pure queries over base tables:
+		// hypothetical replacements are query-private, so their subtrees
+		// must neither hit nor populate shared entries. Fingerprints embed
+		// current base-table versions, keying every cached subplan to the
+		// exact contents it was computed from.
+		var rc *exec.ResultCache
+		var fps map[*plan.Node]string
+		if db.rcache != nil && len(q.Hypothetical) == 0 {
+			rc = db.rcache
+			fps = plan.Fingerprints(p, plan.FingerprintEnv{
+				Semiring:     db.cfg.Semiring.Name(),
+				TableVersion: db.tableVersion,
+			})
+		}
+		rel, st, err := db.engine.RunCachedContext(ctx, p, func(name string) (*exec.Table, error) {
 			if t, ok := hypTables[name]; ok {
 				return t, nil
 			}
@@ -499,7 +575,7 @@ func (db *Database) execute(ctx context.Context, q *QuerySpec, p *plan.Node, opt
 				return nil, fmt.Errorf("core: %w %q", ErrUnknownTable, name)
 			}
 			return t, nil
-		})
+		}, rc, fps)
 		out.Exec = st
 		out.Trace = st.Trace
 		if err != nil {

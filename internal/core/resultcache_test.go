@@ -1,0 +1,231 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"mpf/internal/relation"
+	"mpf/internal/storage"
+)
+
+func TestResultCacheRepeatQueryHits(t *testing.T) {
+	db, _ := openSupplyChain(t, Config{ResultCacheBytes: 8 << 20})
+	spec := &QuerySpec{View: "invest", GroupVars: []string{"cid"}}
+
+	io0 := db.Pool().Stats()
+	first, err := db.Query(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io1 := db.Pool().Stats()
+	if first.Exec.CacheHits != 0 {
+		t.Fatalf("cold run reported %d cache hits", first.Exec.CacheHits)
+	}
+	if first.Exec.CacheMisses == 0 {
+		t.Fatal("cold run probed no cacheable node")
+	}
+
+	second, err := db.Query(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io2 := db.Pool().Stats()
+	if second.Exec.CacheHits == 0 {
+		t.Fatal("identical repeat query did not hit the result cache")
+	}
+	if !relation.Equal(first.Relation, second.Relation, 0, 1e-9) {
+		t.Fatal("cached answer differs from the computed answer")
+	}
+	cold, warm := io1.Sub(io0).IO(), io2.Sub(io1).IO()
+	if warm*2 > cold {
+		t.Fatalf("warm run IO %d not ≤ half of cold run IO %d", warm, cold)
+	}
+
+	m := db.Metrics()
+	rc := m.ResultCache
+	if !rc.Enabled || rc.Hits == 0 || rc.Inserts == 0 || rc.Entries == 0 {
+		t.Fatalf("metrics do not surface the cache: %+v", rc)
+	}
+	if cs := db.ResultCache().Snapshot(); cs.Pins != 0 {
+		t.Fatalf("pins outstanding after queries: %+v", cs)
+	}
+}
+
+func TestResultCacheDisabledByDefault(t *testing.T) {
+	db, _ := openSupplyChain(t, Config{})
+	spec := &QuerySpec{View: "invest", GroupVars: []string{"cid"}}
+	res, err := db.Query(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exec.CacheHits != 0 || res.Exec.CacheMisses != 0 {
+		t.Fatalf("disabled cache recorded probes: %+v", res.Exec)
+	}
+	if db.ResultCache() != nil {
+		t.Fatal("ResultCache() must be nil when disabled")
+	}
+	if db.Metrics().ResultCache.Enabled {
+		t.Fatal("metrics report an enabled cache on a cache-less database")
+	}
+}
+
+func TestResultCacheNoStaleReadAfterInsert(t *testing.T) {
+	db, _ := openSupplyChain(t, Config{ResultCacheBytes: 8 << 20})
+	spec := &QuerySpec{View: "invest", GroupVars: []string{"wid"}}
+	if _, err := db.Query(spec); err != nil {
+		t.Fatal(err) // warm the cache
+	}
+	warm := db.ResultCache().Snapshot()
+	if warm.Inserts == 0 {
+		t.Fatalf("warm-up registered nothing: %+v", warm)
+	}
+
+	// Mutate a base table of the view. The versioned fingerprints plus
+	// eager invalidation must keep the next query off the now-stale
+	// entries; entries whose subtrees never read warehouses stay valid.
+	w, err := db.Relation("warehouses")
+	if err != nil {
+		t.Fatal(err)
+	}
+	free := freeAssignment(w)
+	if err := db.Insert("warehouses", free, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	after := db.ResultCache().Snapshot()
+	if after.Invalidations == 0 || after.Entries >= warm.Entries {
+		t.Fatalf("write did not invalidate warehouse-dependent entries: %+v -> %+v", warm, after)
+	}
+
+	got, err := db.Query(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oracle: the memory executor never touches the result cache.
+	want, err := db.Query(&QuerySpec{View: "invest", GroupVars: []string{"wid"}, Exec: MemoryExec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relation.Equal(got.Relation, want.Relation, 0, 1e-9) {
+		t.Fatal("post-write engine answer diverges from the memory oracle")
+	}
+}
+
+// freeAssignment enumerates the domain grid and returns the first
+// variable assignment not present in r. The generated relations are
+// sparse at test scale, so one always exists.
+func freeAssignment(r *relation.Relation) []int32 {
+	attrs := r.Attrs()
+	present := make(map[string]bool, r.Len())
+	for i := 0; i < r.Len(); i++ {
+		present[fmt.Sprint(r.Row(i))] = true
+	}
+	vals := make([]int32, len(attrs))
+	for {
+		if !present[fmt.Sprint(vals)] {
+			return vals
+		}
+		for i := len(vals) - 1; i >= 0; i-- {
+			vals[i]++
+			if vals[i] < int32(attrs[i].Domain) {
+				break
+			}
+			if i == 0 {
+				return nil // complete relation: no free assignment
+			}
+			vals[i] = 0
+		}
+	}
+}
+
+func TestResultCacheHypotheticalBypassesCache(t *testing.T) {
+	db, ds := openSupplyChain(t, Config{ResultCacheBytes: 8 << 20})
+	spec := &QuerySpec{View: "invest", GroupVars: []string{"cid"}}
+	if _, err := db.Query(spec); err != nil {
+		t.Fatal(err) // populate
+	}
+	before := db.ResultCache().Snapshot()
+
+	hyp := ds.RelationMap()["warehouses"].Clone()
+	hyp.SetName("warehouses")
+	res, err := db.Query(&QuerySpec{
+		View: "invest", GroupVars: []string{"cid"},
+		Hypothetical: map[string]*relation.Relation{"warehouses": hyp},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exec.CacheHits != 0 || res.Exec.CacheMisses != 0 {
+		t.Fatalf("hypothetical query touched the shared cache: %+v", res.Exec)
+	}
+	after := db.ResultCache().Snapshot()
+	if after.Hits != before.Hits || after.Inserts != before.Inserts {
+		t.Fatalf("hypothetical query moved cache counters: %+v -> %+v", before, after)
+	}
+}
+
+// TestResultCacheCancellation cancels engine queries on slow disks with
+// the cache enabled: no buffer-pool frame and no cache pin may survive a
+// cancellation, and the database must keep answering afterwards.
+func TestResultCacheCancellation(t *testing.T) {
+	db, err := Open(Config{
+		PoolFrames:       16,
+		DiskFactory:      storage.LatencyMemDiskFactory(time.Millisecond, time.Millisecond),
+		ResultCacheBytes: 8 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	r, err := relation.Complete("r", []relation.Attr{
+		{Name: "a", Domain: 400}, {Name: "b", Domain: 40},
+	}, func(vals []int32) float64 { return float64(vals[0]%7) + 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := relation.Complete("s", []relation.Attr{
+		{Name: "b", Domain: 40}, {Name: "c", Domain: 400},
+	}, func(vals []int32) float64 { return float64(vals[1]%5) + 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateView("rs", []string{"r", "s"}); err != nil {
+		t.Fatal(err)
+	}
+
+	spec := &QuerySpec{View: "rs", GroupVars: []string{"a"}}
+	for _, timeout := range []time.Duration{5 * time.Millisecond, 30 * time.Millisecond, 120 * time.Millisecond} {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		_, qErr := db.QueryContext(ctx, spec)
+		cancel()
+		if qErr != nil && !errors.Is(qErr, ErrCanceled) {
+			t.Fatalf("timeout %v: unexpected error %v", timeout, qErr)
+		}
+		if n := db.Pool().Pinned(); n != 0 {
+			t.Fatalf("timeout %v left %d frames pinned", timeout, n)
+		}
+		if cs := db.ResultCache().Snapshot(); cs.Pins != 0 {
+			t.Fatalf("timeout %v leaked cache pins: %+v", timeout, cs)
+		}
+	}
+	// A clean run afterwards must succeed and may reuse whatever partial
+	// materializations survived the cancellations.
+	res, qErr := db.Query(spec)
+	if qErr != nil {
+		t.Fatal(qErr)
+	}
+	if res.Relation.Len() == 0 {
+		t.Fatal("post-cancellation query returned nothing")
+	}
+	if cs := db.ResultCache().Snapshot(); cs.Pins != 0 {
+		t.Fatalf("pins outstanding after clean run: %+v", cs)
+	}
+}

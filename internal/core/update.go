@@ -132,6 +132,10 @@ func (db *Database) DropTable(table string) error {
 	}
 	delete(db.tables, table)
 	delete(db.rels, table)
+	delete(db.versions, table)
+	if db.rcache != nil {
+		db.rcache.InvalidateTable(table)
+	}
 	db.cat.DropTable(table)
 	return nil
 }
@@ -146,9 +150,15 @@ func (db *Database) DropView(view string) error {
 	return nil
 }
 
-// afterWrite refreshes statistics and invalidates caches of views that
-// reference the table.
+// afterWrite refreshes statistics, bumps the table's version (lazily
+// invalidating result-cache entries through their fingerprints, and
+// eagerly through InvalidateTable), and invalidates workload caches of
+// views that reference the table.
 func (db *Database) afterWrite(table string) error {
+	db.bumpVersion(table)
+	if db.rcache != nil {
+		db.rcache.InvalidateTable(table)
+	}
 	if err := db.cat.AddTable(catalog.AnalyzeRelation(db.rels[table])); err != nil {
 		return err
 	}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"mpf/internal/plan"
@@ -104,6 +105,12 @@ type RunStats struct {
 	// in-memory join above the build cap. Non-zero means pathological
 	// skew worth knowing about.
 	HotKeyFallbacks int64
+	// CacheHits counts result-cache hits spliced into this run: subtrees
+	// whose execution was replaced by a scan of a cached materialization.
+	CacheHits int64
+	// CacheMisses counts cacheable nodes of this run that probed the
+	// result cache and found nothing.
+	CacheMisses int64
 	// Ops lists per-operator actuals in completion (bottom-up) order.
 	Ops []OpStat
 	// Trace lists per-operator spans in the same order as Ops, with
@@ -126,13 +133,28 @@ func (e *Engine) Run(p *plan.Node, resolve Resolver) (*relation.Relation, RunSta
 // every buffer-pool pin released; RunStats still reports the partial
 // work done up to the cancellation.
 func (e *Engine) RunContext(ctx context.Context, p *plan.Node, resolve Resolver) (*relation.Relation, RunStats, error) {
+	return e.RunCachedContext(ctx, p, resolve, nil, nil)
+}
+
+// RunCachedContext is RunContext with a shared result cache spliced in:
+// before executing a cacheable node (a GroupBy over at least one product
+// join — a VE intermediate) whose fingerprint appears in fps, the engine
+// probes cache and, on a hit, scans the cached materialization instead
+// of executing the subtree; on a miss it executes normally and registers
+// the materialized output as a side effect. A nil cache (or nil fps)
+// degrades to plain RunContext. Hits appear in the trace as CacheHit
+// operators.
+func (e *Engine) RunCachedContext(ctx context.Context, p *plan.Node, resolve Resolver, cache *ResultCache, fps map[*plan.Node]string) (*relation.Relation, RunStats, error) {
 	if err := plan.Validate(p); err != nil {
 		return nil, RunStats{}, err
 	}
 	start := time.Now()
 	before := e.Pool.Stats()
 	st := &RunStats{}
-	env := &runEnv{resolve: resolve, st: st, start: start}
+	if fps == nil {
+		cache = nil
+	}
+	env := &runEnv{resolve: resolve, st: st, start: start, cache: cache, fps: fps}
 	// finish stamps Wall and IO on every exit, error paths included, so
 	// callers always see the true partial work.
 	finish := func() {
@@ -160,12 +182,28 @@ func (e *Engine) RunContext(ctx context.Context, p *plan.Node, resolve Resolver)
 }
 
 // runEnv carries per-run state through the operator tree: the base-table
-// resolver, the stats sink, and the run's start time (the zero point for
-// trace-span timestamps).
+// resolver, the stats sink, the run's start time (the zero point for
+// trace-span timestamps), and the optional result cache with the plan's
+// precomputed node fingerprints.
 type runEnv struct {
 	resolve Resolver
 	st      *RunStats
 	start   time.Time
+	cache   *ResultCache
+	fps     map[*plan.Node]string
+}
+
+// cacheKey returns the result-cache key for a node, and whether the node
+// is on the cacheable cut: a GroupBy whose subtree contains at least one
+// product join (the paper's VE intermediates — aggregated join outputs
+// small enough to be worth keeping, unlike raw join results), with a
+// fingerprint (its whole subtree versionable).
+func (env *runEnv) cacheKey(p *plan.Node) (string, bool) {
+	if env.cache == nil || p.Op != plan.OpGroupBy || plan.CountOps(p, plan.OpJoin) == 0 {
+		return "", false
+	}
+	fp, ok := env.fps[p]
+	return fp, ok
 }
 
 // exec evaluates one node, recording its OpStat and trace Span. The
@@ -179,6 +217,32 @@ func (e *Engine) exec(ctx context.Context, p *plan.Node, env *runEnv, depth int)
 	}
 	start := time.Now()
 	ioBefore := e.Pool.Stats()
+	key, cacheable := env.cacheKey(p)
+	if cacheable {
+		if t, ok := env.cache.Lookup(key); ok {
+			// Splice: the cached materialization stands in for the whole
+			// subtree. The hit is recorded as its own operator so EXPLAIN
+			// ANALYZE and per-kind metrics show reuse explicitly.
+			env.st.Operators++
+			env.st.CacheHits++
+			rows := t.Heap.NumTuples()
+			incl := time.Since(start)
+			desc := "CacheHit(" + opDesc(p) + ")"
+			env.st.Ops = append(env.st.Ops, OpStat{Desc: desc, Rows: rows, Wall: incl})
+			env.st.Trace = append(env.st.Trace, Span{
+				Desc:  desc,
+				Kind:  "CacheHit",
+				Depth: depth,
+				Rows:  rows,
+				Start: start.Sub(env.start),
+				Stop:  start.Sub(env.start) + incl,
+				Wall:  incl,
+			})
+			return t, incl, storage.Stats{}, nil
+		}
+		env.cache.Miss()
+		env.st.CacheMisses++
+	}
 	out, childWall, childIO, err := e.execOp(ctx, p, env, depth)
 	incl := time.Since(start)
 	inclIO := e.Pool.Stats().Sub(ioBefore)
@@ -199,8 +263,26 @@ func (e *Engine) exec(ctx context.Context, p *plan.Node, env *runEnv, depth int)
 			Wall:  self,
 			IO:    clampStats(inclIO.Sub(childIO)),
 		})
+		if cacheable && out.temp {
+			// Materialize-and-register: the output was produced anyway;
+			// adopting it into the cache costs no extra IO. The subtree's
+			// inclusive IO is its rebuild cost.
+			env.cache.Register(key, out, sortedTables(p), inclIO.IO())
+		}
 	}
 	return out, incl, inclIO, err
+}
+
+// sortedTables lists the base tables under a plan node in sorted order,
+// the dependency set recorded with a cache entry for invalidation.
+func sortedTables(p *plan.Node) []string {
+	m := plan.Tables(p)
+	out := make([]string, 0, len(m))
+	for t := range m {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // clampStats floors each counter at zero. Exclusive per-operator deltas

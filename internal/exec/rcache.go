@@ -1,0 +1,259 @@
+package exec
+
+import (
+	"sync"
+
+	"mpf/internal/relation"
+	"mpf/internal/storage"
+)
+
+// ResultCache is the engine's shared, invalidation-aware subplan result
+// cache (the paper's §6 reuse insight pushed down to the storage layer):
+// keys are canonical plan-subtree fingerprints (plan.Fingerprints) and
+// values are materialized temp heaps tracked by the buffer pool. Queries
+// probe it top-down during execution, so a hit at a high node reuses the
+// largest cached subtree; on a miss along a cacheable cut (GroupBy
+// outputs of product joins — VE intermediates), the executor registers
+// the materialization it was producing anyway.
+//
+// Correctness relies on fingerprints embedding base-table versions: a
+// write bumps the versions (see core), so stale entries simply stop
+// matching and are reclaimed by eviction — plus InvalidateTable frees
+// them eagerly. Entries are pinned while a query scans them; eviction
+// and invalidation never free a pinned heap (a dying pinned entry is
+// freed by its last release). The cache is safe for concurrent use.
+type ResultCache struct {
+	mu      sync.Mutex
+	budget  int64
+	bytes   int64 // bytes of live (reachable) entries
+	tick    int64 // logical clock for recency scoring
+	pins    int64 // outstanding pins, dead entries included (leak detector)
+	entries map[string]*rcEntry
+
+	hits          int64
+	misses        int64
+	inserts       int64
+	evictions     int64
+	invalidations int64
+	ioSaved       int64 // pages of rebuild IO avoided by hits
+}
+
+// rcEntry is one cached materialization. The heap is owned by the cache
+// from Register until free; pins count queries currently scanning it.
+type rcEntry struct {
+	key       string
+	name      string
+	attrs     []relation.Attr
+	heap      *storage.Heap
+	bytes     int64
+	rebuildIO int64 // page IOs the producing subtree cost; eviction and savings both use it
+	deps      []string
+	lastUse   int64
+	pins      int
+	dead      bool // evicted/invalidated while pinned; freed on last release
+}
+
+// NewResultCache returns a cache bounded by budgetBytes of materialized
+// heap pages. A non-positive budget yields a cache that admits nothing
+// (probes still work and count misses).
+func NewResultCache(budgetBytes int64) *ResultCache {
+	return &ResultCache{budget: budgetBytes, entries: make(map[string]*rcEntry)}
+}
+
+// Lookup probes the cache and, on a hit, returns a read-only Table view
+// of the cached materialization with the entry pinned. The caller must
+// Drop the returned table when done scanning (operators do this for
+// every input), which releases the pin. A miss returns ok=false without
+// counting anything — the executor counts misses only at registrable
+// nodes, via Miss.
+func (c *ResultCache) Lookup(key string) (*Table, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.tick++
+	e.lastUse = c.tick
+	e.pins++
+	c.pins++
+	c.hits++
+	c.ioSaved += e.rebuildIO
+	return &Table{
+		Name:   e.name,
+		Attrs:  e.attrs,
+		Heap:   e.heap,
+		onDrop: func() { c.release(e) },
+	}, true
+}
+
+// Miss records a probe failure at a cacheable node.
+func (c *ResultCache) Miss() {
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+}
+
+// release drops one pin; the last release of a dead entry frees its heap.
+func (c *ResultCache) release(e *rcEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e.pins--
+	c.pins--
+	if e.pins == 0 && e.dead {
+		e.dead = false
+		e.heap.Drop()
+	}
+}
+
+// Register adopts a just-materialized temporary table as a cache entry
+// under key, taking ownership of its heap. On success the table is
+// converted in place to a cache-owned view — temp is cleared so the
+// consuming operator's Drop releases a pin instead of freeing the heap,
+// and the heap's context is detached from the producing query so later
+// queries can scan it. deps lists the base tables the subtree read
+// (InvalidateTable frees entries by dep); rebuildIO is the page IO the
+// subtree cost, feeding both the eviction score and the IO-saved
+// counter. Returns false — leaving the table an ordinary query-private
+// temp — when the key is already present, the entry exceeds the budget,
+// or eviction cannot free enough unpinned bytes.
+func (c *ResultCache) Register(key string, t *Table, deps []string, rebuildIO int64) bool {
+	sz := t.Heap.Bytes()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.entries[key]; dup {
+		return false
+	}
+	if sz > c.budget || !c.evictFor(sz) {
+		return false
+	}
+	c.tick++
+	e := &rcEntry{
+		key:       key,
+		name:      t.Name,
+		attrs:     t.Attrs,
+		heap:      t.Heap,
+		bytes:     sz,
+		rebuildIO: rebuildIO,
+		deps:      deps,
+		lastUse:   c.tick,
+		pins:      1, // the producing query still scans it
+	}
+	c.pins++
+	c.entries[key] = e
+	c.bytes += sz
+	c.inserts++
+	t.temp = false
+	t.onDrop = func() { c.release(e) }
+	t.Heap.SetContext(nil)
+	return true
+}
+
+// evictFor frees unpinned entries until sz more bytes fit in the budget,
+// choosing victims by highest bytes × recency-age ÷ rebuild-IO — large,
+// cold, cheap-to-rebuild entries go first. Caller holds c.mu. Reports
+// whether enough space was freed.
+func (c *ResultCache) evictFor(sz int64) bool {
+	for c.bytes+sz > c.budget {
+		var victim *rcEntry
+		var worst float64
+		for _, e := range c.entries {
+			if e.pins > 0 {
+				continue
+			}
+			age := float64(c.tick-e.lastUse) + 1
+			io := float64(e.rebuildIO)
+			if io < 1 {
+				io = 1
+			}
+			score := float64(e.bytes) * age / io
+			if victim == nil || score > worst {
+				victim, worst = e, score
+			}
+		}
+		if victim == nil {
+			return false
+		}
+		c.removeLocked(victim)
+		c.evictions++
+	}
+	return true
+}
+
+// removeLocked unlinks an entry and frees its heap unless pinned (a
+// pinned entry is marked dead and freed by its last release). Caller
+// holds c.mu.
+func (c *ResultCache) removeLocked(e *rcEntry) {
+	delete(c.entries, e.key)
+	c.bytes -= e.bytes
+	if e.pins > 0 {
+		e.dead = true
+		return
+	}
+	e.heap.Drop()
+}
+
+// InvalidateTable eagerly frees every entry whose subtree read the named
+// base table. Version-bearing fingerprints already guarantee stale
+// entries can never be looked up again; invalidation reclaims their
+// bytes immediately instead of waiting for eviction.
+func (c *ResultCache) InvalidateTable(table string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.entries {
+		for _, d := range e.deps {
+			if d == table {
+				c.removeLocked(e)
+				c.invalidations++
+				break
+			}
+		}
+	}
+}
+
+// Close frees every entry. Pinned entries (queries still in flight) are
+// marked dead and freed by their last release.
+func (c *ResultCache) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.entries {
+		c.removeLocked(e)
+	}
+}
+
+// CacheSnapshot is a point-in-time copy of a ResultCache's state and
+// counters, for metrics reporting and tests.
+type CacheSnapshot struct {
+	// Entries is the number of live cached materializations.
+	Entries int64
+	// Pins is the total number of outstanding pins (dead entries
+	// included); a quiescent cache must report zero.
+	Pins int64
+	// Bytes is the resident size of live entries; BudgetBytes the bound.
+	Bytes, BudgetBytes int64
+	// Hits and Misses count probes at cacheable nodes.
+	Hits, Misses int64
+	// Inserts counts adopted materializations; Evictions cost-aware
+	// removals; Invalidations removals by base-table write.
+	Inserts, Evictions, Invalidations int64
+	// IOSavedPages sums the rebuild page IO avoided by hits.
+	IOSavedPages int64
+}
+
+// Snapshot returns the cache's current state and cumulative counters.
+func (c *ResultCache) Snapshot() CacheSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheSnapshot{
+		Entries:       int64(len(c.entries)),
+		Pins:          c.pins,
+		Bytes:         c.bytes,
+		BudgetBytes:   c.budget,
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Inserts:       c.inserts,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
+		IOSavedPages:  c.ioSaved,
+	}
+}

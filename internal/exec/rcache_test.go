@@ -1,0 +1,459 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mpf/internal/plan"
+	"mpf/internal/relation"
+	"mpf/internal/semiring"
+	"mpf/internal/storage"
+)
+
+// loadTemp materializes r as a temporary table, the shape Register
+// expects (the executor only registers temp outputs).
+func loadTemp(t *testing.T, pool *storage.Pool, factory storage.DiskFactory, r *relation.Relation) *Table {
+	t.Helper()
+	tb, err := LoadRelation(pool, factory, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.temp = true
+	return tb
+}
+
+func TestResultCacheRegisterLookupRelease(t *testing.T) {
+	a, _, _ := randomRelations(11)
+	pool := storage.NewPool(16)
+	factory := storage.MemDiskFactory()
+	c := NewResultCache(1 << 20)
+
+	tb := loadTemp(t, pool, factory, a)
+	if !c.Register("k1", tb, []string{"a"}, 7) {
+		t.Fatal("Register rejected a fitting entry")
+	}
+	if tb.temp {
+		t.Fatal("Register must clear temp so consumers cannot free the shared heap")
+	}
+	// The producing query still holds a pin; dropping its table releases it.
+	if s := c.Snapshot(); s.Pins != 1 || s.Entries != 1 || s.Inserts != 1 {
+		t.Fatalf("after register: %+v", s)
+	}
+	if err := tb.Drop(); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Snapshot(); s.Pins != 0 {
+		t.Fatalf("producer drop must release its pin: %+v", s)
+	}
+
+	hit, ok := c.Lookup("k1")
+	if !ok {
+		t.Fatal("Lookup missed a registered key")
+	}
+	got, err := ReadRelation(hit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relation.Equal(got, a, 0, 1e-12) {
+		t.Fatal("cached contents differ from the registered relation")
+	}
+	if err := hit.Drop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := hit.Drop(); err != nil {
+		t.Fatal(err) // second drop is a no-op, must not double-release
+	}
+	s := c.Snapshot()
+	if s.Pins != 0 || s.Hits != 1 || s.IOSavedPages != 7 {
+		t.Fatalf("after hit+release: %+v", s)
+	}
+	if _, ok := c.Lookup("absent"); ok {
+		t.Fatal("Lookup invented an entry")
+	}
+	c.Miss()
+	if s := c.Snapshot(); s.Misses != 1 {
+		t.Fatalf("miss not counted: %+v", s)
+	}
+	c.Close()
+	if pool.Pinned() != 0 {
+		t.Fatalf("%d frames left pinned", pool.Pinned())
+	}
+}
+
+func TestResultCacheBudgetAndEviction(t *testing.T) {
+	a, b, _ := randomRelations(12)
+	pool := storage.NewPool(32)
+	factory := storage.MemDiskFactory()
+
+	ta := loadTemp(t, pool, factory, a)
+	// Budget below a single entry: nothing admits, table stays temp.
+	tiny := NewResultCache(ta.Heap.Bytes() - 1)
+	if tiny.Register("ka", ta, []string{"a"}, 1) {
+		t.Fatal("Register admitted an entry above the whole budget")
+	}
+	if !ta.temp {
+		t.Fatal("rejected table must remain an ordinary temp")
+	}
+	if err := ta.Drop(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Budget for one entry: registering a second evicts the first once the
+	// first is unpinned.
+	ta = loadTemp(t, pool, factory, a)
+	one := NewResultCache(ta.Heap.Bytes())
+	if !one.Register("ka", ta, []string{"a"}, 1) {
+		t.Fatal("Register rejected a fitting entry")
+	}
+	tb := loadTemp(t, pool, factory, b)
+	if one.Register("kb", tb, []string{"b"}, 1) {
+		t.Fatal("eviction must not touch the pinned first entry")
+	}
+	ta.Drop() // release producer pin; "ka" now evictable
+	if !one.Register("kb", tb, []string{"b"}, 1) {
+		t.Fatal("Register could not evict an unpinned entry")
+	}
+	tb.Drop()
+	s := one.Snapshot()
+	if s.Entries != 1 || s.Evictions != 1 || s.Pins != 0 {
+		t.Fatalf("after eviction: %+v", s)
+	}
+	if _, ok := one.Lookup("ka"); ok {
+		t.Fatal("evicted key still resolves")
+	}
+	one.Close()
+	if pool.Pinned() != 0 {
+		t.Fatalf("%d frames left pinned", pool.Pinned())
+	}
+}
+
+func TestResultCacheInvalidatePinnedEntry(t *testing.T) {
+	a, _, _ := randomRelations(13)
+	pool := storage.NewPool(16)
+	factory := storage.MemDiskFactory()
+	c := NewResultCache(1 << 20)
+
+	ta := loadTemp(t, pool, factory, a)
+	if !c.Register("ka", ta, []string{"a"}, 1) {
+		t.Fatal("Register rejected a fitting entry")
+	}
+	ta.Drop()
+
+	hit, ok := c.Lookup("ka")
+	if !ok {
+		t.Fatal("Lookup missed")
+	}
+	c.InvalidateTable("a") // entry pinned by hit: marked dead, not freed
+	s := c.Snapshot()
+	if s.Entries != 0 || s.Invalidations != 1 || s.Pins != 1 {
+		t.Fatalf("after invalidate of pinned entry: %+v", s)
+	}
+	// The pinned reader can still finish its scan on the dead entry.
+	got, err := ReadRelation(hit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relation.Equal(got, a, 0, 1e-12) {
+		t.Fatal("dead-but-pinned entry must stay readable until released")
+	}
+	hit.Drop() // last release frees the heap
+	if s := c.Snapshot(); s.Pins != 0 {
+		t.Fatalf("pin leaked: %+v", s)
+	}
+	c.InvalidateTable("other") // no deps on it: nothing happens
+	if s := c.Snapshot(); s.Invalidations != 1 {
+		t.Fatalf("unrelated invalidation counted: %+v", s)
+	}
+	c.Close()
+	if pool.Pinned() != 0 {
+		t.Fatalf("%d frames left pinned", pool.Pinned())
+	}
+}
+
+// cachePlan builds GroupBy(x,z | a ⋈* b) — a cacheable cut (aggregated
+// join output) over the harness tables.
+func cachePlan(t *testing.T, h *harness) *plan.Node {
+	t.Helper()
+	b := h.builder()
+	sa, err := b.Scan("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := b.Scan("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.GroupBy(b.Join(sa, sb), []string{"X", "Z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// fixedVersions fingerprints a plan with every table at version 1.
+func fixedVersions(p *plan.Node) map[*plan.Node]string {
+	return plan.Fingerprints(p, plan.FingerprintEnv{
+		Semiring:     semiring.SumProduct.Name(),
+		TableVersion: func(string) (int64, bool) { return 1, true },
+	})
+}
+
+func TestEngineCacheHitSkipsSubtree(t *testing.T) {
+	a, b, _ := randomRelations(14)
+	h := newHarness(t, 64, a, b)
+	cache := NewResultCache(1 << 20)
+
+	p := cachePlan(t, h)
+	fps := fixedVersions(p)
+	ctx := context.Background()
+
+	want, st1, err := h.engine.RunCachedContext(ctx, p, MapResolver(h.tables), cache, fps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.CacheHits != 0 || st1.CacheMisses == 0 {
+		t.Fatalf("first run: hits=%d misses=%d", st1.CacheHits, st1.CacheMisses)
+	}
+	if s := cache.Snapshot(); s.Inserts == 0 || s.Pins != 0 {
+		t.Fatalf("first run did not populate the cache cleanly: %+v", s)
+	}
+
+	got, st2, err := h.engine.RunCachedContext(ctx, p, MapResolver(h.tables), cache, fps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.CacheHits == 0 {
+		t.Fatal("second identical run did not hit the cache")
+	}
+	if !relation.Equal(got, want, 0, 1e-12) {
+		t.Fatal("cached answer differs from computed answer")
+	}
+	if st2.Operators >= st1.Operators {
+		t.Fatalf("hit must splice out the subtree: %d ops vs %d", st2.Operators, st1.Operators)
+	}
+	// The spliced run reads only the cached pages, never the base tables.
+	if io1, io2 := st1.IO.IO(), st2.IO.IO(); io2*2 > io1 {
+		t.Fatalf("cached run IO %d not ≤ half of cold run IO %d", io2, io1)
+	}
+	if s := cache.Snapshot(); s.Pins != 0 {
+		t.Fatalf("pins leaked after runs: %+v", s)
+	}
+	cache.Close()
+	if h.pool.Pinned() != 0 {
+		t.Fatalf("%d frames left pinned", h.pool.Pinned())
+	}
+}
+
+func TestEngineCacheVersionChangeMisses(t *testing.T) {
+	a, b, _ := randomRelations(15)
+	h := newHarness(t, 64, a, b)
+	cache := NewResultCache(1 << 20)
+	p := cachePlan(t, h)
+	ctx := context.Background()
+
+	if _, _, err := h.engine.RunCachedContext(ctx, p, MapResolver(h.tables), cache, fixedVersions(p)); err != nil {
+		t.Fatal(err)
+	}
+	// Same plan, bumped version of "a": old entries must not match.
+	bumped := plan.Fingerprints(p, plan.FingerprintEnv{
+		Semiring: semiring.SumProduct.Name(),
+		TableVersion: func(name string) (int64, bool) {
+			if name == "a" {
+				return 2, true
+			}
+			return 1, true
+		},
+	})
+	_, st, err := h.engine.RunCachedContext(ctx, p, MapResolver(h.tables), cache, bumped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheHits != 0 {
+		t.Fatal("stale-version fingerprint produced a cache hit")
+	}
+	cache.Close()
+}
+
+// TestEngineCacheConcurrentReadersWriter races queries against version
+// bumps: readers run a cached plan over an atomically published
+// {version, tables} snapshot while a writer repeatedly publishes new
+// table contents and eagerly invalidates. Each reader must see exactly
+// the answer for the version it captured (no stale reads across
+// versions), and when everything drains no cache pin or buffer-pool
+// frame may remain. Run under -race.
+func TestEngineCacheConcurrentReadersWriter(t *testing.T) {
+	const versions = 4
+	const readers = 4
+	const readsPerReader = 8
+
+	pool := storage.NewPool(256)
+	factory := storage.LatencyMemDiskFactory(50*time.Microsecond, 50*time.Microsecond)
+	engine := NewEngine(pool, factory, semiring.SumProduct)
+	cache := NewResultCache(1 << 22)
+
+	// One immutable table generation per version, plus its expected answer.
+	_, b0, _ := randomRelations(16)
+	type gen struct {
+		version int64
+		tables  map[string]*Table
+	}
+	gens := make([]*gen, versions)
+	expected := make([]*relation.Relation, versions)
+	var drops []*Table
+	for v := 0; v < versions; v++ {
+		av, _, _ := randomRelations(int64(20 + v)) // contents differ per version
+		ta, err := LoadRelation(pool, factory, av)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := LoadRelation(pool, factory, b0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gens[v] = &gen{version: int64(v + 1), tables: map[string]*Table{"a": ta, "b": tb}}
+		drops = append(drops, ta, tb)
+		want, err := relation.ProductJoin(semiring.SumProduct, av, b0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		expected[v], err = relation.Marginalize(semiring.SumProduct, want, []string{"X", "Z"})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer func() {
+		for _, d := range drops {
+			d.Heap.Drop()
+		}
+	}()
+
+	a16, b16, _ := randomRelations(16)
+	h := newHarness(t, 16, a16, b16) // catalog only (a,b schemas)
+	p := cachePlan(t, h)             // plans are immutable: shared by all readers
+	var current atomic.Pointer[gen]
+	current.Store(gens[0])
+
+	var wg sync.WaitGroup
+	errs := make(chan error, readers*readsPerReader)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < readsPerReader; i++ {
+				g := current.Load()
+				fps := plan.Fingerprints(p, plan.FingerprintEnv{
+					Semiring: semiring.SumProduct.Name(),
+					TableVersion: func(name string) (int64, bool) {
+						if name == "a" {
+							return g.version, true
+						}
+						return 1, true
+					},
+				})
+				got, _, err := engine.RunCachedContext(context.Background(), p, MapResolver(g.tables), cache, fps)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !relation.Equal(got, expected[g.version-1], 0, 1e-9) {
+					errs <- fmt.Errorf("stale read: version %d returned the wrong relation", g.version)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() { // writer: publish each generation, invalidate eagerly
+		defer wg.Done()
+		for v := 1; v < versions; v++ {
+			time.Sleep(2 * time.Millisecond)
+			current.Store(gens[v])
+			cache.InvalidateTable("a")
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if s := cache.Snapshot(); s.Pins != 0 {
+		t.Fatalf("cache pins leaked: %+v", s)
+	}
+	cache.Close()
+	if pool.Pinned() != 0 {
+		t.Fatalf("%d buffer-pool frames left pinned", pool.Pinned())
+	}
+}
+
+// TestEngineCacheCancellationReleasesPins cancels queries racing a
+// populated cache and checks that no cache pin or pool frame survives,
+// and that the cache still answers afterwards.
+func TestEngineCacheCancellationReleasesPins(t *testing.T) {
+	a, b, _ := randomRelations(17)
+	pool := storage.NewPool(64)
+	factory := storage.LatencyMemDiskFactory(200*time.Microsecond, 200*time.Microsecond)
+	engine := NewEngine(pool, factory, semiring.SumProduct)
+	cache := NewResultCache(1 << 20)
+
+	h := newHarness(t, 1, a, b) // catalog source
+	ta, err := LoadRelation(pool, factory, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := LoadRelation(pool, factory, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ta.Heap.Drop()
+	defer tb.Heap.Drop()
+	tables := map[string]*Table{"a": ta, "b": tb}
+
+	p := cachePlan(t, h)
+	fps := fixedVersions(p)
+	// Warm the cache so cancelled runs race pinned hits, not just misses.
+	if _, _, err := engine.RunCachedContext(context.Background(), p, MapResolver(tables), cache, fps); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Duration(i)*150*time.Microsecond)
+		_, _, err := engine.RunCachedContext(ctx, p, MapResolver(tables), cache, fps)
+		cancel()
+		if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if s := cache.Snapshot(); s.Pins != 0 {
+			t.Fatalf("run %d leaked cache pins: %+v", i, s)
+		}
+		if n := pool.Pinned(); n != 0 {
+			t.Fatalf("run %d leaked %d pinned frames", i, n)
+		}
+	}
+	// The cache must still serve after all that cancellation churn.
+	got, st, err := engine.RunCachedContext(context.Background(), p, MapResolver(tables), cache, fps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheHits == 0 {
+		t.Fatal("cache no longer hits after cancellation churn")
+	}
+	want, errJ := relation.ProductJoin(semiring.SumProduct, a, b)
+	if errJ != nil {
+		t.Fatal(errJ)
+	}
+	want, errJ = relation.Marginalize(semiring.SumProduct, want, []string{"X", "Z"})
+	if errJ != nil {
+		t.Fatal(errJ)
+	}
+	if !relation.Equal(got, want, 0, 1e-9) {
+		t.Fatal("post-cancellation answer is wrong")
+	}
+	cache.Close()
+	if pool.Pinned() != 0 {
+		t.Fatalf("%d frames left pinned", pool.Pinned())
+	}
+}

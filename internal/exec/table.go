@@ -31,6 +31,12 @@ type Table struct {
 	Indexes map[string]*Index
 	temp    bool
 	mu      sync.Mutex // serializes LockedAppend for parallel producers
+	// onDrop, when set, runs exactly once on the first Drop, before any
+	// heap release. The result cache uses it to unpin a shared cache entry
+	// when the consuming operator is done with it: cached tables are
+	// handed to operators with temp=false (so Drop never frees the shared
+	// heap) and onDrop wired to the entry's release.
+	onDrop func()
 }
 
 // LockedAppend appends one tuple under the table's mutex, allowing many
@@ -63,8 +69,13 @@ func (t *Table) ColIndex(name string) int {
 }
 
 // Drop releases the table's storage if it is a temporary table; base
-// tables are left untouched.
+// tables and cache-owned tables are left untouched (the latter release
+// their cache pin via the onDrop hook instead).
 func (t *Table) Drop() error {
+	if f := t.onDrop; f != nil {
+		t.onDrop = nil
+		f()
+	}
 	if !t.temp {
 		return nil
 	}

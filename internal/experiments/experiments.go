@@ -39,6 +39,11 @@ type Config struct {
 	// Parallelism is the engine's intra-query worker bound applied to
 	// every experiment session; 0 or 1 is serial (today's default).
 	Parallelism int
+	// ResultCacheBytes overrides the result-cache byte budget used by
+	// cache-aware experiments (result-cache); 0 keeps the experiment's
+	// default budget. Experiments that measure raw plan IO always run with
+	// the cache disabled regardless.
+	ResultCacheBytes int64
 }
 
 func (c Config) scale() float64 {
@@ -126,6 +131,7 @@ func Registry() []struct {
 		{"ablation-costmodel", AblationCostModel},
 		{"ablation-fusion", AblationFusion},
 		{"parallel-exec", ParallelExec},
+		{"result-cache", ResultCacheExp},
 	}
 }
 

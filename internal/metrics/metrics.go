@@ -137,8 +137,32 @@ type Snapshot struct {
 	ExecWall time.Duration
 	// Pool is the buffer pool's cumulative IO (reads, writes, hits).
 	Pool storage.Stats
+	// ResultCache is the shared subplan result cache's state and counters.
+	// Core fills it after taking the registry snapshot; when the cache is
+	// disabled every field is zero and Enabled is false.
+	ResultCache ResultCacheStats
 	// OpKinds aggregates operators by kind.
 	OpKinds map[string]OpKindStats
+}
+
+// ResultCacheStats reports the engine's shared subplan result cache in a
+// metrics snapshot. All counters are cumulative; Entries/Bytes are
+// point-in-time. The report always renders every field — a zero counter
+// prints as 0, so "no hits yet" and "cache disabled" are distinguishable
+// (the latter via Enabled).
+type ResultCacheStats struct {
+	// Enabled reports whether the database was opened with a cache budget.
+	Enabled bool
+	// Entries is the number of live cached materializations; Bytes their
+	// resident size against BudgetBytes.
+	Entries, Bytes, BudgetBytes int64
+	// Hits and Misses count probes at cacheable plan nodes.
+	Hits, Misses int64
+	// Inserts counts adopted materializations, Evictions cost-aware
+	// removals, Invalidations removals caused by base-table writes.
+	Inserts, Evictions, Invalidations int64
+	// IOSavedPages sums the rebuild page IO avoided by hits.
+	IOSavedPages int64
 }
 
 // Snapshot returns a consistent copy of the counters; pool is the buffer
@@ -165,7 +189,10 @@ func (r *Registry) Snapshot(pool storage.Stats) Snapshot {
 	}
 }
 
-// String renders the snapshot as an aligned text report.
+// String renders the snapshot as an aligned text report. Every section
+// always prints with explicit zeros — a counter that reads 0 is 0, never
+// silently absent — so scripted consumers of `mpfcli -metrics` can
+// distinguish "nothing happened" from "not reported".
 func (s Snapshot) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "queries: %d started, %d finished (%d canceled, %d failed)\n",
@@ -175,18 +202,28 @@ func (s Snapshot) String() string {
 	fmt.Fprintf(&b, "exec wall: %v\n", s.ExecWall)
 	fmt.Fprintf(&b, "pool IO: %d reads, %d writes, %d hits\n",
 		s.Pool.Reads, s.Pool.Writes, s.Pool.Hits)
-	if len(s.OpKinds) > 0 {
-		kinds := make([]string, 0, len(s.OpKinds))
-		for k := range s.OpKinds {
-			kinds = append(kinds, k)
-		}
-		sort.Strings(kinds)
-		b.WriteString("per-operator kind:\n")
-		for _, k := range kinds {
-			st := s.OpKinds[k]
-			fmt.Fprintf(&b, "  %-12s %6d ops  wall %-12v io %d reads / %d writes / %d hits\n",
-				k, st.Count, st.Wall, st.IO.Reads, st.IO.Writes, st.IO.Hits)
-		}
+	rc := s.ResultCache
+	if !rc.Enabled {
+		b.WriteString("result cache: disabled\n")
+	} else {
+		fmt.Fprintf(&b, "result cache: %d/%d bytes in %d entries\n", rc.Bytes, rc.BudgetBytes, rc.Entries)
+		fmt.Fprintf(&b, "  %d hits, %d misses, %d inserts, %d evictions, %d invalidations, %d page IOs saved\n",
+			rc.Hits, rc.Misses, rc.Inserts, rc.Evictions, rc.Invalidations, rc.IOSavedPages)
+	}
+	if len(s.OpKinds) == 0 {
+		b.WriteString("per-operator kind: none\n")
+		return b.String()
+	}
+	kinds := make([]string, 0, len(s.OpKinds))
+	for k := range s.OpKinds {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	b.WriteString("per-operator kind:\n")
+	for _, k := range kinds {
+		st := s.OpKinds[k]
+		fmt.Fprintf(&b, "  %-12s %6d ops  wall %-12v io %d reads / %d writes / %d hits\n",
+			k, st.Count, st.Wall, st.IO.Reads, st.IO.Writes, st.IO.Hits)
 	}
 	return b.String()
 }

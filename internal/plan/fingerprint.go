@@ -1,0 +1,114 @@
+package plan
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// FingerprintEnv supplies the context a fingerprint must capture beyond
+// the plan's own structure: which semiring interprets the measures and
+// which version of each base table the plan would read. Two plan
+// subtrees may share a cached materialization only if they agree on all
+// of it — the same operator shapes over the same table versions under
+// the same measure algebra produce the same functional relation.
+type FingerprintEnv struct {
+	// Semiring is the measure semiring's report name (e.g. "sum-product").
+	// It is baked into every fingerprint because both the product join's
+	// multiplication and the GroupBy's aggregation depend on it.
+	Semiring string
+	// TableVersion maps a base-table name to its current version counter.
+	// Returning ok=false marks the table unversionable (e.g. a
+	// hypothetical per-query replacement); any subtree scanning it gets no
+	// fingerprint and is never cached.
+	TableVersion func(name string) (version int64, ok bool)
+}
+
+// Fingerprints computes a canonical fingerprint for every node of the
+// plan rooted at root. The returned map holds an entry for each node
+// whose entire subtree is versionable; nodes over unversionable tables
+// are absent. Fingerprints are cache keys: equal fingerprints guarantee
+// equal result relations (as sets of tuples — row order may differ when
+// join operands are canonically reordered).
+//
+// Canonicalization rules (enforced here and nowhere else — this is the
+// single point deciding which subplans may share a materialization):
+//
+//   - A scan is its table name plus the table's version, so any base
+//     table update retires every fingerprint that read the old contents.
+//   - Selection predicates are rendered in sorted variable order; two
+//     predicates with the same bindings fingerprint identically however
+//     they were written.
+//   - GroupBy variables are rendered in sorted order (the Builder already
+//     sorts them, making the output schema deterministic).
+//   - Product-join children are ordered lexicographically by their own
+//     fingerprints: ⋈* is commutative over a commutative semiring, and
+//     IEEE multiplication of the two measures is exactly commutative, so
+//     l ⋈* r and r ⋈* l contain identical tuples. Associativity is NOT
+//     canonicalized — (a ⋈* b) ⋈* c and a ⋈* (b ⋈* c) fingerprint
+//     differently — because the cache stores materialized intermediates
+//     and different shapes materialize different intermediates.
+//   - The semiring name prefixes every fingerprint.
+func Fingerprints(root *Node, env FingerprintEnv) map[*Node]string {
+	out := make(map[*Node]string)
+	var walk func(n *Node) (string, bool)
+	walk = func(n *Node) (string, bool) {
+		if n == nil {
+			return "", false
+		}
+		var fp string
+		switch n.Op {
+		case OpScan:
+			v, ok := env.TableVersion(n.Table)
+			if !ok {
+				return "", false
+			}
+			fp = "s:" + n.Table + "@" + strconv.FormatInt(v, 10)
+		case OpSelect:
+			child, ok := walk(n.Left)
+			if !ok {
+				return "", false
+			}
+			fp = "f[" + predFingerprint(n.Pred) + "](" + child + ")"
+		case OpJoin:
+			l, lok := walk(n.Left)
+			r, rok := walk(n.Right)
+			if !lok || !rok {
+				return "", false
+			}
+			if r < l {
+				l, r = r, l
+			}
+			fp = "j(" + l + "|" + r + ")"
+		case OpGroupBy:
+			child, ok := walk(n.Left)
+			if !ok {
+				return "", false
+			}
+			vars := append([]string(nil), n.GroupVars...)
+			sort.Strings(vars)
+			fp = "g[" + strings.Join(vars, ",") + "](" + child + ")"
+		default:
+			return "", false
+		}
+		out[n] = env.Semiring + "|" + fp
+		return fp, true
+	}
+	walk(root)
+	return out
+}
+
+// predFingerprint renders an equality predicate with variables in sorted
+// order, the canonical form used inside fingerprints.
+func predFingerprint(p map[string]int32) string {
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + strconv.FormatInt(int64(p[k]), 10)
+	}
+	return strings.Join(parts, ",")
+}

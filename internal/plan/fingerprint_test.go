@@ -1,0 +1,110 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"mpf/internal/relation"
+)
+
+// fpEnv returns a FingerprintEnv with fixed versions for the named
+// tables; any other table is unversionable.
+func fpEnv(semiring string, versions map[string]int64) FingerprintEnv {
+	return FingerprintEnv{
+		Semiring: semiring,
+		TableVersion: func(name string) (int64, bool) {
+			v, ok := versions[name]
+			return v, ok
+		},
+	}
+}
+
+func scan(table string) *Node { return &Node{Op: OpScan, Table: table} }
+
+func join(l, r *Node) *Node { return &Node{Op: OpJoin, Left: l, Right: r} }
+
+func groupBy(in *Node, vars ...string) *Node {
+	return &Node{Op: OpGroupBy, GroupVars: vars, Left: in}
+}
+
+func sel(in *Node, pred relation.Predicate) *Node {
+	return &Node{Op: OpSelect, Pred: pred, Left: in}
+}
+
+func TestFingerprintJoinCommutative(t *testing.T) {
+	env := fpEnv("sum-product", map[string]int64{"r": 1, "s": 2})
+	lr := join(scan("r"), scan("s"))
+	rl := join(scan("s"), scan("r"))
+	a := Fingerprints(lr, env)[lr]
+	b := Fingerprints(rl, env)[rl]
+	if a == "" || a != b {
+		t.Fatalf("r⋈s and s⋈r must fingerprint identically: %q vs %q", a, b)
+	}
+}
+
+func TestFingerprintAssociativityNotCanonicalized(t *testing.T) {
+	env := fpEnv("sum-product", map[string]int64{"a": 1, "b": 2, "c": 3})
+	left := join(join(scan("a"), scan("b")), scan("c"))
+	right := join(scan("a"), join(scan("b"), scan("c")))
+	a := Fingerprints(left, env)[left]
+	b := Fingerprints(right, env)[right]
+	if a == b {
+		t.Fatalf("(a⋈b)⋈c and a⋈(b⋈c) materialize different intermediates; fingerprints must differ, both %q", a)
+	}
+}
+
+func TestFingerprintVersionSensitivity(t *testing.T) {
+	p := groupBy(join(scan("r"), scan("s")), "x")
+	v1 := Fingerprints(p, fpEnv("sum-product", map[string]int64{"r": 1, "s": 1}))[p]
+	v2 := Fingerprints(p, fpEnv("sum-product", map[string]int64{"r": 2, "s": 1}))[p]
+	if v1 == v2 {
+		t.Fatalf("bumping r's version must change the fingerprint, both %q", v1)
+	}
+}
+
+func TestFingerprintSemiringPrefix(t *testing.T) {
+	p := scan("r")
+	env := map[string]int64{"r": 1}
+	sp := Fingerprints(p, fpEnv("sum-product", env))[p]
+	mp := Fingerprints(p, fpEnv("min-product", env))[p]
+	if sp == mp {
+		t.Fatalf("different semirings must yield different fingerprints, both %q", sp)
+	}
+	if !strings.HasPrefix(sp, "sum-product|") {
+		t.Fatalf("fingerprint %q does not carry its semiring prefix", sp)
+	}
+}
+
+func TestFingerprintPredicateCanonicalOrder(t *testing.T) {
+	env := fpEnv("sum-product", map[string]int64{"r": 1})
+	p := sel(scan("r"), relation.Predicate{"b": 2, "a": 1})
+	fp := Fingerprints(p, env)[p]
+	if !strings.Contains(fp, "f[a=1,b=2]") {
+		t.Fatalf("predicate must render in sorted variable order, got %q", fp)
+	}
+}
+
+func TestFingerprintGroupVarsCanonicalOrder(t *testing.T) {
+	env := fpEnv("sum-product", map[string]int64{"r": 1})
+	a := groupBy(scan("r"), "y", "x")
+	b := groupBy(scan("r"), "x", "y")
+	if fa, fb := Fingerprints(a, env)[a], Fingerprints(b, env)[b]; fa != fb {
+		t.Fatalf("group vars must be order-insensitive: %q vs %q", fa, fb)
+	}
+}
+
+func TestFingerprintUnversionableSubtreeAbsent(t *testing.T) {
+	env := fpEnv("sum-product", map[string]int64{"r": 1}) // "h" unversionable
+	r, h := scan("r"), scan("h")
+	p := groupBy(join(r, h), "x")
+	fps := Fingerprints(p, env)
+	if _, ok := fps[p]; ok {
+		t.Fatal("subtree over an unversionable table must have no fingerprint")
+	}
+	if _, ok := fps[h]; ok {
+		t.Fatal("unversionable scan must have no fingerprint")
+	}
+	if _, ok := fps[r]; !ok {
+		t.Fatal("versionable sibling scan must still be fingerprinted")
+	}
+}

@@ -157,6 +157,10 @@ func (h *Heap) NumTuples() int64 { return h.ntuples }
 // NumPages returns the number of allocated pages.
 func (h *Heap) NumPages() int64 { return h.disk.NumPages() }
 
+// Bytes returns the heap's allocated size in bytes (pages × PageSize),
+// the unit the engine's result cache budgets and accounts in.
+func (h *Heap) Bytes() int64 { return h.disk.NumPages() * PageSize }
+
 // Append adds one tuple. vals must have length equal to the heap's arity.
 func (h *Heap) Append(vals []int32, measure float64) error {
 	_, _, err := h.AppendLocated(vals, measure)

@@ -92,6 +92,9 @@ type (
 	// OpKindStats aggregates executed operators of one kind in a
 	// MetricsSnapshot.
 	OpKindStats = metrics.OpKindStats
+	// ResultCacheStats reports the inter-query result cache
+	// (Config.ResultCacheBytes) in a MetricsSnapshot.
+	ResultCacheStats = metrics.ResultCacheStats
 	// CancelError wraps the context error that ended a query; it matches
 	// both ErrCanceled and the wrapped context error via errors.Is.
 	CancelError = core.CancelError
