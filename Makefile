@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all check build test test-race race bench experiments examples fmt vet clean docs-check
+.PHONY: all check build test test-race race bench bench-json experiments examples fmt vet clean docs-check
 
 all: check
 
@@ -31,6 +31,11 @@ race: test-race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Snapshot the vectorized-executor microbenchmarks (tuple vs batch mode:
+# scan, Grace join, group-by) as machine-readable JSON in BENCH_PR4.json.
+bench-json:
+	$(GO) test -run=NONE -bench=Batch -benchtime=10x -benchmem ./internal/exec/ | $(GO) run ./cmd/benchjson > BENCH_PR4.json
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

@@ -1,0 +1,90 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON array, one object per benchmark result, keyed by the short
+// benchmark name. Metrics are taken from the standard columns (ns/op,
+// B/op, allocs/op) plus any custom ReportMetric columns (e.g. the batch
+// benchmarks' pages-read/op), so `make bench-json` can snapshot the
+// executor's microbenchmark numbers into a machine-readable file.
+//
+// Usage:
+//
+//	go test -run=NONE -bench=Batch -benchmem ./internal/exec/ | benchjson
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	// Op is the benchmark name without the Benchmark prefix, e.g.
+	// "BatchScan/tuple".
+	Op string `json:"op"`
+	// Iterations is b.N for the run.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps a unit (ns/op, B/op, allocs/op, pages-read/op, ...) to
+	// its per-op value.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// parseLine parses one "BenchmarkName N v1 unit1 v2 unit2 ..." line,
+// returning ok=false for non-benchmark output (headers, PASS, ok).
+func parseLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{
+		Op:         strings.TrimPrefix(fields[0], "Benchmark"),
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	// The name column carries a -cpus suffix (BenchmarkX-8) on parallel
+	// machines; strip it so snapshots diff cleanly across hosts.
+	if i := strings.LastIndex(r.Op, "-"); i > 0 {
+		if _, err := strconv.Atoi(r.Op[i+1:]); err == nil {
+			r.Op = r.Op[:i]
+		}
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, true
+}
+
+func main() {
+	var results []result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

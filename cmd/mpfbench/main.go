@@ -7,16 +7,20 @@
 //	mpfbench -exp all                 # every experiment, paper order
 //	mpfbench -exp fig7 -scale 0.05    # one experiment at a chosen scale
 //	mpfbench -list                    # list experiment ids
+//	mpfbench -exp batch-exec -cpuprofile cpu.out -memprofile mem.out
 //
 // Absolute numbers depend on hardware; the shapes (who wins, by what
 // factor, where crossovers fall) are the reproduction target recorded in
-// EXPERIMENTS.md.
+// EXPERIMENTS.md. The -cpuprofile/-memprofile flags write pprof profiles
+// covering the experiment runs, for `go tool pprof`.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"mpf/internal/experiments"
 )
@@ -29,6 +33,10 @@ func main() {
 	frames := flag.Int("frames", 0, "buffer pool frames (0 = default 256)")
 	parallel := flag.Int("parallel", 0, "intra-query worker bound (0 or 1 = serial)")
 	rcache := flag.Int64("result-cache", 0, "result cache byte budget for cache-aware experiments (0 = experiment default)")
+	batch := flag.Int("batch", 0, "executor batch width in tuples (0 = page-sized batches, 1 = tuple-at-a-time)")
+	readahead := flag.Int("readahead", 0, "buffer-pool read-ahead distance in pages for sequential scans (0 = off)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering the experiment runs to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -38,7 +46,20 @@ func main() {
 		}
 		return
 	}
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, Quick: *quick, PoolFrames: *frames, Parallelism: *parallel, ResultCacheBytes: *rcache}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mpfbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "mpfbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Quick: *quick, PoolFrames: *frames, Parallelism: *parallel, ResultCacheBytes: *rcache, BatchSize: *batch, ReadAhead: *readahead}
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = experiments.IDs()
@@ -50,5 +71,18 @@ func main() {
 			os.Exit(1)
 		}
 		tbl.Render(os.Stdout)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mpfbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "mpfbench:", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -42,11 +42,13 @@ func main() {
 	frames := flag.Int("frames", 256, "buffer pool frames")
 	parallel := flag.Int("parallel", 0, "intra-query worker bound (0 or 1 = serial)")
 	rcache := flag.Int64("result-cache", 0, "shared subplan result cache byte budget (0 = disabled)")
+	batch := flag.Int("batch", 0, "executor batch width in tuples (0 = page-sized batches, 1 = tuple-at-a-time)")
+	readahead := flag.Int("readahead", 0, "buffer-pool read-ahead distance in pages for sequential scans (0 = off)")
 	flag.BoolVar(&analyze, "analyze", false, "print per-operator actuals after each query")
 	flag.BoolVar(&showMetrics, "metrics", false, "print the engine metrics snapshot before exiting")
 	flag.Parse()
 
-	if err := run(*load, *scale, *density, *tables, *seed, *srName, *strategy, *script, *command, *frames, *parallel, *rcache); err != nil {
+	if err := run(*load, *scale, *density, *tables, *seed, *srName, *strategy, *script, *command, *frames, *parallel, *rcache, *batch, *readahead); err != nil {
 		fmt.Fprintln(os.Stderr, "mpfcli:", err)
 		os.Exit(1)
 	}
@@ -55,12 +57,12 @@ func main() {
 // showMetrics controls the exit-time engine metrics report (-metrics).
 var showMetrics bool
 
-func run(load string, scale, density float64, tables int, seed int64, srName, strategy, script, command string, frames, parallel int, rcache int64) error {
+func run(load string, scale, density float64, tables int, seed int64, srName, strategy, script, command string, frames, parallel int, rcache int64, batch, readahead int) error {
 	sr, err := semiring.ByName(srName)
 	if err != nil {
 		return err
 	}
-	cfg := core.Config{Semiring: sr, PoolFrames: frames, Parallelism: parallel, ResultCacheBytes: rcache}
+	cfg := core.Config{Semiring: sr, PoolFrames: frames, Parallelism: parallel, ResultCacheBytes: rcache, BatchSize: batch, ReadAhead: readahead}
 	if strategy != "" {
 		o, err := opt.ByName(strategy)
 		if err != nil {
@@ -231,9 +233,12 @@ func meta(db *core.Database, cmd string) (quit bool) {
 		}
 	case "\\stats":
 		st := db.Pool().Stats()
-		fmt.Printf("buffer pool: %d reads, %d writes, %d hits\n", st.Reads, st.Writes, st.Hits)
+		fmt.Printf("buffer pool: %d reads, %d writes, %d hits, %d prefetched\n", st.Reads, st.Writes, st.Hits, st.Prefetches)
 	case "\\metrics":
 		fmt.Print(db.Metrics().String())
+	case "\\profile":
+		fmt.Println("profiling lives in mpfbench: run `mpfbench -exp <name> -cpuprofile cpu.out -memprofile mem.out`")
+		fmt.Println("and inspect with `go tool pprof cpu.out`")
 	case "\\cache":
 		fields := strings.Fields(cmd)
 		if len(fields) < 3 {
@@ -268,7 +273,7 @@ func meta(db *core.Database, cmd string) (quit bool) {
 			fmt.Println("usage: \\cache build <view> | \\cache answer <view> <variable>")
 		}
 	default:
-		fmt.Println("meta-commands: \\tables \\views \\strategies \\stats \\metrics \\cache \\quit")
+		fmt.Println("meta-commands: \\tables \\views \\strategies \\stats \\metrics \\cache \\profile \\quit")
 	}
 	return false
 }

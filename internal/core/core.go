@@ -54,6 +54,16 @@ type Config struct {
 	// base-table versions. Zero (the default) disables the cache, keeping
 	// every query's physical IO exactly reproducible.
 	ResultCacheBytes int64
+	// BatchSize selects the executor's batch width: 0 (the default) runs
+	// the vectorized operator paths with whole heap pages as batches, 1
+	// restores tuple-at-a-time execution, larger values cap batch width
+	// (see exec.Engine.BatchSize).
+	BatchSize int
+	// ReadAhead, when positive, makes sequential scans ask the buffer
+	// pool to prefetch this many pages ahead. Off by default so physical
+	// IO counts reproduce the paper's cost model exactly (see
+	// exec.Engine.ReadAhead).
+	ReadAhead int
 }
 
 // Database is the engine facade. Concurrent read-only queries (Query,
@@ -109,6 +119,8 @@ func Open(cfg Config) (*Database, error) {
 	}
 	engine := exec.NewEngine(pool, factory, cfg.Semiring)
 	engine.Parallelism = cfg.Parallelism
+	engine.BatchSize = cfg.BatchSize
+	engine.ReadAhead = cfg.ReadAhead
 	db := &Database{
 		cfg:      cfg,
 		pool:     pool,
@@ -516,6 +528,7 @@ func querySample(out *Result, err error) metrics.QuerySample {
 		s.TempTuples = out.Exec.TempTuples
 		s.Operators = int64(out.Exec.Operators)
 		s.HotKeyFallbacks = out.Exec.HotKeyFallbacks
+		s.Batches = out.Exec.Batches
 		s.Wall = out.Exec.Wall
 		s.Ops = make([]metrics.OpSample, len(out.Exec.Trace))
 		for i, sp := range out.Exec.Trace {

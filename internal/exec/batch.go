@@ -1,0 +1,418 @@
+package exec
+
+// Vectorized operator paths. Every hot loop in this file consumes heap
+// pages through storage.BatchIterator — one pin and one decode loop per
+// page — and produces output through page-sized bulk appends, so the
+// per-tuple costs of the legacy paths (an interface call, a buffer-pool
+// round-trip, and a map-key allocation per tuple) are amortized across a
+// page of tuples. Batch boundaries are also the cancellation check
+// points, replacing the legacy paths' 512-tuple pollers: a batch never
+// exceeds one page, so a canceled query still stops within a page's
+// worth of work. The batch paths emit rows in exactly the order the
+// tuple paths do, so results are byte-identical either way.
+
+import (
+	"context"
+	"encoding/binary"
+
+	"mpf/internal/storage"
+)
+
+// batchOn reports whether the vectorized paths are selected; only
+// BatchSize == 1 (the explicit tuple-at-a-time baseline) disables them.
+func (e *Engine) batchOn() bool { return e.BatchSize != 1 }
+
+// scanB returns a batch iterator over h configured with the engine's
+// batch width and read-ahead distance.
+func (e *Engine) scanB(ctx context.Context, h *storage.Heap) *storage.BatchIterator {
+	it := h.ScanBatchesContext(ctx)
+	if e.BatchSize > 1 {
+		it.SetBatchSize(e.BatchSize)
+	}
+	if e.ReadAhead > 0 {
+		it.SetReadAhead(e.ReadAhead)
+	}
+	return it
+}
+
+// encodeKey writes the projection of vals onto cols into buf and returns
+// the encoded length. Callers index maps with string(buf[:n]) inline —
+// the compiler recognizes that form and performs the lookup without
+// allocating the string, which is what keeps batch probe and aggregate
+// loops allocation-free per tuple.
+func encodeKey(vals []int32, cols []int, buf []byte) int {
+	for i, c := range cols {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(vals[c]))
+	}
+	return 4 * len(cols)
+}
+
+// keyBufFor returns a zeroed key buffer for a cols-wide key, at least 8
+// bytes so narrow keyIndexes can read a full uint64 from it. Buffers
+// must not be shared between differently-shaped keys: a keyIndex relies
+// on the bytes past the encoded key staying zero.
+func keyBufFor(cols []int) []byte {
+	n := 4 * len(cols)
+	if n < 8 {
+		n = 8
+	}
+	return make([]byte, n)
+}
+
+// keyIndex maps encoded keys to dense positions. Keys of at most 8
+// bytes — one- and two-column join and group keys, the overwhelmingly
+// common case — use an integer-keyed map, which hashes without touching
+// memory beyond the key and never allocates on insert; wider keys fall
+// back to a string-keyed map that allocates once per distinct key.
+type keyIndex struct {
+	i64 map[uint64]int // nil when keys are wide
+	str map[string]int
+}
+
+// newKeyIndex returns an index for keys of width keyBytes.
+func newKeyIndex(keyBytes, sizeHint int) *keyIndex {
+	if keyBytes <= 8 {
+		return &keyIndex{i64: make(map[uint64]int, sizeHint)}
+	}
+	return &keyIndex{str: make(map[string]int, sizeHint)}
+}
+
+// get looks up the key encoded in buf[:n]. Narrow reads decode a full
+// uint64 from buf, which is why key buffers are ≥8 bytes and zero past n.
+func (k *keyIndex) get(buf []byte, n int) (int, bool) {
+	if k.i64 != nil {
+		v, ok := k.i64[binary.LittleEndian.Uint64(buf)]
+		return v, ok
+	}
+	v, ok := k.str[string(buf[:n])] // no-alloc map read
+	return v, ok
+}
+
+// put records the key encoded in buf[:n] at position pos.
+func (k *keyIndex) put(buf []byte, n, pos int) {
+	if k.i64 != nil {
+		k.i64[binary.LittleEndian.Uint64(buf)] = pos
+		return
+	}
+	k.str[string(buf[:n])] = pos // allocates the key string once
+}
+
+// batchWriter accumulates output rows and flushes them to a table one
+// page-sized batch at a time, replacing per-row Append (a pool pin, a
+// header rewrite, and for shared outputs a mutex acquisition per row)
+// with one AppendRows per page of output.
+type batchWriter struct {
+	t      *Table
+	locked bool // flush under t's mutex (shared outputs of parallel producers)
+	b      storage.Batch
+	limit  int
+	rows   int64 // total rows written, for TempTuples accounting
+}
+
+// newBatchWriter returns a writer into t; locked selects LockedAppend
+// semantics for outputs shared between goroutines.
+func newBatchWriter(t *Table, locked bool) *batchWriter {
+	w := &batchWriter{t: t, locked: locked, limit: storage.TuplesPerPage(len(t.Attrs))}
+	w.b.Reset(len(t.Attrs))
+	return w
+}
+
+// append buffers one row, flushing when a page's worth is buffered.
+func (w *batchWriter) append(vals []int32, m float64) error {
+	w.b.Append(vals, m)
+	if w.b.Len() >= w.limit {
+		return w.flush()
+	}
+	return nil
+}
+
+// flush writes the buffered rows out and resets the buffer.
+func (w *batchWriter) flush() error {
+	if w.b.Len() == 0 {
+		return nil
+	}
+	var err error
+	if w.locked {
+		err = w.t.LockedAppendBatch(&w.b)
+	} else {
+		err = w.t.Heap.AppendBatch(&w.b)
+	}
+	w.rows += int64(w.b.Len())
+	w.b.Reset(w.b.Arity)
+	return err
+}
+
+// selectBatch is the vectorized equality-selection scan: filter each
+// decoded page in a tight loop, buffering matches for bulk append.
+func (e *Engine) selectBatch(ctx context.Context, in *Table, cols []int, want []int32, out *Table, st *RunStats) error {
+	it := e.scanB(ctx, in.Heap)
+	defer it.Close()
+	w := newBatchWriter(out, false)
+	defer func() { st.addTempTuples(w.rows) }()
+	for {
+		b, ok := it.Next()
+		if !ok {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		st.addBatches(1)
+		for i := 0; i < b.Len(); i++ {
+			row := b.Row(i)
+			match := true
+			for j, c := range cols {
+				if row[c] != want[j] {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			if err := w.append(row, b.Measures[i]); err != nil {
+				return err
+			}
+		}
+	}
+	if err := it.Err(); err != nil {
+		return err
+	}
+	return w.flush()
+}
+
+// hashBuild is the build side of a vectorized hash join. Row values live
+// in per-batch arena chunks and the key index maps encoded join keys to
+// group positions, so the build pass allocates O(pages + distinct keys)
+// instead of O(rows), and probe lookups allocate nothing at all.
+type hashBuild struct {
+	idx    *keyIndex
+	groups [][]buildRow
+}
+
+// lookup returns the build rows matching the key encoded in buf[:n].
+func (h *hashBuild) lookup(buf []byte, n int) []buildRow {
+	gi, ok := h.idx.get(buf, n)
+	if !ok {
+		return nil
+	}
+	return h.groups[gi]
+}
+
+// buildBatch scans build's heap into a hashBuild keyed on buildCols.
+func (e *Engine) buildBatch(ctx context.Context, build *Table, buildCols []int, st *RunStats) (*hashBuild, error) {
+	hb := &hashBuild{idx: newKeyIndex(4*len(buildCols), int(build.Heap.NumTuples()))}
+	arity := len(build.Attrs)
+	keyBuf := keyBufFor(buildCols)
+	it := e.scanB(ctx, build.Heap)
+	defer it.Close()
+	for {
+		b, ok := it.Next()
+		if !ok {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		st.addBatches(1)
+		// One arena chunk per batch: rows are sliced out of a single copy
+		// of the batch's value array, which stays live as long as any of
+		// its rows is referenced from a group.
+		chunk := append([]int32(nil), b.Vals...)
+		for i := 0; i < b.Len(); i++ {
+			row := chunk[i*arity : (i+1)*arity : (i+1)*arity]
+			n := encodeKey(row, buildCols, keyBuf)
+			gi, seen := hb.idx.get(keyBuf, n)
+			if !seen {
+				gi = len(hb.groups)
+				hb.groups = append(hb.groups, nil)
+				hb.idx.put(keyBuf, n, gi)
+			}
+			hb.groups[gi] = append(hb.groups[gi], buildRow{vals: row, measure: b.Measures[i]})
+		}
+	}
+	if err := it.Err(); err != nil {
+		return nil, err
+	}
+	return hb, nil
+}
+
+// hashJoinIntoBatch is the vectorized in-memory-build hash join: build
+// via buildBatch, then probe page batches against it, assembling output
+// rows into a page-sized writer. l is the join's left input (the output
+// schema's prefix); build/probe are l and r in build order.
+func (e *Engine) hashJoinIntoBatch(ctx context.Context, l, build, probe *Table, buildCols, probeCols, rExtra []int, buildIsLeft bool, out *Table, st *RunStats) error {
+	hb, err := e.buildBatch(ctx, build, buildCols, st)
+	if err != nil {
+		return err
+	}
+	w := newBatchWriter(out, true)
+	defer func() { st.addTempTuples(w.rows) }()
+	rowBuf := make([]int32, len(out.Attrs))
+	keyBuf := keyBufFor(probeCols)
+	nl := len(l.Attrs)
+	it := e.scanB(ctx, probe.Heap)
+	defer it.Close()
+	for {
+		b, ok := it.Next()
+		if !ok {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		st.addBatches(1)
+		for i := 0; i < b.Len(); i++ {
+			row := b.Row(i)
+			n := encodeKey(row, probeCols, keyBuf)
+			for _, br := range hb.lookup(keyBuf, n) {
+				var lv, rv []int32
+				var lm, rm float64
+				if buildIsLeft {
+					lv, lm, rv, rm = br.vals, br.measure, row, b.Measures[i]
+				} else {
+					lv, lm, rv, rm = row, b.Measures[i], br.vals, br.measure
+				}
+				copy(rowBuf, lv)
+				for j, c := range rExtra {
+					rowBuf[nl+j] = rv[c]
+				}
+				if err := w.append(rowBuf, e.Sr.Mul(lm, rm)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if err := it.Err(); err != nil {
+		return err
+	}
+	return w.flush()
+}
+
+// batchAgg is a vectorized aggregation state: group keys live row-major
+// in one arena (insertion order — the scan order of first appearance,
+// matching the tuple path's output order) and the key index maps encoded
+// keys to positions, so absorbing a tuple into an existing group
+// allocates nothing.
+type batchAgg struct {
+	idx   *keyIndex
+	vals  []int32 // row-major group keys, arity = len(cols)
+	meas  []float64
+	arity int
+}
+
+// newBatchAgg returns an empty aggregation over keys of the given arity.
+func newBatchAgg(arity int) *batchAgg {
+	return &batchAgg{idx: newKeyIndex(4*arity, 0), arity: arity}
+}
+
+// absorb folds one row's measure into its group, creating the group on
+// first sight. buf[:n] holds the row's encoded group key; the group's
+// values are projected from row only when the group is new, so the
+// common absorb-into-existing-group case copies nothing.
+func (a *batchAgg) absorb(e *Engine, buf []byte, n int, row []int32, cols []int, m float64) {
+	gi, seen := a.idx.get(buf, n)
+	if seen {
+		a.meas[gi] = e.Sr.Add(a.meas[gi], m)
+		return
+	}
+	gi = len(a.meas)
+	for _, c := range cols {
+		a.vals = append(a.vals, row[c])
+	}
+	a.meas = append(a.meas, m)
+	a.idx.put(buf, n, gi)
+}
+
+// emit appends the groups to out in first-seen order with one bulk
+// append; locked selects the shared-output path for parallel callers.
+func (a *batchAgg) emit(ctx context.Context, out *Table, locked bool, st *RunStats) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	var err error
+	if locked {
+		err = out.LockedAppendRows(a.vals, a.meas)
+	} else {
+		err = out.Heap.AppendRows(a.vals, a.meas)
+	}
+	if err != nil {
+		return err
+	}
+	st.addTempTuples(int64(len(a.meas)))
+	return nil
+}
+
+// aggregateBatch runs one vectorized hash-aggregation pass over in.
+func (e *Engine) aggregateBatch(ctx context.Context, in *Table, cols []int, st *RunStats) (*batchAgg, error) {
+	agg := newBatchAgg(len(cols))
+	keyBuf := keyBufFor(cols)
+	it := e.scanB(ctx, in.Heap)
+	defer it.Close()
+	for {
+		b, ok := it.Next()
+		if !ok {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		st.addBatches(1)
+		for i := 0; i < b.Len(); i++ {
+			row := b.Row(i)
+			n := encodeKey(row, cols, keyBuf)
+			agg.absorb(e, keyBuf, n, row, cols, b.Measures[i])
+		}
+	}
+	if err := it.Err(); err != nil {
+		return nil, err
+	}
+	return agg, nil
+}
+
+// partitionBatch is the vectorized Grace partition pass: route each
+// decoded page's rows to per-partition page-sized writers, flushing all
+// partitions at the end. Routing order equals scan order, so every
+// partition holds exactly the rows, in exactly the order, the tuple
+// path produces.
+func (e *Engine) partitionBatch(ctx context.Context, t *Table, cols []int, depth int, parts []*Table, st *RunStats) error {
+	writers := make([]*batchWriter, len(parts))
+	for i, p := range parts {
+		writers[i] = newBatchWriter(p, false)
+	}
+	defer func() {
+		var rows int64
+		for _, w := range writers {
+			rows += w.rows
+		}
+		st.addTempTuples(rows)
+	}()
+	it := e.scanB(ctx, t.Heap)
+	defer it.Close()
+	for {
+		b, ok := it.Next()
+		if !ok {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		st.addBatches(1)
+		for i := 0; i < b.Len(); i++ {
+			row := b.Row(i)
+			w := writers[partitionHash(row, cols, depth)]
+			if err := w.append(row, b.Measures[i]); err != nil {
+				return err
+			}
+		}
+	}
+	if err := it.Err(); err != nil {
+		return err
+	}
+	for _, w := range writers {
+		if err := w.flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

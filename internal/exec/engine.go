@@ -48,6 +48,20 @@ type Engine struct {
 	// because the extra partition pass would dominate. Zero selects a
 	// default of 1<<13.
 	ParallelGroupByMinTuples int
+	// BatchSize selects the executor's batch width in tuples. 0 (the
+	// default) runs the vectorized paths with whole heap pages as batches
+	// — the natural unit of one pin and one decode loop. 1 restores the
+	// legacy tuple-at-a-time paths (the baseline the batch-exec
+	// experiment compares against). Values > 1 cap batches at that many
+	// tuples without ever spanning pages. Batch boundaries are the
+	// executor's cancellation check points.
+	BatchSize int
+	// ReadAhead makes sequential scans declare themselves to the buffer
+	// pool, which prefetches up to this many pages ahead of the scan
+	// position. 0 (the default) disables read-ahead so physical IO counts
+	// reproduce the paper's cost model exactly; see Pool.Prefetch for the
+	// accounting when enabled.
+	ReadAhead int
 }
 
 // NewEngine returns an engine with hash-based operators.
@@ -111,6 +125,10 @@ type RunStats struct {
 	// CacheMisses counts cacheable nodes of this run that probed the
 	// result cache and found nothing.
 	CacheMisses int64
+	// Batches counts the tuple batches the vectorized operator paths
+	// consumed; zero when the run used the legacy tuple-at-a-time paths
+	// (Engine.BatchSize = 1).
+	Batches int64
 	// Ops lists per-operator actuals in completion (bottom-up) order.
 	Ops []OpStat
 	// Trace lists per-operator spans in the same order as Ops, with
@@ -466,6 +484,13 @@ func (e *Engine) selectOp(ctx context.Context, in *Table, pred relation.Predicat
 	if err != nil {
 		return nil, err
 	}
+	if e.batchOn() {
+		if err := e.selectBatch(ctx, in, cols, want, out, st); err != nil {
+			out.Drop()
+			return nil, err
+		}
+		return out, nil
+	}
 	it := in.Heap.ScanContext(ctx)
 	defer it.Close()
 	poll := poller{ctx: ctx}
@@ -572,6 +597,9 @@ func (e *Engine) hashJoinInto(ctx context.Context, l, r *Table, lCols, rCols, rE
 		build, probe = r, l
 		buildCols, probeCols = rCols, lCols
 		buildIsLeft = false
+	}
+	if e.batchOn() {
+		return e.hashJoinIntoBatch(ctx, l, build, probe, buildCols, probeCols, rExtra, buildIsLeft, out, st)
 	}
 
 	poll := poller{ctx: ctx}
@@ -698,6 +726,21 @@ func (e *Engine) hashGroupBy(ctx context.Context, in *Table, groupVars []string,
 	}
 	if e.workers() > 1 && len(cols) > 0 && in.Heap.NumTuples() >= e.parallelGroupByMin() {
 		return e.parallelHashGroupBy(ctx, in, cols, outAttrs, st)
+	}
+	if e.batchOn() {
+		agg, err := e.aggregateBatch(ctx, in, cols, st)
+		if err != nil {
+			return nil, err
+		}
+		out, err := e.newTemp(ctx, "γ("+in.Name+")", outAttrs)
+		if err != nil {
+			return nil, err
+		}
+		if err := agg.emit(ctx, out, false, st); err != nil {
+			out.Drop()
+			return nil, err
+		}
+		return out, nil
 	}
 	order, groups, err := e.aggregate(ctx, in, cols)
 	if err != nil {

@@ -21,7 +21,7 @@ type harness struct {
 	tables map[string]*Table
 }
 
-func newHarness(t *testing.T, frames int, rels ...*relation.Relation) *harness {
+func newHarness(t testing.TB, frames int, rels ...*relation.Relation) *harness {
 	t.Helper()
 	pool := storage.NewPool(frames)
 	factory := storage.MemDiskFactory()

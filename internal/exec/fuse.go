@@ -51,6 +51,9 @@ func (e *Engine) fusedJoinGroupBy(ctx context.Context, l, r *Table, groupVars []
 		buildCols, probeCols = rCols, lCols
 		buildIsLeft = false
 	}
+	if e.batchOn() {
+		return e.fusedBatch(ctx, l, r, build, probe, buildCols, probeCols, rExtra, groupCols, aggAttrs, buildIsLeft, len(outAttrs), st)
+	}
 	poll := poller{ctx: ctx}
 	ht := make(map[string][]buildRow, build.Heap.NumTuples())
 	bit := build.Heap.ScanContext(ctx)
@@ -127,6 +130,69 @@ func (e *Engine) fusedJoinGroupBy(ctx context.Context, l, r *Table, groupVars []
 			return nil, err
 		}
 		st.TempTuples++
+	}
+	return out, nil
+}
+
+// fusedBatch is the vectorized fused join+aggregate: build via
+// buildBatch, probe page batches, and fold each virtual join row's
+// measure straight into the aggregation state — the join output is
+// never materialized, exactly like the tuple path, but both scans decode
+// whole pages and the group table is probed without allocating.
+func (e *Engine) fusedBatch(ctx context.Context, l, r, build, probe *Table, buildCols, probeCols, rExtra, groupCols []int, aggAttrs []relation.Attr, buildIsLeft bool, outArity int, st *RunStats) (*Table, error) {
+	hb, err := e.buildBatch(ctx, build, buildCols, st)
+	if err != nil {
+		return nil, err
+	}
+	agg := newBatchAgg(len(groupCols))
+	rowBuf := make([]int32, outArity)
+	// Probe and group keys get separate buffers: keyIndex reads require
+	// the bytes past each encoded key to stay zero, which a shared buffer
+	// holding two key shapes would violate.
+	probeBuf := keyBufFor(probeCols)
+	groupBuf := keyBufFor(groupCols)
+	nl := len(l.Attrs)
+	it := e.scanB(ctx, probe.Heap)
+	defer it.Close()
+	for {
+		b, ok := it.Next()
+		if !ok {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		st.addBatches(1)
+		for i := 0; i < b.Len(); i++ {
+			row := b.Row(i)
+			n := encodeKey(row, probeCols, probeBuf)
+			for _, br := range hb.lookup(probeBuf, n) {
+				var lv, rv []int32
+				var lm, rm float64
+				if buildIsLeft {
+					lv, lm, rv, rm = br.vals, br.measure, row, b.Measures[i]
+				} else {
+					lv, lm, rv, rm = row, b.Measures[i], br.vals, br.measure
+				}
+				copy(rowBuf, lv)
+				for j, c := range rExtra {
+					rowBuf[nl+j] = rv[c]
+				}
+				gn := encodeKey(rowBuf, groupCols, groupBuf)
+				agg.absorb(e, groupBuf, gn, rowBuf, groupCols, e.Sr.Mul(lm, rm))
+			}
+		}
+	}
+	if err := it.Err(); err != nil {
+		return nil, err
+	}
+	out, err := e.newTemp(ctx, "γ⋈("+l.Name+","+r.Name+")", aggAttrs)
+	if err != nil {
+		return nil, err
+	}
+	if err := agg.emit(ctx, out, false, st); err != nil {
+		out.Drop()
+		return nil, err
 	}
 	return out, nil
 }

@@ -2,8 +2,6 @@ package exec
 
 import (
 	"context"
-	"encoding/binary"
-	"hash/fnv"
 	"sync"
 	"sync/atomic"
 )
@@ -32,22 +30,36 @@ const graceDepthLimit = 3
 // the same keys would then collide at EVERY depth and recursive
 // repartitioning could never split a colliding pair, driving every such
 // partition to the depth-limit fallback.
+// The FNV-1a state is threaded through fnvMix4 manually rather than a
+// hash/fnv object: this runs once per tuple on the Grace partition pass
+// and the hash.Hash32 interface's Write cost is measurable there. The
+// byte order matches the little-endian encoding the fnv object consumed,
+// so bucket assignments are identical.
 func partitionHash(vals []int32, cols []int, depth int) int {
-	h := fnv.New32a()
-	var b [4]byte
-	binary.LittleEndian.PutUint32(b[:], (uint32(depth)+1)*2654435761)
-	h.Write(b[:])
+	const fnvOffset32 = 2166136261
+	h := fnvMix4(fnvOffset32, (uint32(depth)+1)*2654435761)
 	for _, c := range cols {
-		binary.LittleEndian.PutUint32(b[:], uint32(vals[c]))
-		h.Write(b[:])
+		h = fnvMix4(h, uint32(vals[c]))
 	}
-	s := h.Sum32()
+	s := h
 	s ^= s >> 16
 	s *= 0x85ebca6b
 	s ^= s >> 13
 	s *= 0xc2b2ae35
 	s ^= s >> 16
 	return int(s % graceFanOut)
+}
+
+// fnvMix4 folds v's four bytes, least significant first, into an FNV-1a
+// state — exactly what writing v's little-endian encoding to an fnv
+// hasher does.
+func fnvMix4(h, v uint32) uint32 {
+	const prime32 = 16777619
+	h = (h ^ (v & 0xff)) * prime32
+	h = (h ^ ((v >> 8) & 0xff)) * prime32
+	h = (h ^ ((v >> 16) & 0xff)) * prime32
+	h = (h ^ (v >> 24)) * prime32
+	return h
 }
 
 // maxBuild returns the engine's build-side cap.
@@ -136,6 +148,13 @@ func (e *Engine) partition(ctx context.Context, t *Table, cols []int, depth int,
 			return nil, err
 		}
 		parts[i] = p
+	}
+	if e.batchOn() {
+		if err := e.partitionBatch(ctx, t, cols, depth, parts, st); err != nil {
+			dropAll(parts)
+			return nil, err
+		}
+		return parts, nil
 	}
 	var tmp int64
 	defer func() { st.addTempTuples(tmp) }()

@@ -124,11 +124,22 @@ func (e *Engine) indexedSelect(ctx context.Context, in *Table, pred relation.Pre
 	if err != nil {
 		return nil, err
 	}
+	// Matches are buffered and appended a page at a time when the batch
+	// paths are on, so the output side costs one pool round-trip per page
+	// of matches instead of one per match.
+	var w *batchWriter
+	if e.batchOn() {
+		w = newBatchWriter(out, false)
+		defer func() { st.addTempTuples(w.rows) }()
+	}
 	emit := func(vals []int32, m float64) error {
 		for i, c := range residCols {
 			if vals[c] != residWant[i] {
 				return nil
 			}
+		}
+		if w != nil {
+			return w.append(vals, m)
 		}
 		st.TempTuples++
 		return out.Heap.Append(vals, m)
@@ -147,6 +158,12 @@ func (e *Engine) indexedSelect(ctx context.Context, in *Table, pred relation.Pre
 			return nil, err
 		}
 		i = j
+	}
+	if w != nil {
+		if err := w.flush(); err != nil {
+			out.Drop()
+			return nil, err
+		}
 	}
 	return out, nil
 }

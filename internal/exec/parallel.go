@@ -37,6 +37,14 @@ func (st *RunStats) addTempTuples(n int64) {
 	}
 }
 
+// addBatches counts consumed tuple batches; atomic because parallel
+// operators scan from several goroutines into one RunStats.
+func (st *RunStats) addBatches(n int64) {
+	if n != 0 {
+		atomic.AddInt64(&st.Batches, n)
+	}
+}
+
 // runParallel executes task(0..n-1) on at most w goroutines, handing out
 // indexes by work-stealing. The first task error stops the handout and is
 // returned after all in-flight tasks finish.
@@ -110,6 +118,13 @@ func (e *Engine) parallelHashGroupBy(ctx context.Context, in *Table, cols []int,
 		p := parts[i]
 		if p.Heap.NumTuples() == 0 {
 			return nil
+		}
+		if e.batchOn() {
+			agg, err := e.aggregateBatch(ctx, p, cols, st)
+			if err != nil {
+				return err
+			}
+			return agg.emit(ctx, out, true, st)
 		}
 		order, groups, err := e.aggregate(ctx, p, cols)
 		if err != nil {

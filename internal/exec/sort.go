@@ -60,6 +60,20 @@ func (e *Engine) spillRun(ctx context.Context, run *memRun, cols []int, attrs []
 	if err != nil {
 		return nil, err
 	}
+	if e.batchOn() {
+		// The sorted run is already row-major value and measure arrays —
+		// exactly AppendRows' input — so the whole spill is one bulk append.
+		if err := ctx.Err(); err != nil {
+			rt.Drop()
+			return nil, err
+		}
+		if err := rt.Heap.AppendRows(run.vals, run.measures); err != nil {
+			rt.Drop()
+			return nil, err
+		}
+		st.addTempTuples(int64(run.len()))
+		return rt, nil
+	}
 	var tmp int64
 	defer func() { st.addTempTuples(tmp) }()
 	poll := poller{ctx: ctx}
@@ -77,57 +91,93 @@ func (e *Engine) spillRun(ctx context.Context, run *memRun, cols []int, attrs []
 	return rt, nil
 }
 
+// scanRuns streams in's tuples into memRuns of exactly runSize tuples
+// (the last run may be short), invoking spill at each boundary. The
+// batch path copies whole decoded pages into the run arrays, splitting
+// batches at run boundaries so run contents — and therefore the sorted
+// output — are identical to the tuple path's.
+func (e *Engine) scanRuns(ctx context.Context, in *Table, runSize int, st *RunStats, spill func(*memRun) error) error {
+	arity := len(in.Attrs)
+	cur := &memRun{arity: arity}
+	if e.batchOn() {
+		it := e.scanB(ctx, in.Heap)
+		defer it.Close()
+		for {
+			b, ok := it.Next()
+			if !ok {
+				break
+			}
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			st.addBatches(1)
+			for off, n := 0, b.Len(); off < n; {
+				take := runSize - cur.len()
+				if take > n-off {
+					take = n - off
+				}
+				cur.vals = append(cur.vals, b.Vals[off*arity:(off+take)*arity]...)
+				cur.measures = append(cur.measures, b.Measures[off:off+take]...)
+				off += take
+				if cur.len() >= runSize {
+					if err := spill(cur); err != nil {
+						return err
+					}
+					cur = &memRun{arity: arity}
+				}
+			}
+		}
+		if err := it.Err(); err != nil {
+			return err
+		}
+	} else {
+		it := in.Heap.ScanContext(ctx)
+		poll := poller{ctx: ctx}
+		for {
+			vals, m, ok := it.Next()
+			if !ok {
+				break
+			}
+			if err := poll.check(); err != nil {
+				it.Close()
+				return err
+			}
+			cur.vals = append(cur.vals, vals...)
+			cur.measures = append(cur.measures, m)
+			if cur.len() >= runSize {
+				if err := spill(cur); err != nil {
+					it.Close()
+					return err
+				}
+				cur = &memRun{arity: arity}
+			}
+		}
+		if err := it.Close(); err != nil {
+			return err
+		}
+	}
+	if cur.len() > 0 {
+		return spill(cur)
+	}
+	return nil
+}
+
 // serialRuns generates sorted runs of at most runSize tuples, one at a
 // time on the calling goroutine.
 func (e *Engine) serialRuns(ctx context.Context, in *Table, cols []int, runSize int, st *RunStats) ([]*Table, error) {
-	arity := len(in.Attrs)
 	var runs []*Table
-	cleanup := func() {
-		for _, r := range runs {
-			r.Drop()
-		}
-	}
-	it := in.Heap.ScanContext(ctx)
-	cur := &memRun{arity: arity}
-	flush := func() error {
-		if cur.len() == 0 {
-			return nil
-		}
-		rt, err := e.spillRun(ctx, cur, cols, in.Attrs, st)
+	err := e.scanRuns(ctx, in, runSize, st, func(run *memRun) error {
+		rt, err := e.spillRun(ctx, run, cols, in.Attrs, st)
 		if err != nil {
 			return err
 		}
 		runs = append(runs, rt)
-		cur = &memRun{arity: arity}
 		return nil
-	}
-	poll := poller{ctx: ctx}
-	for {
-		vals, m, ok := it.Next()
-		if !ok {
-			break
+	})
+	if err != nil {
+		for _, r := range runs {
+			r.Drop()
 		}
-		if err := poll.check(); err != nil {
-			it.Close()
-			cleanup()
-			return nil, err
-		}
-		cur.vals = append(cur.vals, vals...)
-		cur.measures = append(cur.measures, m)
-		if cur.len() >= runSize {
-			if err := flush(); err != nil {
-				it.Close()
-				cleanup()
-				return nil, err
-			}
-		}
-	}
-	if err := it.Close(); err != nil {
-		cleanup()
-		return nil, err
-	}
-	if err := flush(); err != nil {
-		cleanup()
 		return nil, err
 	}
 	return runs, nil
@@ -139,7 +189,6 @@ func (e *Engine) serialRuns(ctx context.Context, in *Table, cols []int, runSize 
 // breaks ties between runs exactly as it would for serial generation and
 // the sorted output is identical.
 func (e *Engine) parallelRuns(ctx context.Context, in *Table, cols []int, runSize int, st *RunStats) ([]*Table, error) {
-	arity := len(in.Attrs)
 	var (
 		mu       sync.Mutex
 		runs     []*Table
@@ -147,7 +196,16 @@ func (e *Engine) parallelRuns(ctx context.Context, in *Table, cols []int, runSiz
 		wg       sync.WaitGroup
 	)
 	sem := make(chan struct{}, e.workers())
-	launch := func(idx int, run *memRun) {
+	scanErr := e.scanRuns(ctx, in, runSize, st, func(run *memRun) error {
+		mu.Lock()
+		if firstErr != nil {
+			err := firstErr
+			mu.Unlock()
+			return err
+		}
+		idx := len(runs)
+		runs = append(runs, nil)
+		mu.Unlock()
 		wg.Add(1)
 		sem <- struct{}{}
 		go func() {
@@ -164,51 +222,8 @@ func (e *Engine) parallelRuns(ctx context.Context, in *Table, cols []int, runSiz
 			}
 			runs[idx] = rt
 		}()
-	}
-	failed := func() bool {
-		mu.Lock()
-		defer mu.Unlock()
-		return firstErr != nil
-	}
-
-	it := in.Heap.ScanContext(ctx)
-	cur := &memRun{arity: arity}
-	poll := poller{ctx: ctx}
-	for {
-		vals, m, ok := it.Next()
-		if !ok {
-			break
-		}
-		if err := poll.check(); err != nil {
-			mu.Lock()
-			if firstErr == nil {
-				firstErr = err
-			}
-			mu.Unlock()
-			break
-		}
-		cur.vals = append(cur.vals, vals...)
-		cur.measures = append(cur.measures, m)
-		if cur.len() >= runSize {
-			if failed() {
-				break
-			}
-			mu.Lock()
-			idx := len(runs)
-			runs = append(runs, nil)
-			mu.Unlock()
-			launch(idx, cur)
-			cur = &memRun{arity: arity}
-		}
-	}
-	scanErr := it.Close()
-	if scanErr == nil && cur.len() > 0 && !failed() {
-		mu.Lock()
-		idx := len(runs)
-		runs = append(runs, nil)
-		mu.Unlock()
-		launch(idx, cur)
-	}
+		return nil
+	})
 	wg.Wait()
 	if firstErr == nil {
 		firstErr = scanErr

@@ -49,6 +49,23 @@ func (t *Table) LockedAppend(vals []int32, measure float64) error {
 	return t.Heap.Append(vals, measure)
 }
 
+// LockedAppendBatch appends a whole batch under the table's mutex — the
+// bulk counterpart of LockedAppend, costing one lock acquisition and one
+// heap pin per page of output instead of one of each per row.
+func (t *Table) LockedAppendBatch(b *storage.Batch) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.Heap.AppendBatch(b)
+}
+
+// LockedAppendRows appends row-major arrays under the table's mutex; see
+// LockedAppendBatch.
+func (t *Table) LockedAppendRows(vals []int32, measures []float64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.Heap.AppendRows(vals, measures)
+}
+
 // Vars returns the table's variable set.
 func (t *Table) Vars() relation.VarSet {
 	s := make(relation.VarSet, len(t.Attrs))
@@ -112,15 +129,20 @@ func readRelationContext(ctx context.Context, t *Table) (*relation.Relation, err
 	if err != nil {
 		return nil, err
 	}
-	it := t.Heap.ScanContext(ctx)
+	it := t.Heap.ScanBatchesContext(ctx)
 	defer it.Close()
 	for {
-		vals, m, ok := it.Next()
+		b, ok := it.Next()
 		if !ok {
 			break
 		}
-		if err := r.Append(vals, m); err != nil {
+		if err := ctx.Err(); err != nil {
 			return nil, err
+		}
+		for i := 0; i < b.Len(); i++ {
+			if err := r.Append(b.Row(i), b.Measures[i]); err != nil {
+				return nil, err
+			}
 		}
 	}
 	if err := it.Err(); err != nil {

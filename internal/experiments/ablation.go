@@ -21,7 +21,7 @@ func AblationPushdown(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	s, err := openDataset(ds, cfg.frames(), cfg.Parallelism)
+	s, err := openDataset(ds, cfg, cfg.frames())
 	if err != nil {
 		return nil, err
 	}
@@ -49,7 +49,7 @@ func AblationPhysicalOps(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	s, err := openDataset(ds, cfg.frames(), cfg.Parallelism)
+	s, err := openDataset(ds, cfg, cfg.frames())
 	if err != nil {
 		return nil, err
 	}
@@ -108,7 +108,7 @@ func AblationBufferPool(cfg Config) (*Table, error) {
 		Notes:  "expected: physical reads fall as the pool grows; above the working set only cold misses remain",
 	}
 	for _, fr := range frames {
-		s, err := openDataset(ds, fr, cfg.Parallelism)
+		s, err := openDataset(ds, cfg, fr)
 		if err != nil {
 			return nil, err
 		}
@@ -135,7 +135,7 @@ func AblationFusion(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	s, err := openDataset(ds, cfg.frames(), cfg.Parallelism)
+	s, err := openDataset(ds, cfg, cfg.frames())
 	if err != nil {
 		return nil, err
 	}
@@ -177,7 +177,7 @@ func AblationWorkload(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	s, err := openDataset(ds, cfg.frames(), cfg.Parallelism)
+	s, err := openDataset(ds, cfg, cfg.frames())
 	if err != nil {
 		return nil, err
 	}

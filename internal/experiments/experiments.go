@@ -44,6 +44,14 @@ type Config struct {
 	// default budget. Experiments that measure raw plan IO always run with
 	// the cache disabled regardless.
 	ResultCacheBytes int64
+	// BatchSize selects the executor batch width for experiment sessions
+	// (0 = page-sized batches, 1 = tuple-at-a-time). Experiments that
+	// compare the two modes (batch-exec) override it per run.
+	BatchSize int
+	// ReadAhead is the buffer-pool sequential-scan prefetch distance in
+	// pages applied to experiment sessions (0 = off). batch-exec overrides
+	// it per run.
+	ReadAhead int
 }
 
 func (c Config) scale() float64 {
@@ -132,6 +140,7 @@ func Registry() []struct {
 		{"ablation-fusion", AblationFusion},
 		{"parallel-exec", ParallelExec},
 		{"result-cache", ResultCacheExp},
+		{"batch-exec", BatchExec},
 	}
 }
 
@@ -170,9 +179,10 @@ type session struct {
 }
 
 // openDataset loads a dataset into a fresh engine-backed database with
-// the given buffer-pool size and intra-query parallelism.
-func openDataset(ds *gen.Dataset, frames, parallelism int) (*session, error) {
-	db, err := core.Open(core.Config{PoolFrames: frames, Parallelism: parallelism})
+// the given buffer-pool size and the config's execution knobs
+// (parallelism, batch width, read-ahead distance).
+func openDataset(ds *gen.Dataset, cfg Config, frames int) (*session, error) {
+	db, err := core.Open(core.Config{PoolFrames: frames, Parallelism: cfg.Parallelism, BatchSize: cfg.BatchSize, ReadAhead: cfg.ReadAhead})
 	if err != nil {
 		return nil, err
 	}

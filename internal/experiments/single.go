@@ -73,7 +73,7 @@ func Fig7(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		s, err := openDataset(ds, cfg.frames(), cfg.Parallelism)
+		s, err := openDataset(ds, cfg, cfg.frames())
 		if err != nil {
 			return nil, err
 		}
@@ -137,7 +137,7 @@ func Fig8(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		s, err := openDataset(ds, cfg.frames(), cfg.Parallelism)
+		s, err := openDataset(ds, cfg, cfg.frames())
 		if err != nil {
 			return nil, err
 		}
@@ -185,7 +185,7 @@ func Fig9(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		s, err := openDataset(ds, cfg.frames(), cfg.Parallelism)
+		s, err := openDataset(ds, cfg, cfg.frames())
 		if err != nil {
 			return nil, err
 		}
@@ -240,7 +240,7 @@ func synthSessions(cfg Config, tables int) (map[string]*session, error) {
 			closeAll(out)
 			return nil, err
 		}
-		s, err := openDataset(ds, cfg.frames(), cfg.Parallelism)
+		s, err := openDataset(ds, cfg, cfg.frames())
 		if err != nil {
 			closeAll(out)
 			return nil, err

@@ -42,6 +42,9 @@ type QuerySample struct {
 	Operators int64
 	// HotKeyFallbacks counts Grace-join hot-key fallbacks.
 	HotKeyFallbacks int64
+	// Batches counts tuple batches consumed by the vectorized operator
+	// paths (zero for tuple-at-a-time runs).
+	Batches int64
 	// Wall is the query's execution wall time.
 	Wall time.Duration
 	// Ops lists the per-operator samples from the query trace.
@@ -70,6 +73,7 @@ type Registry struct {
 	tempTuples      int64
 	operators       int64
 	hotKeyFallbacks int64
+	batches         int64
 	execWall        time.Duration
 	opKinds         map[string]OpKindStats
 }
@@ -102,6 +106,7 @@ func (r *Registry) QueryFinished(q QuerySample) {
 	r.tempTuples += q.TempTuples
 	r.operators += q.Operators
 	r.hotKeyFallbacks += q.HotKeyFallbacks
+	r.batches += q.Batches
 	r.execWall += q.Wall
 	for _, op := range q.Ops {
 		k := r.opKinds[op.Kind]
@@ -133,6 +138,8 @@ type Snapshot struct {
 	Operators int64
 	// HotKeyFallbacks counts Grace-join hot-key fallbacks.
 	HotKeyFallbacks int64
+	// Batches counts tuple batches consumed by vectorized operators.
+	Batches int64
 	// ExecWall sums query execution wall time.
 	ExecWall time.Duration
 	// Pool is the buffer pool's cumulative IO (reads, writes, hits).
@@ -183,6 +190,7 @@ func (r *Registry) Snapshot(pool storage.Stats) Snapshot {
 		TempTuples:      r.tempTuples,
 		Operators:       r.operators,
 		HotKeyFallbacks: r.hotKeyFallbacks,
+		Batches:         r.batches,
 		ExecWall:        r.execWall,
 		Pool:            pool,
 		OpKinds:         kinds,
@@ -199,9 +207,10 @@ func (s Snapshot) String() string {
 		s.QueriesStarted, s.QueriesFinished, s.QueriesCanceled, s.QueriesFailed)
 	fmt.Fprintf(&b, "rows out: %d   temp tuples: %d   operators: %d   hot-key fallbacks: %d\n",
 		s.RowsOut, s.TempTuples, s.Operators, s.HotKeyFallbacks)
+	fmt.Fprintf(&b, "batches: %d\n", s.Batches)
 	fmt.Fprintf(&b, "exec wall: %v\n", s.ExecWall)
-	fmt.Fprintf(&b, "pool IO: %d reads, %d writes, %d hits\n",
-		s.Pool.Reads, s.Pool.Writes, s.Pool.Hits)
+	fmt.Fprintf(&b, "pool IO: %d reads, %d writes, %d hits, %d prefetched\n",
+		s.Pool.Reads, s.Pool.Writes, s.Pool.Hits, s.Pool.Prefetches)
 	rc := s.ResultCache
 	if !rc.Enabled {
 		b.WriteString("result cache: disabled\n")

@@ -40,9 +40,12 @@ func renderAnalyze(st exec.RunStats) string {
 	for _, root := range buildSpanTree(st.Trace) {
 		renderSpanNode(&b, root, 0)
 	}
-	fmt.Fprintf(&b, "Total: wall=%v io=%dr/%dw/%dh rows=%d temp_tuples=%d operators=%d",
+	fmt.Fprintf(&b, "Total: wall=%v io=%dr/%dw/%dh rows=%d temp_tuples=%d operators=%d batches=%d",
 		st.Wall, st.IO.Reads, st.IO.Writes, st.IO.Hits,
-		st.RowsOut, st.TempTuples, st.Operators)
+		st.RowsOut, st.TempTuples, st.Operators, st.Batches)
+	if st.IO.Prefetches > 0 {
+		fmt.Fprintf(&b, " prefetched=%d", st.IO.Prefetches)
+	}
 	if st.HotKeyFallbacks > 0 {
 		fmt.Fprintf(&b, " hot_key_fallbacks=%d", st.HotKeyFallbacks)
 	}

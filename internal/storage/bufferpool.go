@@ -8,24 +8,37 @@ import (
 
 // Stats aggregates the physical IO performed through a buffer pool.
 type Stats struct {
-	Reads  int64 // pages fetched from a Disk
-	Writes int64 // pages written back to a Disk
-	Hits   int64 // page requests satisfied from the pool
+	Reads      int64 // pages fetched from a Disk (read-ahead included)
+	Writes     int64 // pages written back to a Disk
+	Hits       int64 // page requests satisfied from the pool
+	Prefetches int64 // pages fetched by the read-ahead path (subset of Reads)
 }
 
 // IO returns total physical page transfers (reads + writes), the quantity
-// the paper's cost model minimizes for disk-resident operands.
+// the paper's cost model minimizes for disk-resident operands. Prefetched
+// pages are already counted in Reads, so read-ahead moves reads earlier
+// without changing IO unless a prefetched page is evicted unused.
 func (s Stats) IO() int64 { return s.Reads + s.Writes }
 
 // Sub returns s - o, useful for measuring the IO of one query by
 // snapshotting before and after.
 func (s Stats) Sub(o Stats) Stats {
-	return Stats{Reads: s.Reads - o.Reads, Writes: s.Writes - o.Writes, Hits: s.Hits - o.Hits}
+	return Stats{
+		Reads:      s.Reads - o.Reads,
+		Writes:     s.Writes - o.Writes,
+		Hits:       s.Hits - o.Hits,
+		Prefetches: s.Prefetches - o.Prefetches,
+	}
 }
 
 // Add returns s + o, useful for accumulating per-operator deltas.
 func (s Stats) Add(o Stats) Stats {
-	return Stats{Reads: s.Reads + o.Reads, Writes: s.Writes + o.Writes, Hits: s.Hits + o.Hits}
+	return Stats{
+		Reads:      s.Reads + o.Reads,
+		Writes:     s.Writes + o.Writes,
+		Hits:       s.Hits + o.Hits,
+		Prefetches: s.Prefetches + o.Prefetches,
+	}
 }
 
 type pageKey struct {
@@ -61,7 +74,16 @@ type Pool struct {
 	stats   Stats
 	disks   map[int64]Disk
 	diskSeq int64
+	// prefetchSem bounds concurrent read-ahead goroutines; prefetchWG
+	// tracks them so unregister never races an in-flight prefetch pin.
+	prefetchSem chan struct{}
+	prefetchWG  sync.WaitGroup
 }
+
+// maxPrefetchers bounds the pool's concurrent read-ahead goroutines. The
+// bound is per pool, not per scan: read-ahead is best-effort, and a full
+// semaphore drops the request rather than queueing it.
+const maxPrefetchers = 4
 
 // NewPool returns a pool with the given number of page frames. At least
 // two frames are required (one being evicted, one being filled).
@@ -70,9 +92,10 @@ func NewPool(frames int) *Pool {
 		frames = 2
 	}
 	p := &Pool{
-		frames: make([]frame, frames),
-		table:  make(map[pageKey]int, frames),
-		disks:  make(map[int64]Disk),
+		frames:      make([]frame, frames),
+		table:       make(map[pageKey]int, frames),
+		disks:       make(map[int64]Disk),
+		prefetchSem: make(chan struct{}, maxPrefetchers),
 	}
 	p.loaded.L = &p.mu
 	for i := range p.frames {
@@ -101,6 +124,10 @@ func (p *Pool) Unregister(h int64) error { return p.unregister(h, false) }
 func (p *Pool) Discard(h int64) error { return p.unregister(h, true) }
 
 func (p *Pool) unregister(h int64, discard bool) error {
+	// Drain in-flight read-ahead first: a prefetch holds a pin on its frame
+	// while loading, which would make a racing unregister report a phantom
+	// pin leak. Prefetches are single page reads, so this wait is short.
+	p.prefetchWG.Wait()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	d, ok := p.disks[h]
@@ -284,6 +311,83 @@ func (p *Pool) PinContext(ctx context.Context, h, no int64) ([]byte, error) {
 	}
 	p.loaded.Broadcast()
 	return f.buf, nil
+}
+
+// Prefetch asynchronously loads the page into the pool without pinning
+// it for the caller: sequential scans hint the pages they are about to
+// request so the reads overlap the scan's own work instead of stalling
+// it. Best-effort and bounded — if the page is already resident (or
+// loading), the request is a no-op, and when maxPrefetchers reads are
+// already in flight the request is dropped rather than queued. A
+// prefetched read counts in Stats.Reads AND Stats.Prefetches; the scan's
+// later pin of the page counts a hit, exactly as if another query had
+// faulted the page in first. A canceled ctx suppresses the read.
+func (p *Pool) Prefetch(ctx context.Context, h, no int64) {
+	if ctx.Err() != nil {
+		return
+	}
+	select {
+	case p.prefetchSem <- struct{}{}:
+	default:
+		return // all prefetchers busy: drop, don't queue
+	}
+	p.prefetchWG.Add(1)
+	go func() {
+		defer p.prefetchWG.Done()
+		defer func() { <-p.prefetchSem }()
+		p.prefetch(ctx, h, no)
+	}()
+}
+
+// DrainPrefetches blocks until every in-flight Prefetch has completed,
+// making Stats deterministic for callers that just issued read-ahead.
+func (p *Pool) DrainPrefetches() { p.prefetchWG.Wait() }
+
+// prefetch performs one read-ahead load: reserve a frame (pinned +
+// loading, like a Pin miss), read outside the lock, then release the
+// pin so the page sits evictable-but-resident for the scan to hit.
+func (p *Pool) prefetch(ctx context.Context, h, no int64) {
+	p.mu.Lock()
+	if _, ok := p.table[pageKey{h, no}]; ok {
+		p.mu.Unlock()
+		return // resident or already loading: nothing to do
+	}
+	d, ok := p.disks[h]
+	if !ok || ctx.Err() != nil {
+		p.mu.Unlock()
+		return
+	}
+	idx, err := p.victim()
+	if err != nil {
+		p.mu.Unlock()
+		return // pool full of pinned frames: skip, the scan will read it
+	}
+	k := pageKey{h, no}
+	f := &p.frames[idx]
+	f.key = k
+	f.pins = 1
+	f.ref = true
+	f.dirty = false
+	f.valid = true
+	f.loading = true
+	p.table[k] = idx
+	p.stats.Reads++
+	p.stats.Prefetches++
+	p.mu.Unlock()
+	rerr := d.ReadPage(no, f.buf)
+	p.mu.Lock()
+	f.loading = false
+	f.pins--
+	if rerr != nil {
+		// Same undo as a failed Pin miss: vacate the frame and un-count the
+		// read so a waiter retries (and surfaces the error on its own pin).
+		f.valid = false
+		p.stats.Reads--
+		p.stats.Prefetches--
+		delete(p.table, k)
+	}
+	p.loaded.Broadcast()
+	p.mu.Unlock()
 }
 
 // NewPage allocates a fresh page on the disk, pins it and returns its

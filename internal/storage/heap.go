@@ -200,20 +200,105 @@ func (h *Heap) AppendLocated(vals []int32, measure float64) (pageNo int64, slot 
 	return pageNo, slot, h.pool.Unpin(h.handle, pageNo, true)
 }
 
+// AppendRows adds n tuples in one call from row-major arrays: vals holds
+// n*arity int32 values and measures holds n measures. Each page on the
+// fill path is pinned once and its header rewritten once, amortizing the
+// per-tuple pool round-trip of Append across a page of tuples.
+func (h *Heap) AppendRows(vals []int32, measures []float64) error {
+	n := len(measures)
+	if len(vals) != n*h.arity {
+		return fmt.Errorf("heap: AppendRows of %d values for %d arity-%d tuples", len(vals), n, h.arity)
+	}
+	i := 0
+	for i < n {
+		var (
+			pageNo int64
+			buf    []byte
+			err    error
+		)
+		if h.lastPage >= 0 && h.lastCount < h.perPage {
+			pageNo = h.lastPage
+			buf, err = h.pool.PinContext(h.context(), h.handle, pageNo)
+		} else {
+			pageNo, buf, err = h.pool.NewPageContext(h.context(), h.handle)
+			if err == nil {
+				h.lastPage = pageNo
+				h.lastCount = 0
+			}
+		}
+		if err != nil {
+			return err
+		}
+		k := h.perPage - h.lastCount
+		if k > n-i {
+			k = n - i
+		}
+		off := pageHeaderSize + h.lastCount*h.tupleSize
+		for j := i; j < i+k; j++ {
+			row := vals[j*h.arity : (j+1)*h.arity]
+			for c, v := range row {
+				binary.LittleEndian.PutUint32(buf[off+4*c:], uint32(v))
+			}
+			binary.LittleEndian.PutUint64(buf[off+4*h.arity:], math.Float64bits(measures[j]))
+			off += h.tupleSize
+		}
+		h.lastCount += k
+		binary.LittleEndian.PutUint16(buf[0:], uint16(h.lastCount))
+		h.ntuples += int64(k)
+		i += k
+		if err := h.pool.Unpin(h.handle, pageNo, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AppendBatch appends every tuple of the batch; see AppendRows.
+func (h *Heap) AppendBatch(b *Batch) error {
+	if b.Arity != h.arity {
+		return fmt.Errorf("heap: AppendBatch of arity-%d batch to arity-%d heap", b.Arity, h.arity)
+	}
+	return h.AppendRows(b.Vals, b.Measures)
+}
+
+// prefetchAhead issues read-ahead for up to k pages past cur, tracking a
+// watermark in *mark so each page is requested at most once per scan.
+func (h *Heap) prefetchAhead(ctx context.Context, cur int64, k int, mark *int64, npages int64) {
+	if k <= 0 {
+		return
+	}
+	hi := cur + int64(k)
+	if hi > npages-1 {
+		hi = npages - 1
+	}
+	lo := cur + 1
+	if lo < *mark {
+		lo = *mark
+	}
+	for p := lo; p <= hi; p++ {
+		h.pool.Prefetch(ctx, h.handle, p)
+	}
+	if hi+1 > *mark {
+		*mark = hi + 1
+	}
+}
+
 // Iterator streams a heap's tuples in storage order.
 type Iterator struct {
-	h       *Heap
-	ctx     context.Context
-	pageNo  int64
-	buf     []byte
-	inPage  int
-	count   int
-	valBuf  []int32
-	done    bool
-	err     error
-	pinned  bool
-	npages  int64
-	started bool
+	h         *Heap
+	ctx       context.Context
+	pageNo    int64
+	buf       []byte
+	inPage    int
+	count     int
+	valBuf    []int32
+	done      bool
+	err       error
+	pinned    bool
+	npages    int64
+	started   bool
+	readAhead int
+	raMark    int64
 }
 
 // Scan returns an iterator over the heap. The iterator must be Closed.
@@ -227,6 +312,11 @@ func (h *Heap) Scan() *Iterator { return h.ScanContext(h.context()) }
 func (h *Heap) ScanContext(ctx context.Context) *Iterator {
 	return &Iterator{h: h, ctx: ctx, valBuf: make([]int32, h.arity), npages: h.disk.NumPages()}
 }
+
+// SetReadAhead declares the scan sequential: before pinning each page the
+// iterator asks the pool to prefetch up to k following pages (see
+// Pool.Prefetch). Zero (the default) disables read-ahead.
+func (it *Iterator) SetReadAhead(k int) { it.readAhead = k }
 
 // Next returns the next tuple, or ok=false at the end. The returned slice
 // is reused between calls; callers must copy values they retain.
@@ -244,6 +334,7 @@ func (it *Iterator) Next() (vals []int32, measure float64, ok bool) {
 				it.done = true
 				return nil, 0, false
 			}
+			it.h.prefetchAhead(it.ctx, it.pageNo, it.readAhead, &it.raMark, it.npages)
 			buf, err := it.h.pool.PinContext(it.ctx, it.h.handle, it.pageNo)
 			if err != nil {
 				it.err = err
@@ -291,6 +382,174 @@ func (it *Iterator) Close() error {
 			it.err = err
 		}
 	}
+	it.done = true
+	return it.err
+}
+
+// Batch is a block of decoded tuples in row-major layout: Vals holds
+// Len()*Arity int32 values (row i at Vals[i*Arity:(i+1)*Arity]) and
+// Measures holds one float64 per row. A batch is sized to a heap page —
+// the unit one pin and one decode loop produce — and its arrays are
+// plain Go slices so operators index them in tight loops with no
+// per-tuple interface calls.
+type Batch struct {
+	// Arity is the number of int32 values per row.
+	Arity int
+	// Vals holds the rows' values back to back, row-major.
+	Vals []int32
+	// Measures holds one semiring measure per row.
+	Measures []float64
+}
+
+// Len returns the number of rows in the batch.
+func (b *Batch) Len() int { return len(b.Measures) }
+
+// Row returns row i's values as a view into Vals. The view aliases the
+// batch's backing array: it is valid until the batch is Reset or
+// refilled by its producer.
+func (b *Batch) Row(i int) []int32 {
+	return b.Vals[i*b.Arity : (i+1)*b.Arity : (i+1)*b.Arity]
+}
+
+// Reset empties the batch and sets its arity, retaining capacity.
+func (b *Batch) Reset(arity int) {
+	b.Arity = arity
+	b.Vals = b.Vals[:0]
+	b.Measures = b.Measures[:0]
+}
+
+// Append adds one row to the batch.
+func (b *Batch) Append(vals []int32, measure float64) {
+	b.Vals = append(b.Vals, vals...)
+	b.Measures = append(b.Measures, measure)
+}
+
+// BatchIterator streams a heap's tuples in storage order, one page-sized
+// batch at a time: each Next pins one page, decodes every requested
+// tuple in a single loop, and unpins — no per-tuple pool round-trips and
+// no per-tuple allocation.
+type BatchIterator struct {
+	h         *Heap
+	ctx       context.Context
+	pageNo    int64
+	npages    int64
+	inPage    int // next slot to decode on the current page
+	count     int // tuples on the current page (0 until first decode)
+	size      int // max rows per batch; <=0 means whole pages
+	batch     Batch
+	started   bool
+	done      bool
+	err       error
+	readAhead int
+	raMark    int64
+}
+
+// ScanBatches returns a batch iterator over the heap. The iterator must
+// be Closed. Appending to the heap during a scan is not supported. Page
+// fetches observe the heap's context (see SetContext).
+func (h *Heap) ScanBatches() *BatchIterator { return h.ScanBatchesContext(h.context()) }
+
+// ScanBatchesContext is ScanBatches with per-scan cancellation: page
+// fetches observe ctx at every buffer-pool miss.
+func (h *Heap) ScanBatchesContext(ctx context.Context) *BatchIterator {
+	return &BatchIterator{h: h, ctx: ctx, npages: h.disk.NumPages()}
+}
+
+// SetBatchSize caps the rows per batch. Values <= 0 (the default) emit
+// whole pages — the natural decode unit; smaller values split a page
+// across several batches but never merge pages into one batch, so every
+// batch still costs exactly one pin.
+func (it *BatchIterator) SetBatchSize(n int) { it.size = n }
+
+// SetReadAhead declares the scan sequential: before pinning each page the
+// iterator asks the pool to prefetch up to k following pages (see
+// Pool.Prefetch). Zero (the default) disables read-ahead.
+func (it *BatchIterator) SetReadAhead(k int) { it.readAhead = k }
+
+// Next decodes and returns the next batch, or ok=false at the end. The
+// returned batch and its arrays are reused between calls: callers must
+// consume (or copy) a batch before requesting the next one.
+func (it *BatchIterator) Next() (b *Batch, ok bool) {
+	if it.done || it.err != nil {
+		return nil, false
+	}
+	for {
+		if it.inPage >= it.count {
+			// Current page exhausted (or first call): advance to the next page.
+			if it.started {
+				it.pageNo++
+			}
+			it.started = true
+			if it.pageNo >= it.npages {
+				it.done = true
+				return nil, false
+			}
+			it.inPage = 0
+			it.count = -1 // sentinel: count read under the pin below
+		}
+		it.h.prefetchAhead(it.ctx, it.pageNo, it.readAhead, &it.raMark, it.npages)
+		buf, err := it.h.pool.PinContext(it.ctx, it.h.handle, it.pageNo)
+		if err != nil {
+			it.err = err
+			it.done = true
+			return nil, false
+		}
+		if it.count < 0 {
+			it.count = int(binary.LittleEndian.Uint16(buf[0:]))
+		}
+		n := it.count - it.inPage
+		if it.size > 0 && n > it.size {
+			n = it.size
+		}
+		if n > 0 {
+			it.decode(buf, n)
+		}
+		if err := it.h.pool.Unpin(it.h.handle, it.pageNo, false); err != nil {
+			it.err = err
+			it.done = true
+			return nil, false
+		}
+		if n > 0 {
+			return &it.batch, true
+		}
+		// Empty page (possible only for an empty heap's zero pages): loop on.
+	}
+}
+
+// decode fills it.batch with n tuples starting at it.inPage from the
+// pinned page buffer, reusing the batch's backing arrays.
+func (it *BatchIterator) decode(buf []byte, n int) {
+	arity := it.h.arity
+	it.batch.Reset(arity)
+	if cap(it.batch.Vals) < n*arity {
+		it.batch.Vals = make([]int32, 0, it.h.perPage*arity)
+	}
+	if cap(it.batch.Measures) < n {
+		it.batch.Measures = make([]float64, 0, it.h.perPage)
+	}
+	vals := it.batch.Vals[:n*arity]
+	meas := it.batch.Measures[:n]
+	off := pageHeaderSize + it.inPage*it.h.tupleSize
+	vi := 0
+	for j := 0; j < n; j++ {
+		for c := 0; c < arity; c++ {
+			vals[vi] = int32(binary.LittleEndian.Uint32(buf[off+4*c:]))
+			vi++
+		}
+		meas[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off+4*arity:]))
+		off += it.h.tupleSize
+	}
+	it.batch.Vals = vals
+	it.batch.Measures = meas
+	it.inPage += n
+}
+
+// Err returns the first error encountered during iteration.
+func (it *BatchIterator) Err() error { return it.err }
+
+// Close ends the iteration. Batch iterators hold no pin between Next
+// calls, so Close only marks the iterator done and reports Err.
+func (it *BatchIterator) Close() error {
 	it.done = true
 	return it.err
 }
