@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all check build test test-race race bench bench-json experiments examples fmt vet clean docs-check
+.PHONY: all check build test test-race race bench bench-json chaos experiments examples fmt vet clean docs-check
 
 all: check
 
@@ -36,6 +36,12 @@ bench:
 # scan, Grace join, group-by) as machine-readable JSON in BENCH_PR4.json.
 bench-json:
 	$(GO) test -run=NONE -bench=Batch -benchtime=10x -benchmem ./internal/exec/ | $(GO) run ./cmd/benchjson > BENCH_PR4.json
+
+# Deterministic-seed chaos run: replay the optimizer/executor matrix
+# over fault-injecting disks and check the resilience contract (see
+# EXPERIMENTS.md, `chaos`). The fixed seed makes failures reproducible.
+chaos:
+	$(GO) run ./cmd/mpfbench -exp chaos -quick -seed 1
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

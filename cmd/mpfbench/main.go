@@ -35,6 +35,7 @@ func main() {
 	rcache := flag.Int64("result-cache", 0, "result cache byte budget for cache-aware experiments (0 = experiment default)")
 	batch := flag.Int("batch", 0, "executor batch width in tuples (0 = page-sized batches, 1 = tuple-at-a-time)")
 	readahead := flag.Int("readahead", 0, "buffer-pool read-ahead distance in pages for sequential scans (0 = off)")
+	faults := flag.Int64("faults", 0, "run under seeded transient fault injection with this seed (0 = off)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering the experiment runs to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	list := flag.Bool("list", false, "list experiment ids and exit")
@@ -59,7 +60,7 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, Quick: *quick, PoolFrames: *frames, Parallelism: *parallel, ResultCacheBytes: *rcache, BatchSize: *batch, ReadAhead: *readahead}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Quick: *quick, PoolFrames: *frames, Parallelism: *parallel, ResultCacheBytes: *rcache, BatchSize: *batch, ReadAhead: *readahead, FaultSeed: *faults}
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = experiments.IDs()

@@ -44,11 +44,12 @@ func main() {
 	rcache := flag.Int64("result-cache", 0, "shared subplan result cache byte budget (0 = disabled)")
 	batch := flag.Int("batch", 0, "executor batch width in tuples (0 = page-sized batches, 1 = tuple-at-a-time)")
 	readahead := flag.Int("readahead", 0, "buffer-pool read-ahead distance in pages for sequential scans (0 = off)")
+	ioRetries := flag.Int("io-retries", 0, "transient-fault IO retry bound (0 = default 3, negative = off)")
 	flag.BoolVar(&analyze, "analyze", false, "print per-operator actuals after each query")
 	flag.BoolVar(&showMetrics, "metrics", false, "print the engine metrics snapshot before exiting")
 	flag.Parse()
 
-	if err := run(*load, *scale, *density, *tables, *seed, *srName, *strategy, *script, *command, *frames, *parallel, *rcache, *batch, *readahead); err != nil {
+	if err := run(*load, *scale, *density, *tables, *seed, *srName, *strategy, *script, *command, *frames, *parallel, *rcache, *batch, *readahead, *ioRetries); err != nil {
 		fmt.Fprintln(os.Stderr, "mpfcli:", err)
 		os.Exit(1)
 	}
@@ -57,12 +58,12 @@ func main() {
 // showMetrics controls the exit-time engine metrics report (-metrics).
 var showMetrics bool
 
-func run(load string, scale, density float64, tables int, seed int64, srName, strategy, script, command string, frames, parallel int, rcache int64, batch, readahead int) error {
+func run(load string, scale, density float64, tables int, seed int64, srName, strategy, script, command string, frames, parallel int, rcache int64, batch, readahead, ioRetries int) error {
 	sr, err := semiring.ByName(srName)
 	if err != nil {
 		return err
 	}
-	cfg := core.Config{Semiring: sr, PoolFrames: frames, Parallelism: parallel, ResultCacheBytes: rcache, BatchSize: batch, ReadAhead: readahead}
+	cfg := core.Config{Semiring: sr, PoolFrames: frames, Parallelism: parallel, ResultCacheBytes: rcache, BatchSize: batch, ReadAhead: readahead, IORetries: ioRetries}
 	if strategy != "" {
 		o, err := opt.ByName(strategy)
 		if err != nil {
@@ -234,6 +235,8 @@ func meta(db *core.Database, cmd string) (quit bool) {
 	case "\\stats":
 		st := db.Pool().Stats()
 		fmt.Printf("buffer pool: %d reads, %d writes, %d hits, %d prefetched\n", st.Reads, st.Writes, st.Hits, st.Prefetches)
+		fmt.Printf("faults: %d retries, %d transient, %d permanent, %d checksum failures\n",
+			st.Retries, st.TransientFaults, st.PermanentFaults, st.ChecksumFailures)
 	case "\\metrics":
 		fmt.Print(db.Metrics().String())
 	case "\\profile":

@@ -64,6 +64,12 @@ type Config struct {
 	// IO counts reproduce the paper's cost model exactly (see
 	// exec.Engine.ReadAhead).
 	ReadAhead int
+	// IORetries bounds how many times the buffer pool re-attempts an IO
+	// operation that failed with a transient fault (storage.IsTransient),
+	// with capped exponential backoff between attempts. 0 (the default)
+	// selects 3 retries; negative disables retry. Permanent faults and
+	// checksum failures are never retried.
+	IORetries int
 }
 
 // Database is the engine facade. Concurrent read-only queries (Query,
@@ -107,7 +113,11 @@ func Open(cfg Config) (*Database, error) {
 	if cfg.Optimizer == nil {
 		cfg.Optimizer = opt.CSPlus{}
 	}
+	if cfg.IORetries == 0 {
+		cfg.IORetries = 3
+	}
 	pool := storage.NewPool(cfg.PoolFrames)
+	pool.SetRetry(cfg.IORetries, 0, 0)
 	var factory storage.DiskFactory
 	switch {
 	case cfg.DiskFactory != nil:
@@ -592,6 +602,7 @@ func (db *Database) execute(ctx context.Context, q *QuerySpec, p *plan.Node, opt
 		out.Exec = st
 		out.Trace = st.Trace
 		if err != nil {
+			db.invalidateCorrupt(err)
 			return out, wrapCancel(err)
 		}
 		out.Relation = rel
@@ -615,6 +626,29 @@ func (db *Database) execute(ctx context.Context, q *QuerySpec, p *plan.Node, opt
 		out.Exec.RowsOut = int64(out.Relation.Len())
 	}
 	return out, nil
+}
+
+// invalidateCorrupt drops result-cache entries built over a table whose
+// heap just read corrupt: a cached subplan computed before the damage
+// may hold the only healthy copy of the data, but serving it would hide
+// the corruption from readers who then trust the base table. The handle
+// carried by the *storage.CorruptPageError is mapped back to the base
+// table whose heap it identifies; corruption in a temp heap (no matching
+// table) invalidates nothing.
+func (db *Database) invalidateCorrupt(err error) {
+	if db.rcache == nil {
+		return
+	}
+	var cpe *storage.CorruptPageError
+	if !errors.As(err, &cpe) {
+		return
+	}
+	for name, t := range db.tables {
+		if t.Heap.Handle() == cpe.Handle {
+			db.rcache.InvalidateTable(name)
+			return
+		}
+	}
 }
 
 // filterHaving applies the constrained-range clause to a query result.

@@ -5,6 +5,7 @@ import (
 	"errors"
 
 	"mpf/internal/catalog"
+	"mpf/internal/storage"
 )
 
 // Sentinel errors returned from the Database API. All are matched with
@@ -31,6 +32,18 @@ var (
 	// also matches the underlying context.Canceled or
 	// context.DeadlineExceeded via errors.Is.
 	ErrCanceled = errors.New("query canceled")
+	// ErrIO reports a query ended by a storage fault that escaped retry
+	// (Config.IORetries). It is the storage sentinel, so the error carries
+	// a *storage.IOError or *storage.WritebackError with the failing
+	// operation, disk handle, and page. The query fails cleanly — temps
+	// dropped, no frames pinned — and the database keeps serving.
+	ErrIO = storage.ErrIO
+	// ErrCorrupt reports a query that read a page whose checksum did not
+	// match its contents. The corrupt bytes never reach query answers; the
+	// error carries a *storage.CorruptPageError with the disk handle and
+	// page, and any result-cache entries over the damaged table are
+	// invalidated.
+	ErrCorrupt = storage.ErrCorruptPage
 )
 
 // CancelError wraps the context error that ended a query. errors.Is

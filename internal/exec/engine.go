@@ -316,6 +316,21 @@ func clampStats(s storage.Stats) storage.Stats {
 	if s.Hits < 0 {
 		s.Hits = 0
 	}
+	if s.Prefetches < 0 {
+		s.Prefetches = 0
+	}
+	if s.Retries < 0 {
+		s.Retries = 0
+	}
+	if s.TransientFaults < 0 {
+		s.TransientFaults = 0
+	}
+	if s.PermanentFaults < 0 {
+		s.PermanentFaults = 0
+	}
+	if s.ChecksumFailures < 0 {
+		s.ChecksumFailures = 0
+	}
 	return s
 }
 

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
 	"strings"
 	"time"
 
@@ -22,6 +23,7 @@ import (
 	"mpf/internal/opt"
 	"mpf/internal/plan"
 	"mpf/internal/relation"
+	"mpf/internal/storage"
 )
 
 // Config parameterizes an experiment run.
@@ -52,6 +54,11 @@ type Config struct {
 	// pages applied to experiment sessions (0 = off). batch-exec overrides
 	// it per run.
 	ReadAhead int
+	// FaultSeed, when non-zero, backs every experiment session with a
+	// seeded storage.FaultDisk injecting transient read/write faults at 2%
+	// per op (mpfbench -faults). Results must be byte-identical to a
+	// fault-free run — the retry path absorbs every injected fault.
+	FaultSeed int64
 }
 
 func (c Config) scale() float64 {
@@ -141,6 +148,7 @@ func Registry() []struct {
 		{"parallel-exec", ParallelExec},
 		{"result-cache", ResultCacheExp},
 		{"batch-exec", BatchExec},
+		{"chaos", Chaos},
 	}
 }
 
@@ -176,13 +184,31 @@ type bench struct {
 type session struct {
 	db *core.Database
 	ds *gen.Dataset
+	// faults marks a session backed by fault-injecting disks (mpfbench
+	// -faults); close reports the pool's retry counters on stderr so a
+	// run shows its injected faults were absorbed, without perturbing
+	// the table output on stdout.
+	faults bool
 }
 
-// openDataset loads a dataset into a fresh engine-backed database with
-// the given buffer-pool size and the config's execution knobs
-// (parallelism, batch width, read-ahead distance).
-func openDataset(ds *gen.Dataset, cfg Config, frames int) (*session, error) {
-	db, err := core.Open(core.Config{PoolFrames: frames, Parallelism: cfg.Parallelism, BatchSize: cfg.BatchSize, ReadAhead: cfg.ReadAhead})
+// sessionConfig translates the experiment config into an engine config:
+// buffer-pool size plus the execution knobs every session shares
+// (parallelism, batch width, read-ahead distance, fault injection).
+func sessionConfig(cfg Config, frames int) core.Config {
+	ccfg := core.Config{PoolFrames: frames, Parallelism: cfg.Parallelism, BatchSize: cfg.BatchSize, ReadAhead: cfg.ReadAhead}
+	if cfg.FaultSeed != 0 {
+		ccfg.DiskFactory = storage.FaultDiskFactory(storage.MemDiskFactory(), storage.FaultPlan{
+			Seed:     cfg.FaultSeed,
+			ReadErr:  0.02,
+			WriteErr: 0.02,
+		})
+	}
+	return ccfg
+}
+
+// openSession loads a dataset into a database opened with ccfg.
+func openSession(ds *gen.Dataset, cfg Config, ccfg core.Config) (*session, error) {
+	db, err := core.Open(ccfg)
 	if err != nil {
 		return nil, err
 	}
@@ -196,10 +222,23 @@ func openDataset(ds *gen.Dataset, cfg Config, frames int) (*session, error) {
 		db.Close()
 		return nil, err
 	}
-	return &session{db: db, ds: ds}, nil
+	return &session{db: db, ds: ds, faults: cfg.FaultSeed != 0}, nil
 }
 
-func (s *session) close() { s.db.Close() }
+// openDataset loads a dataset into a fresh engine-backed database with
+// the given buffer-pool size and the config's execution knobs.
+func openDataset(ds *gen.Dataset, cfg Config, frames int) (*session, error) {
+	return openSession(ds, cfg, sessionConfig(cfg, frames))
+}
+
+func (s *session) close() {
+	if s.faults {
+		st := s.db.Pool().Stats()
+		fmt.Fprintf(os.Stderr, "faults: %d retries, %d transient, %d permanent, %d checksum failures\n",
+			st.Retries, st.TransientFaults, st.PermanentFaults, st.ChecksumFailures)
+	}
+	s.db.Close()
+}
 
 // run executes one query on the engine with the given optimizer.
 func (s *session) run(o opt.Optimizer, groupVars []string, where relation.Predicate) (bench, error) {

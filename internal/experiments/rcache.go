@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"mpf/internal/core"
 	"mpf/internal/gen"
 )
 
@@ -41,7 +40,7 @@ func ResultCacheExp(cfg Config) (*Table, error) {
 			"(cached aggregated joins are scanned instead of recomputed); disabled passes repeat identically",
 	}
 	for _, budgetBytes := range []int64{0, budget} {
-		sess, err := openCachedDataset(ds, frames, cfg.Parallelism, budgetBytes)
+		sess, err := openCachedDataset(ds, cfg, frames, budgetBytes)
 		if err != nil {
 			return nil, err
 		}
@@ -81,22 +80,8 @@ func ResultCacheExp(cfg Config) (*Table, error) {
 }
 
 // openCachedDataset is openDataset with a result-cache budget.
-func openCachedDataset(ds *gen.Dataset, frames, parallelism int, cacheBytes int64) (*session, error) {
-	db, err := core.Open(core.Config{
-		PoolFrames: frames, Parallelism: parallelism, ResultCacheBytes: cacheBytes,
-	})
-	if err != nil {
-		return nil, err
-	}
-	for _, r := range ds.Relations {
-		if err := db.CreateTable(r); err != nil {
-			db.Close()
-			return nil, err
-		}
-	}
-	if err := db.CreateView(ds.Name, ds.ViewTables); err != nil {
-		db.Close()
-		return nil, err
-	}
-	return &session{db: db, ds: ds}, nil
+func openCachedDataset(ds *gen.Dataset, cfg Config, frames int, cacheBytes int64) (*session, error) {
+	ccfg := sessionConfig(cfg, frames)
+	ccfg.ResultCacheBytes = cacheBytes
+	return openSession(ds, cfg, ccfg)
 }

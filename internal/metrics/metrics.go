@@ -211,6 +211,8 @@ func (s Snapshot) String() string {
 	fmt.Fprintf(&b, "exec wall: %v\n", s.ExecWall)
 	fmt.Fprintf(&b, "pool IO: %d reads, %d writes, %d hits, %d prefetched\n",
 		s.Pool.Reads, s.Pool.Writes, s.Pool.Hits, s.Pool.Prefetches)
+	fmt.Fprintf(&b, "pool faults: %d retries, %d transient, %d permanent, %d checksum failures\n",
+		s.Pool.Retries, s.Pool.TransientFaults, s.Pool.PermanentFaults, s.Pool.ChecksumFailures)
 	rc := s.ResultCache
 	if !rc.Enabled {
 		b.WriteString("result cache: disabled\n")

@@ -49,6 +49,18 @@ func renderAnalyze(st exec.RunStats) string {
 	if st.HotKeyFallbacks > 0 {
 		fmt.Fprintf(&b, " hot_key_fallbacks=%d", st.HotKeyFallbacks)
 	}
+	if st.IO.Retries > 0 {
+		fmt.Fprintf(&b, " io_retries=%d", st.IO.Retries)
+	}
+	if st.IO.TransientFaults > 0 {
+		fmt.Fprintf(&b, " transient_faults=%d", st.IO.TransientFaults)
+	}
+	if st.IO.PermanentFaults > 0 {
+		fmt.Fprintf(&b, " permanent_faults=%d", st.IO.PermanentFaults)
+	}
+	if st.IO.ChecksumFailures > 0 {
+		fmt.Fprintf(&b, " checksum_failures=%d", st.IO.ChecksumFailures)
+	}
 	b.WriteString("\n")
 	return b.String()
 }

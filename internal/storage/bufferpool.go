@@ -4,14 +4,32 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
-// Stats aggregates the physical IO performed through a buffer pool.
+// Stats aggregates the physical IO performed through a buffer pool,
+// together with the fault counters of its resilience machinery (retry,
+// checksum verification).
 type Stats struct {
 	Reads      int64 // pages fetched from a Disk (read-ahead included)
 	Writes     int64 // pages written back to a Disk
 	Hits       int64 // page requests satisfied from the pool
 	Prefetches int64 // pages fetched by the read-ahead path (subset of Reads)
+	// Retries counts IO re-attempts issued after transient faults
+	// (SetRetry); zero in a fault-free run.
+	Retries int64
+	// TransientFaults counts transient IO faults observed (injected by a
+	// FaultDisk or real errno-class faults), whether or not a retry
+	// ultimately succeeded.
+	TransientFaults int64
+	// PermanentFaults counts IO errors the pool propagated to callers:
+	// non-transient faults, and transient faults that exhausted their
+	// retries. Checksum failures are counted separately.
+	PermanentFaults int64
+	// ChecksumFailures counts page fills whose contents failed checksum
+	// verification (surfaced as *CorruptPageError, never retried).
+	ChecksumFailures int64
 }
 
 // IO returns total physical page transfers (reads + writes), the quantity
@@ -24,20 +42,28 @@ func (s Stats) IO() int64 { return s.Reads + s.Writes }
 // snapshotting before and after.
 func (s Stats) Sub(o Stats) Stats {
 	return Stats{
-		Reads:      s.Reads - o.Reads,
-		Writes:     s.Writes - o.Writes,
-		Hits:       s.Hits - o.Hits,
-		Prefetches: s.Prefetches - o.Prefetches,
+		Reads:            s.Reads - o.Reads,
+		Writes:           s.Writes - o.Writes,
+		Hits:             s.Hits - o.Hits,
+		Prefetches:       s.Prefetches - o.Prefetches,
+		Retries:          s.Retries - o.Retries,
+		TransientFaults:  s.TransientFaults - o.TransientFaults,
+		PermanentFaults:  s.PermanentFaults - o.PermanentFaults,
+		ChecksumFailures: s.ChecksumFailures - o.ChecksumFailures,
 	}
 }
 
 // Add returns s + o, useful for accumulating per-operator deltas.
 func (s Stats) Add(o Stats) Stats {
 	return Stats{
-		Reads:      s.Reads + o.Reads,
-		Writes:     s.Writes + o.Writes,
-		Hits:       s.Hits + o.Hits,
-		Prefetches: s.Prefetches + o.Prefetches,
+		Reads:            s.Reads + o.Reads,
+		Writes:           s.Writes + o.Writes,
+		Hits:             s.Hits + o.Hits,
+		Prefetches:       s.Prefetches + o.Prefetches,
+		Retries:          s.Retries + o.Retries,
+		TransientFaults:  s.TransientFaults + o.TransientFaults,
+		PermanentFaults:  s.PermanentFaults + o.PermanentFaults,
+		ChecksumFailures: s.ChecksumFailures + o.ChecksumFailures,
 	}
 }
 
@@ -78,6 +104,15 @@ type Pool struct {
 	// tracks them so unregister never races an in-flight prefetch pin.
 	prefetchSem chan struct{}
 	prefetchWG  sync.WaitGroup
+	// retries/backoffBase/backoffCap configure transient-fault retry
+	// (SetRetry); set before the pool is shared, never concurrently with
+	// page traffic.
+	retries     int
+	backoffBase time.Duration
+	backoffCap  time.Duration
+	// Fault counters live outside p.stats because the read path observes
+	// faults with the pool lock released; Stats() folds them in.
+	retryN, transientN, permanentN, checksumN atomic.Int64
 }
 
 // maxPrefetchers bounds the pool's concurrent read-ahead goroutines. The
@@ -143,8 +178,8 @@ func (p *Pool) unregister(h int64, discard bool) error {
 			return fmt.Errorf("bufferpool: disk %d page %d still pinned", h, f.key.no)
 		}
 		if f.dirty && !discard {
-			if err := d.WritePage(f.key.no, f.buf); err != nil {
-				return err
+			if err := p.diskWrite(context.Background(), d, f.key.no, f.buf); err != nil {
+				return &WritebackError{Handle: f.key.disk, Page: f.key.no, Err: err}
 			}
 			p.stats.Writes++
 		}
@@ -156,18 +191,171 @@ func (p *Pool) unregister(h int64, discard bool) error {
 	return nil
 }
 
-// Stats returns a snapshot of the pool's IO counters.
+// Stats returns a snapshot of the pool's IO counters, fault counters
+// included.
 func (p *Pool) Stats() Stats {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	s := p.stats
+	p.mu.Unlock()
+	s.Retries = p.retryN.Load()
+	s.TransientFaults = p.transientN.Load()
+	s.PermanentFaults = p.permanentN.Load()
+	s.ChecksumFailures = p.checksumN.Load()
+	return s
 }
 
 // ResetStats zeroes the IO counters.
 func (p *Pool) ResetStats() {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.stats = Stats{}
+	p.mu.Unlock()
+	p.retryN.Store(0)
+	p.transientN.Store(0)
+	p.permanentN.Store(0)
+	p.checksumN.Store(0)
+}
+
+// Default retry backoff: the first re-attempt waits retryBackoffBase,
+// doubling per attempt up to retryBackoffCap.
+const (
+	retryBackoffBase = 200 * time.Microsecond
+	retryBackoffCap  = 10 * time.Millisecond
+)
+
+// SetRetry configures transient-fault retry: an IO operation (page read,
+// dirty writeback, allocation) that fails with a transient fault (see
+// IsTransient) is re-attempted up to retries times with capped
+// exponential backoff, observing ctx cancellation between attempts.
+// Permanent faults and checksum failures are never retried. base and
+// max bound the backoff; zero values select the defaults (200µs base
+// doubling to a 10ms cap). retries <= 0 disables retry (the default).
+// Configure before sharing the pool; SetRetry is not synchronized with
+// page traffic.
+func (p *Pool) SetRetry(retries int, base, max time.Duration) {
+	if retries < 0 {
+		retries = 0
+	}
+	if base <= 0 {
+		base = retryBackoffBase
+	}
+	if max <= 0 {
+		max = retryBackoffCap
+	}
+	p.retries = retries
+	p.backoffBase = base
+	p.backoffCap = max
+}
+
+// backoff returns the capped exponential delay before retry attempt n.
+func (p *Pool) backoff(attempt int) time.Duration {
+	d := p.backoffBase
+	for i := 0; i < attempt && d < p.backoffCap; i++ {
+		d *= 2
+	}
+	if d > p.backoffCap {
+		d = p.backoffCap
+	}
+	return d
+}
+
+// sleepBackoff waits for d or until ctx is canceled, returning ctx's
+// error in the latter case.
+func sleepBackoff(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// diskRead fills buf from page no of disk d, retrying transient faults
+// per the pool's retry policy and verifying the page checksum on
+// success. Errors are typed: *IOError for faults that escaped retry,
+// *CorruptPageError for checksum mismatches, and ctx's error when
+// cancellation interrupts a backoff wait. Runs with the pool lock
+// released (the caller reserved a loading frame).
+func (p *Pool) diskRead(ctx context.Context, d Disk, h, no int64, buf []byte) error {
+	err := d.ReadPage(no, buf)
+	for attempt := 0; err != nil; attempt++ {
+		if !IsTransient(err) {
+			p.permanentN.Add(1)
+			return &IOError{Op: "read", Handle: h, Page: no, Err: err}
+		}
+		p.transientN.Add(1)
+		if attempt >= p.retries {
+			p.permanentN.Add(1)
+			return &IOError{Op: "read", Handle: h, Page: no, Err: err}
+		}
+		if serr := sleepBackoff(ctx, p.backoff(attempt)); serr != nil {
+			return serr
+		}
+		p.retryN.Add(1)
+		err = d.ReadPage(no, buf)
+	}
+	if !VerifyPage(buf) {
+		p.checksumN.Add(1)
+		return &CorruptPageError{Handle: h, Page: no}
+	}
+	return nil
+}
+
+// diskWrite seals the page trailer and writes the page back, retrying
+// transient faults per the pool's retry policy. The last disk error is
+// returned unwrapped; callers wrap it in *WritebackError with the
+// victim's identity. Writebacks run while the caller holds p.mu, so a
+// retry's backoff briefly stalls other pool clients — writeback faults
+// are rare and the backoff is capped, and releasing the lock around an
+// eviction write would let racing pins resurrect the half-evicted frame.
+func (p *Pool) diskWrite(ctx context.Context, d Disk, no int64, buf []byte) error {
+	SealPage(buf)
+	err := d.WritePage(no, buf)
+	for attempt := 0; err != nil; attempt++ {
+		if !IsTransient(err) {
+			p.permanentN.Add(1)
+			return err
+		}
+		p.transientN.Add(1)
+		if attempt >= p.retries {
+			p.permanentN.Add(1)
+			return err
+		}
+		if serr := sleepBackoff(ctx, p.backoff(attempt)); serr != nil {
+			return serr
+		}
+		p.retryN.Add(1)
+		err = d.WritePage(no, buf)
+	}
+	return nil
+}
+
+// diskAlloc grows the disk by one page, retrying transient faults per
+// the pool's retry policy. Faults that escape retry are wrapped in
+// *IOError (Page = -1: the page never existed).
+func (p *Pool) diskAlloc(ctx context.Context, d Disk, h int64) (int64, error) {
+	no, err := d.Allocate()
+	for attempt := 0; err != nil; attempt++ {
+		if !IsTransient(err) {
+			p.permanentN.Add(1)
+			return 0, &IOError{Op: "alloc", Handle: h, Page: -1, Err: err}
+		}
+		p.transientN.Add(1)
+		if attempt >= p.retries {
+			p.permanentN.Add(1)
+			return 0, &IOError{Op: "alloc", Handle: h, Page: -1, Err: err}
+		}
+		if serr := sleepBackoff(ctx, p.backoff(attempt)); serr != nil {
+			return 0, serr
+		}
+		p.retryN.Add(1)
+		no, err = d.Allocate()
+	}
+	return no, nil
 }
 
 // Size returns the number of frames.
@@ -196,8 +384,11 @@ func (p *Pool) Registered() int {
 }
 
 // victim finds a frame to reuse using the clock algorithm, writing it back
-// if dirty. Caller holds p.mu.
-func (p *Pool) victim() (int, error) {
+// if dirty. A writeback failure is returned as a *WritebackError naming
+// the VICTIM page (not the page the caller was pinning), and the victim
+// frame stays dirty and resident so its data is not lost — a later
+// eviction or FlushAll re-attempts the write. Caller holds p.mu.
+func (p *Pool) victim(ctx context.Context) (int, error) {
 	n := len(p.frames)
 	for spin := 0; spin < 2*n+1; spin++ {
 		f := &p.frames[p.hand]
@@ -218,8 +409,8 @@ func (p *Pool) victim() (int, error) {
 			if !ok {
 				return 0, fmt.Errorf("bufferpool: dirty page for unregistered disk %d", f.key.disk)
 			}
-			if err := d.WritePage(f.key.no, f.buf); err != nil {
-				return 0, err
+			if err := p.diskWrite(ctx, d, f.key.no, f.buf); err != nil {
+				return 0, &WritebackError{Handle: f.key.disk, Page: f.key.no, Err: err}
 			}
 			p.stats.Writes++
 			f.dirty = false
@@ -280,7 +471,7 @@ func (p *Pool) PinContext(ctx context.Context, h, no int64) ([]byte, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	idx, err := p.victim()
+	idx, err := p.victim(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -296,7 +487,7 @@ func (p *Pool) PinContext(ctx context.Context, h, no int64) ([]byte, error) {
 	p.table[k] = idx
 	p.stats.Reads++
 	p.mu.Unlock()
-	rerr := d.ReadPage(no, f.buf)
+	rerr := p.diskRead(ctx, d, h, no, f.buf)
 	p.mu.Lock()
 	f.loading = false
 	if rerr != nil {
@@ -357,7 +548,7 @@ func (p *Pool) prefetch(ctx context.Context, h, no int64) {
 		p.mu.Unlock()
 		return
 	}
-	idx, err := p.victim()
+	idx, err := p.victim(ctx)
 	if err != nil {
 		p.mu.Unlock()
 		return // pool full of pinned frames: skip, the scan will read it
@@ -374,7 +565,7 @@ func (p *Pool) prefetch(ctx context.Context, h, no int64) {
 	p.stats.Reads++
 	p.stats.Prefetches++
 	p.mu.Unlock()
-	rerr := d.ReadPage(no, f.buf)
+	rerr := p.diskRead(ctx, d, h, no, f.buf)
 	p.mu.Lock()
 	f.loading = false
 	f.pins--
@@ -409,14 +600,14 @@ func (p *Pool) NewPageContext(ctx context.Context, h int64) (int64, []byte, erro
 	if !ok {
 		return 0, nil, fmt.Errorf("bufferpool: NewPage on unregistered disk %d", h)
 	}
-	no, err := d.Allocate()
+	no, err := p.diskAlloc(ctx, d, h)
 	if err != nil {
 		return 0, nil, err
 	}
 
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	idx, err := p.victim()
+	idx, err := p.victim(ctx)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -469,8 +660,8 @@ func (p *Pool) FlushAll() error {
 		if !ok {
 			return fmt.Errorf("bufferpool: dirty page for unregistered disk %d", f.key.disk)
 		}
-		if err := d.WritePage(f.key.no, f.buf); err != nil {
-			return err
+		if err := p.diskWrite(context.Background(), d, f.key.no, f.buf); err != nil {
+			return &WritebackError{Handle: f.key.disk, Page: f.key.no, Err: err}
 		}
 		p.stats.Writes++
 		f.dirty = false

@@ -1,0 +1,91 @@
+package storage
+
+import (
+	"hash/crc32"
+	"math/rand"
+	"testing"
+)
+
+func TestSealVerifyRoundTrip(t *testing.T) {
+	buf := make([]byte, PageSize)
+	rng := rand.New(rand.NewSource(1))
+	for i := range buf[:PageDataSize] {
+		buf[i] = byte(rng.Intn(256))
+	}
+	SealPage(buf)
+	if !VerifyPage(buf) {
+		t.Fatal("sealed page fails verification")
+	}
+	if got := pageTrailer(buf); got != PageChecksum(buf) {
+		t.Fatalf("trailer %#x != checksum %#x", got, PageChecksum(buf))
+	}
+}
+
+// TestZeroPageVerifies pins the fresh-allocation exemption: an
+// entirely-zero page (never sealed) must verify, because Allocate hands
+// out zeroed pages that may be read back before any writeback seals
+// them.
+func TestZeroPageVerifies(t *testing.T) {
+	buf := make([]byte, PageSize)
+	if !VerifyPage(buf) {
+		t.Fatal("all-zero page must verify")
+	}
+}
+
+// TestZeroPayloadChecksumNonzero pins the fact that makes the zero-page
+// exemption safe: the CRC32-C of a zero payload is a constant with all
+// four trailer bytes nonzero, so a sealed zero page is never confused
+// with an unsealed one and a torn write that zeroes the trailer (but
+// not the payload tail) still fails verification.
+func TestZeroPayloadChecksumNonzero(t *testing.T) {
+	zero := make([]byte, PageDataSize)
+	sum := crc32.Checksum(zero, castagnoli)
+	if sum != 0xfc1c38a5 {
+		t.Fatalf("crc32c(zero payload) = %#x, want 0xfc1c38a5", sum)
+	}
+	for i := 0; i < 4; i++ {
+		if byte(sum>>(8*i)) == 0 {
+			t.Fatalf("trailer byte %d of zero-payload checksum is zero", i)
+		}
+	}
+}
+
+func TestTornPageDetected(t *testing.T) {
+	buf := make([]byte, PageSize)
+	for i := range buf[:PageDataSize] {
+		buf[i] = byte(i)
+	}
+	SealPage(buf)
+	// Zero the second half, trailer included — the torn-write shape
+	// FaultDisk injects.
+	for i := PageSize / 2; i < PageSize; i++ {
+		buf[i] = 0
+	}
+	if VerifyPage(buf) {
+		t.Fatal("torn page passed verification")
+	}
+}
+
+// FuzzPageChecksum drives the page-integrity contract: any sealed
+// payload verifies, and any single bit flipped afterwards — payload or
+// trailer — is detected.
+func FuzzPageChecksum(f *testing.F) {
+	f.Add([]byte("measure"), uint32(0))
+	f.Add([]byte{}, uint32(17))
+	f.Add([]byte{0xff, 0x00, 0xff}, uint32(PageSize*8-1))
+	f.Fuzz(func(t *testing.T, payload []byte, bit uint32) {
+		buf := make([]byte, PageSize)
+		copy(buf[:PageDataSize], payload)
+		SealPage(buf)
+		if !VerifyPage(buf) {
+			t.Fatal("sealed page fails verification")
+		}
+		bit %= PageSize * 8
+		buf[bit/8] ^= 1 << (bit % 8)
+		if VerifyPage(buf) {
+			// CRC32 detects every single-bit error; a pass here means the
+			// flip was silently absorbed.
+			t.Fatalf("single-bit flip at bit %d undetected", bit)
+		}
+	})
+}

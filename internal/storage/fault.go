@@ -1,0 +1,361 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Fault injection as a product feature. FaultDisk wraps any Disk with a
+// deterministic seeded schedule of injected faults — transient and
+// permanent errors, torn and bit-flipped pages, latency spikes — so
+// resilience tests and chaos experiments are reproducible from a seed.
+// The buffer pool's retry machinery (Pool.SetRetry) classifies injected
+// faults through IsTransient, exactly as it classifies real disk errors.
+
+// ErrInjected is the root cause of every fault a FaultDisk injects;
+// match it with errors.Is to tell injected faults from real ones.
+var ErrInjected = errors.New("injected disk fault")
+
+// TransientError marks an IO error that is expected to clear on retry —
+// the class a FaultDisk injects for its probabilistic read/write/alloc
+// faults, and the class the buffer pool retries with backoff. It wraps
+// the underlying cause (ErrInjected for injected faults).
+type TransientError struct {
+	// Op names the failed operation: "read", "write" or "alloc".
+	Op string
+	// Page is the page number the operation addressed (0 for alloc).
+	Page int64
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error describes the transient fault.
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("transient %s fault on page %d: %v", e.Op, e.Page, e.Err)
+}
+
+// Unwrap exposes the cause for errors.Is/As.
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// IsTransient reports whether err is a retryable IO fault: a
+// *TransientError (injected by a FaultDisk), or a real operating-system
+// error of a class that clears on retry for file IO — interrupted
+// syscall (EINTR), resource temporarily unavailable (EAGAIN), or IO
+// timeout (ETIMEDOUT). Everything else — including checksum failures —
+// is permanent and must propagate immediately.
+func IsTransient(err error) bool {
+	var te *TransientError
+	if errors.As(err, &te) {
+		return true
+	}
+	return errors.Is(err, syscall.EINTR) ||
+		errors.Is(err, syscall.EAGAIN) ||
+		errors.Is(err, syscall.ETIMEDOUT)
+}
+
+// ErrIO is the category sentinel for IO faults that escaped the buffer
+// pool's retry policy (permanent faults, and transient faults that
+// exhausted their retries). *IOError and *WritebackError match it via
+// errors.Is, as does mpf.ErrIO.
+var ErrIO = errors.New("storage: io fault")
+
+// IOError wraps a disk error that the buffer pool is propagating to its
+// caller: a read, write or allocation that failed permanently (or
+// exhausted its transient retries). It matches ErrIO via errors.Is.
+type IOError struct {
+	// Op names the failed operation: "read", "write" or "alloc".
+	Op string
+	// Handle identifies the pool-registered disk; Page the page number
+	// (0 for alloc).
+	Handle, Page int64
+	// Err is the underlying disk error.
+	Err error
+}
+
+// Error describes the failed operation.
+func (e *IOError) Error() string {
+	return fmt.Sprintf("storage: %s of page %d on disk %d failed: %v", e.Op, e.Page, e.Handle, e.Err)
+}
+
+// Unwrap exposes the disk error for errors.Is/As.
+func (e *IOError) Unwrap() error { return e.Err }
+
+// Is matches the ErrIO category sentinel.
+func (e *IOError) Is(target error) bool { return target == ErrIO }
+
+// WritebackError reports a dirty-page writeback failure during eviction,
+// flush, or unregister. It is distinct from *IOError so callers and
+// tests can tell writeback faults from read faults: the page named here
+// is the dirty victim, not the page the caller asked for — an innocent
+// Pin or NewPage can surface it. The victim frame is kept dirty and
+// resident, so the data is not lost and a later eviction retries the
+// writeback. Matches ErrIO via errors.Is.
+type WritebackError struct {
+	// Handle identifies the pool-registered disk owning the dirty page.
+	Handle int64
+	// Page is the dirty page whose writeback failed.
+	Page int64
+	// Err is the underlying disk error.
+	Err error
+}
+
+// Error describes the failed writeback.
+func (e *WritebackError) Error() string {
+	return fmt.Sprintf("storage: writeback of dirty page %d on disk %d failed: %v", e.Page, e.Handle, e.Err)
+}
+
+// Unwrap exposes the disk error for errors.Is/As.
+func (e *WritebackError) Unwrap() error { return e.Err }
+
+// Is matches the ErrIO category sentinel.
+func (e *WritebackError) Is(target error) bool { return target == ErrIO }
+
+// FaultPlan is a deterministic seeded schedule of injected faults. The
+// zero value injects nothing. Probabilities are per operation in [0,1];
+// draws come from a private generator seeded with Seed, so a serial
+// workload replays the identical fault schedule from the same seed
+// (concurrent workloads are reproducible up to operation interleaving).
+type FaultPlan struct {
+	// Seed seeds the schedule's random generator.
+	Seed int64
+	// ReadErr, WriteErr and AllocErr are per-operation probabilities of
+	// a transient error (a *TransientError, retried by the pool).
+	ReadErr, WriteErr, AllocErr float64
+	// PermReadErr and PermWriteErr are per-operation probabilities of a
+	// permanent error (never retried).
+	PermReadErr, PermWriteErr float64
+	// Corrupt is the per-read probability that the page is returned
+	// with a single random bit flipped (silent corruption — the disk
+	// reports success; the pool's checksum verification must catch it).
+	Corrupt float64
+	// Torn is the per-read probability that the page is returned torn:
+	// the second half zeroed, as if only the first half of a write
+	// reached the platter. Silent, like Corrupt.
+	Torn float64
+	// SlowProb is the per-operation probability of a latency spike of
+	// SlowDelay (a slow operation still succeeds).
+	SlowProb  float64
+	SlowDelay time.Duration
+	// FailReadOp and FailWriteOp are deterministic countdowns for
+	// targeted tests: when > 0, the n-th operation (1-based) and every
+	// one after it fails permanently. 0 disables.
+	FailReadOp, FailWriteOp int
+	// FailAlloc makes every Allocate fail permanently.
+	FailAlloc bool
+}
+
+// FaultStats counts the faults a FaultDisk has injected.
+type FaultStats struct {
+	// Reads and Writes count operations that reached the disk (faulted
+	// or not).
+	Reads, Writes int64
+	// TransientReads, TransientWrites and TransientAllocs count injected
+	// transient errors.
+	TransientReads, TransientWrites, TransientAllocs int64
+	// PermReads and PermWrites count injected permanent errors
+	// (probabilistic and countdown combined).
+	PermReads, PermWrites int64
+	// CorruptReads and TornReads count silently corrupted page returns.
+	CorruptReads, TornReads int64
+	// SlowOps counts injected latency spikes.
+	SlowOps int64
+}
+
+// Injected reports the total number of injected faults of every kind.
+func (s FaultStats) Injected() int64 {
+	return s.TransientReads + s.TransientWrites + s.TransientAllocs +
+		s.PermReads + s.PermWrites + s.CorruptReads + s.TornReads + s.SlowOps
+}
+
+// FaultDisk wraps a Disk with the deterministic fault schedule of a
+// FaultPlan. It is safe for concurrent use; the schedule's random draws
+// are serialized so a serial caller replays identically from a seed.
+type FaultDisk struct {
+	mu    sync.Mutex
+	d     Disk
+	plan  FaultPlan
+	rng   *rand.Rand
+	stats FaultStats
+}
+
+// NewFaultDisk wraps d with the given fault plan.
+func NewFaultDisk(d Disk, plan FaultPlan) *FaultDisk {
+	return &FaultDisk{d: d, plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+}
+
+// SetPlan replaces the fault schedule, keeping the accumulated stats and
+// operation counters. Chaos tests use it to heal a disk mid-run
+// (SetPlan(FaultPlan{})) and verify the engine recovers.
+func (d *FaultDisk) SetPlan(plan FaultPlan) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.plan = plan
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (d *FaultDisk) Stats() FaultStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// readFault is the schedule's decision for one read operation.
+type readFault struct {
+	err        error
+	corruptBit int64 // < 0: none; otherwise bit index into the page
+	torn       bool
+	slow       time.Duration
+}
+
+// decideRead draws one read's fate. The draw sequence is fixed —
+// permanent, transient, corrupt, torn, slow, in that order, one draw
+// each — so the schedule for operation n does not depend on which
+// probabilities are zero.
+func (d *FaultDisk) decideRead(no int64) readFault {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats.Reads++
+	f := readFault{corruptBit: -1}
+	pPerm, pTrans := d.rng.Float64(), d.rng.Float64()
+	pCorrupt, pTorn, pSlow := d.rng.Float64(), d.rng.Float64(), d.rng.Float64()
+	if d.plan.FailReadOp > 0 && d.stats.Reads >= int64(d.plan.FailReadOp) {
+		d.stats.PermReads++
+		f.err = fmt.Errorf("permanent read fault on page %d: %w", no, ErrInjected)
+		return f
+	}
+	if pPerm < d.plan.PermReadErr {
+		d.stats.PermReads++
+		f.err = fmt.Errorf("permanent read fault on page %d: %w", no, ErrInjected)
+		return f
+	}
+	if pTrans < d.plan.ReadErr {
+		d.stats.TransientReads++
+		f.err = &TransientError{Op: "read", Page: no, Err: ErrInjected}
+		return f
+	}
+	if pCorrupt < d.plan.Corrupt {
+		d.stats.CorruptReads++
+		f.corruptBit = int64(d.rng.Intn(PageSize * 8))
+	}
+	if pTorn < d.plan.Torn {
+		d.stats.TornReads++
+		f.torn = true
+	}
+	if pSlow < d.plan.SlowProb {
+		d.stats.SlowOps++
+		f.slow = d.plan.SlowDelay
+	}
+	return f
+}
+
+// ReadPage implements Disk, applying the schedule's read faults.
+func (d *FaultDisk) ReadPage(no int64, buf []byte) error {
+	f := d.decideRead(no)
+	if f.slow > 0 {
+		time.Sleep(f.slow)
+	}
+	if f.err != nil {
+		return f.err
+	}
+	if err := d.d.ReadPage(no, buf); err != nil {
+		return err
+	}
+	if f.corruptBit >= 0 {
+		buf[f.corruptBit/8] ^= 1 << (f.corruptBit % 8)
+	}
+	if f.torn {
+		tail := buf[PageSize/2 : PageSize]
+		for i := range tail {
+			tail[i] = 0
+		}
+	}
+	return nil
+}
+
+// decideWrite draws one write's fate (permanent, transient, slow — one
+// draw each, fixed order).
+func (d *FaultDisk) decideWrite(no int64) (err error, slow time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats.Writes++
+	pPerm, pTrans, pSlow := d.rng.Float64(), d.rng.Float64(), d.rng.Float64()
+	if d.plan.FailWriteOp > 0 && d.stats.Writes >= int64(d.plan.FailWriteOp) {
+		d.stats.PermWrites++
+		return fmt.Errorf("permanent write fault on page %d: %w", no, ErrInjected), 0
+	}
+	if pPerm < d.plan.PermWriteErr {
+		d.stats.PermWrites++
+		return fmt.Errorf("permanent write fault on page %d: %w", no, ErrInjected), 0
+	}
+	if pTrans < d.plan.WriteErr {
+		d.stats.TransientWrites++
+		return &TransientError{Op: "write", Page: no, Err: ErrInjected}, 0
+	}
+	if pSlow < d.plan.SlowProb {
+		d.stats.SlowOps++
+		slow = d.plan.SlowDelay
+	}
+	return nil, slow
+}
+
+// WritePage implements Disk, applying the schedule's write faults.
+func (d *FaultDisk) WritePage(no int64, buf []byte) error {
+	err, slow := d.decideWrite(no)
+	if slow > 0 {
+		time.Sleep(slow)
+	}
+	if err != nil {
+		return err
+	}
+	return d.d.WritePage(no, buf)
+}
+
+// Allocate implements Disk, applying the schedule's allocation faults.
+func (d *FaultDisk) Allocate() (int64, error) {
+	d.mu.Lock()
+	p := d.rng.Float64()
+	failAll, pErr := d.plan.FailAlloc, d.plan.AllocErr
+	if failAll {
+		d.mu.Unlock()
+		return 0, fmt.Errorf("permanent alloc fault: %w", ErrInjected)
+	}
+	if p < pErr {
+		d.stats.TransientAllocs++
+		d.mu.Unlock()
+		return 0, &TransientError{Op: "alloc", Err: ErrInjected}
+	}
+	d.mu.Unlock()
+	return d.d.Allocate()
+}
+
+// NumPages implements Disk.
+func (d *FaultDisk) NumPages() int64 { return d.d.NumPages() }
+
+// Close implements Disk.
+func (d *FaultDisk) Close() error { return d.d.Close() }
+
+// FaultDiskFactory wraps a disk factory so every disk it produces is a
+// FaultDisk following plan. Each produced disk gets an independent
+// deterministic schedule: the n-th disk is seeded with plan.Seed offset
+// by n, so temp heaps created in a fixed order replay identical faults
+// from the same seed.
+func FaultDiskFactory(inner DiskFactory, plan FaultPlan) DiskFactory {
+	var mu sync.Mutex
+	var seq int64
+	return func() (Disk, error) {
+		d, err := inner()
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		seq++
+		p := plan
+		p.Seed = plan.Seed*1000003 + seq
+		mu.Unlock()
+		return NewFaultDisk(d, p), nil
+	}
+}

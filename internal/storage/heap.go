@@ -52,9 +52,10 @@ func (h *Heap) context() context.Context {
 // tupleSize returns the byte width of a tuple with the given arity.
 func tupleSize(arity int) int { return 4*arity + 8 }
 
-// TuplesPerPage returns how many tuples of the given arity fit on a page.
+// TuplesPerPage returns how many tuples of the given arity fit on a
+// page's payload (the checksum trailer is off-limits to tuples).
 func TuplesPerPage(arity int) int {
-	return (PageSize - pageHeaderSize) / tupleSize(arity)
+	return (PageDataSize - pageHeaderSize) / tupleSize(arity)
 }
 
 // PagesFor returns the number of pages a heap with the given arity needs
@@ -150,6 +151,11 @@ func NewTempHeap(pool *Pool, factory DiskFactory, arity int) (*Heap, error) {
 
 // Arity returns the tuple arity.
 func (h *Heap) Arity() int { return h.arity }
+
+// Handle returns the heap's buffer-pool disk handle — the Handle carried
+// by the pool's typed IO errors, letting callers map a fault back to the
+// table whose heap it struck.
+func (h *Heap) Handle() int64 { return h.handle }
 
 // NumTuples returns the number of tuples in the heap.
 func (h *Heap) NumTuples() int64 { return h.ntuples }

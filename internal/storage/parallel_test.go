@@ -122,7 +122,7 @@ func TestConcurrentPinSamePage(t *testing.T) {
 // frame, leaves no read counted, and lets a later pin succeed.
 func TestConcurrentPinReadFaultRecovers(t *testing.T) {
 	pool := NewPool(2)
-	d := newFaultDisk(0, -1, false)
+	d := countdownFaultDisk(0, -1, false)
 	h := pool.Register(d)
 	no, _, err := pool.NewPage(h)
 	if err != nil {
@@ -137,14 +137,14 @@ func TestConcurrentPinReadFaultRecovers(t *testing.T) {
 		pool.Unpin(h, n2, false)
 	}
 	before := pool.Stats()
-	if _, err := pool.Pin(h, no); !errors.Is(err, errInjected) {
+	if _, err := pool.Pin(h, no); !errors.Is(err, ErrInjected) {
 		t.Fatalf("expected injected read fault, got %v", err)
 	}
 	if got := pool.Stats().Sub(before); got.Reads != 0 {
 		t.Fatalf("failed read left Reads=%d counted", got.Reads)
 	}
 	// Heal the disk; the page must now load normally.
-	d.failReads = -1
+	d.SetPlan(FaultPlan{})
 	buf, err := pool.Pin(h, no)
 	if err != nil {
 		t.Fatalf("pin after healed fault: %v", err)

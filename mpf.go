@@ -118,6 +118,13 @@ var (
 	// ErrCanceled reports a query ended by its context; the error also
 	// matches context.Canceled or context.DeadlineExceeded.
 	ErrCanceled = core.ErrCanceled
+	// ErrIO reports a query ended by a storage fault that escaped the
+	// pool's retry policy (Config.IORetries). The query fails cleanly and
+	// the database keeps serving.
+	ErrIO = core.ErrIO
+	// ErrCorrupt reports a query that hit a page whose checksum failed
+	// verification; corrupt bytes never reach query answers.
+	ErrCorrupt = core.ErrCorrupt
 )
 
 // Execution modes for QuerySpec.Exec.
