@@ -33,9 +33,12 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Snapshot the vectorized-executor microbenchmarks (tuple vs batch mode:
-# scan, Grace join, group-by) as machine-readable JSON in BENCH_PR4.json.
+# scan, Grace join, group-by) as machine-readable JSON in BENCH_PR4.json,
+# and the planning-latency microbenchmarks (CS+ search vs greedy vs a
+# warmed plan-cache probe) as BENCH_PR6.json.
 bench-json:
 	$(GO) test -run=NONE -bench=Batch -benchtime=10x -benchmem ./internal/exec/ | $(GO) run ./cmd/benchjson > BENCH_PR4.json
+	$(GO) test -run=NONE -bench=Planning -benchtime=100x -benchmem ./internal/core/ | $(GO) run ./cmd/benchjson > BENCH_PR6.json
 
 # Deterministic-seed chaos run: replay the optimizer/executor matrix
 # over fault-injecting disks and check the resilience contract (see

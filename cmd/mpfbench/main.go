@@ -36,6 +36,9 @@ func main() {
 	batch := flag.Int("batch", 0, "executor batch width in tuples (0 = page-sized batches, 1 = tuple-at-a-time)")
 	readahead := flag.Int("readahead", 0, "buffer-pool read-ahead distance in pages for sequential scans (0 = off)")
 	faults := flag.Int64("faults", 0, "run under seeded transient fault injection with this seed (0 = off)")
+	planner := flag.String("planner", "", "override the planning strategy for experiment sessions (empty = experiment default)")
+	planCache := flag.Int("plan-cache", 0, "plan cache capacity in entries for experiment sessions (0 = experiment default)")
+	planBudget := flag.Duration("plan-budget", 0, "planning-time budget before greedy fallback (0 = unlimited)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering the experiment runs to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	list := flag.Bool("list", false, "list experiment ids and exit")
@@ -60,7 +63,7 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, Quick: *quick, PoolFrames: *frames, Parallelism: *parallel, ResultCacheBytes: *rcache, BatchSize: *batch, ReadAhead: *readahead, FaultSeed: *faults}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Quick: *quick, PoolFrames: *frames, Parallelism: *parallel, ResultCacheBytes: *rcache, BatchSize: *batch, ReadAhead: *readahead, FaultSeed: *faults, Planner: *planner, PlanCacheEntries: *planCache, PlanBudget: *planBudget}
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = experiments.IDs()

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"mpf/internal/core"
 	"mpf/internal/gen"
@@ -45,11 +46,17 @@ func main() {
 	batch := flag.Int("batch", 0, "executor batch width in tuples (0 = page-sized batches, 1 = tuple-at-a-time)")
 	readahead := flag.Int("readahead", 0, "buffer-pool read-ahead distance in pages for sequential scans (0 = off)")
 	ioRetries := flag.Int("io-retries", 0, "transient-fault IO retry bound (0 = default 3, negative = off)")
+	planner := flag.String("planner", "", "default planner (alias of -strategy; takes precedence when both are set)")
+	planCache := flag.Int("plan-cache", 0, "plan cache capacity in entries (0 = disabled)")
+	planBudget := flag.Duration("plan-budget", 0, "planning-time budget before falling back to the greedy planner (0 = unlimited)")
 	flag.BoolVar(&analyze, "analyze", false, "print per-operator actuals after each query")
 	flag.BoolVar(&showMetrics, "metrics", false, "print the engine metrics snapshot before exiting")
 	flag.Parse()
 
-	if err := run(*load, *scale, *density, *tables, *seed, *srName, *strategy, *script, *command, *frames, *parallel, *rcache, *batch, *readahead, *ioRetries); err != nil {
+	if *planner != "" {
+		*strategy = *planner
+	}
+	if err := run(*load, *scale, *density, *tables, *seed, *srName, *strategy, *script, *command, *frames, *parallel, *rcache, *batch, *readahead, *ioRetries, *planCache, *planBudget); err != nil {
 		fmt.Fprintln(os.Stderr, "mpfcli:", err)
 		os.Exit(1)
 	}
@@ -58,12 +65,12 @@ func main() {
 // showMetrics controls the exit-time engine metrics report (-metrics).
 var showMetrics bool
 
-func run(load string, scale, density float64, tables int, seed int64, srName, strategy, script, command string, frames, parallel int, rcache int64, batch, readahead, ioRetries int) error {
+func run(load string, scale, density float64, tables int, seed int64, srName, strategy, script, command string, frames, parallel int, rcache int64, batch, readahead, ioRetries, planCache int, planBudget time.Duration) error {
 	sr, err := semiring.ByName(srName)
 	if err != nil {
 		return err
 	}
-	cfg := core.Config{Semiring: sr, PoolFrames: frames, Parallelism: parallel, ResultCacheBytes: rcache, BatchSize: batch, ReadAhead: readahead, IORetries: ioRetries}
+	cfg := core.Config{Semiring: sr, PoolFrames: frames, Parallelism: parallel, ResultCacheBytes: rcache, BatchSize: batch, ReadAhead: readahead, IORetries: ioRetries, PlanCacheEntries: planCache, PlanBudget: planBudget}
 	if strategy != "" {
 		o, err := opt.ByName(strategy)
 		if err != nil {
@@ -157,8 +164,15 @@ var analyze bool
 func printOutput(out *sqlx.Output) {
 	if out.Relation != nil {
 		fmt.Print(out.Relation.String())
-		fmt.Printf("(%s; optimize %v, execute %v, %d page IOs)\n",
-			out.Message, out.Optimize, out.Exec.Wall, out.Exec.IO.IO())
+		planned := ""
+		if out.Exec.Planner != "" {
+			planned = "; planner " + out.Exec.Planner
+			if out.Exec.PlanCacheHit {
+				planned += " (plan cache hit)"
+			}
+		}
+		fmt.Printf("(%s; optimize %v, execute %v, %d page IOs%s)\n",
+			out.Message, out.Optimize, out.Exec.Wall, out.Exec.IO.IO(), planned)
 		if analyze && len(out.Exec.Ops) > 0 {
 			fmt.Println("operator actuals (bottom-up, self time):")
 			for _, op := range out.Exec.Ops {

@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"mpf/internal/catalog"
@@ -70,14 +71,32 @@ type Config struct {
 	// selects 3 retries; negative disables retry. Permanent faults and
 	// checksum failures are never retried.
 	IORetries int
+	// PlanCacheEntries, when positive, enables the engine-level plan cache
+	// with this many LRU slots: finished plans are cached under a canonical
+	// query fingerprint embedding the semiring, optimizer, and base-table
+	// versions, so a repeated query skips the optimizer entirely and any
+	// base-table write retires the stale plans. Zero (the default) disables
+	// the cache, re-planning every query. Hypothetical queries are never
+	// cached.
+	PlanCacheEntries int
+	// PlanBudget, when positive, bounds planning wall time: the selected
+	// optimizer (the database default or a per-query override) runs under
+	// this budget, and when it exceeds it the statistics-free greedy
+	// planner's plan is used instead (opt.Budgeted). RunStats.Planner
+	// reports which planner actually produced each query's plan. Zero (the
+	// default) leaves planning unbounded.
+	PlanBudget time.Duration
 }
 
 // Database is the engine facade. Concurrent read-only queries (Query,
 // Explain, QueryCached against an existing cache) are safe: the buffer
-// pool and catalog are internally synchronized and planning is pure.
-// Writes — CreateTable, CreateIndex, CreateView, Insert, Delete,
-// Materialize, BuildCache, Save — require external serialization with
-// respect to each other and to readers.
+// pool, catalog, table versions, and the result and plan caches are
+// internally synchronized and planning is pure. Writes — CreateTable,
+// CreateIndex, CreateView, Insert, Delete, Materialize, BuildCache,
+// Save — require external serialization with respect to each other and
+// to readers of the written tables; planning-only work (Explain, plan
+// cache probes, Metrics) is safe concurrently with writes, since the
+// state it reads is the synchronized subset.
 type Database struct {
 	cfg     Config
 	pool    *storage.Pool
@@ -89,12 +108,17 @@ type Database struct {
 	caches  map[string]*infer.Cache
 	metrics *metrics.Registry
 	rcache  *exec.ResultCache
+	pcache  *planCache
 	// versions assigns each base table a value from verSeq, bumped on
-	// every write; plan fingerprints embed them, so a write lazily
-	// invalidates every cached subplan that read the old contents (the
-	// old fingerprints can never be probed again). verSeq is global, not
-	// per-table, so dropping and recreating a table never reuses a
-	// version.
+	// every write; plan and query fingerprints embed them, so a write
+	// lazily invalidates every cached subplan and plan that read the old
+	// contents (the old fingerprints can never be probed again). verSeq is
+	// global, not per-table, so dropping and recreating a table never
+	// reuses a version. verMu makes version reads (fingerprinting, plan
+	// cache probes) safe while a writer bumps versions, so planning may
+	// run concurrently with writes even though execution against written
+	// tables may not.
+	verMu    sync.RWMutex
 	versions map[string]int64
 	verSeq   int64
 }
@@ -145,6 +169,9 @@ func Open(cfg Config) (*Database, error) {
 	}
 	if cfg.ResultCacheBytes > 0 {
 		db.rcache = exec.NewResultCache(cfg.ResultCacheBytes)
+	}
+	if cfg.PlanCacheEntries > 0 {
+		db.pcache = newPlanCache(cfg.PlanCacheEntries)
 	}
 	return db, nil
 }
@@ -197,6 +224,9 @@ func (db *Database) Metrics() metrics.Snapshot {
 			IOSavedPages:  cs.IOSavedPages,
 		}
 	}
+	if db.pcache != nil {
+		s.PlanCache = db.pcache.snapshot()
+	}
 	return s
 }
 
@@ -209,14 +239,18 @@ func (db *Database) ResultCache() *exec.ResultCache { return db.rcache }
 // version-bearing plan fingerprints (and therefore result-cache keys)
 // stale the moment a table changes.
 func (db *Database) bumpVersion(table string) {
+	db.verMu.Lock()
 	db.verSeq++
 	db.versions[table] = db.verSeq
+	db.verMu.Unlock()
 }
 
 // tableVersion reports the current version of a base table; ok=false for
 // unknown names, which plan.Fingerprints treats as uncacheable.
 func (db *Database) tableVersion(name string) (int64, bool) {
+	db.verMu.RLock()
 	v, ok := db.versions[name]
+	db.verMu.RUnlock()
 	return v, ok
 }
 
@@ -373,6 +407,13 @@ type QuerySpec struct {
 
 // Result is a query's answer with its plan and measurements.
 type Result struct {
+	// Relation is the answer as a set of (assignment, measure) rows. Row
+	// order is unspecified: a result-cache splice replays a cached
+	// materialization whose producing subtree may have been shaped
+	// differently (commutative join children are canonically reordered by
+	// fingerprinting), so cached and uncached runs of the same query agree
+	// only up to set equality (relation.Equal). Callers needing a
+	// deterministic order must call Relation.Sort.
 	Relation *relation.Relation
 	Plan     *plan.Node
 	Optimize time.Duration
@@ -476,32 +517,89 @@ func (db *Database) Explain(q *QuerySpec) (*plan.Node, time.Duration, error) {
 
 // ExplainContext is Explain with cancellation: ctx is observed at the
 // planning phase boundaries. A canceled explain returns an error
-// matching both ErrCanceled and ctx's error.
+// matching both ErrCanceled and ctx's error. With a plan cache enabled,
+// an explain probes (and on miss populates) the cache exactly like a
+// query, and the returned duration is the probe time on a hit.
 func (db *Database) ExplainContext(ctx context.Context, q *QuerySpec) (*plan.Node, time.Duration, error) {
-	if err := validateExec(q); err != nil {
+	info, err := db.plan(ctx, q)
+	if err != nil {
 		return nil, 0, err
+	}
+	return info.p, info.optimize, nil
+}
+
+// planInfo is the outcome of the planning phase: the plan, the report
+// name of the planner that produced it, the planning (or cache-probe)
+// wall time, and whether the plan came from the plan cache.
+type planInfo struct {
+	p        *plan.Node
+	planner  string
+	optimize time.Duration
+	cacheHit bool
+}
+
+// plan turns a spec into an executable plan: validate, probe the plan
+// cache (pure queries only — hypothetical replacements are query-private
+// and never cached), and on a miss run the configured optimizer under the
+// planning budget and adopt the winner. Planning time is recorded in the
+// engine metrics per planner kind, with cache-probe time on hits under
+// the synthetic "plan-cache" kind.
+func (db *Database) plan(ctx context.Context, q *QuerySpec) (planInfo, error) {
+	if err := validateExec(q); err != nil {
+		return planInfo{}, err
 	}
 	oq, err := db.optQuery(q)
 	if err != nil {
-		return nil, 0, err
+		return planInfo{}, err
 	}
 	if err := db.validateHypothetical(q, oq.Tables); err != nil {
-		return nil, 0, err
-	}
-	cat, err := db.planCatalog(q, oq.Tables)
-	if err != nil {
-		return nil, 0, err
+		return planInfo{}, err
 	}
 	o := q.Optimizer
 	if o == nil {
 		o = db.cfg.Optimizer
 	}
+	if db.cfg.PlanBudget > 0 {
+		if _, budgeted := o.(opt.Budgeted); !budgeted {
+			o = opt.Budgeted{Primary: o, Budget: db.cfg.PlanBudget}
+		}
+	}
+
+	// The cache key extends the query fingerprint with the optimizer's
+	// report name: a per-query `using <strategy>` override must not be
+	// answered with another strategy's plan (plan quality is part of what
+	// the caller selected, even though any cached plan would be correct).
+	start := time.Now()
+	var key string
+	if db.pcache != nil && len(q.Hypothetical) == 0 {
+		fp, ok := plan.QueryFingerprint(plan.FingerprintEnv{
+			Semiring:     db.cfg.Semiring.Name(),
+			TableVersion: db.tableVersion,
+		}, oq.Tables, oq.GroupVars, oq.Pred)
+		if ok {
+			key = o.Name() + "|" + fp
+			if p, planner, hit := db.pcache.lookup(key); hit {
+				probe := time.Since(start)
+				db.metrics.PlanSample("plan-cache", probe)
+				return planInfo{p: p, planner: planner, optimize: probe, cacheHit: true}, nil
+			}
+		}
+	}
+
+	cat, err := db.planCatalog(q, oq.Tables)
+	if err != nil {
+		return planInfo{}, err
+	}
 	b := plan.NewBuilder(cat, db.cfg.CostModel)
 	res, err := opt.RunContext(ctx, o, oq, b)
 	if err != nil {
-		return nil, 0, wrapCancel(err)
+		return planInfo{}, wrapCancel(err)
 	}
-	return res.Plan, res.Optimize, nil
+	db.metrics.PlanSample(res.Planner, res.Optimize)
+	if key != "" {
+		db.pcache.insert(key, res.Plan, res.Planner, oq.Tables)
+	}
+	return planInfo{p: res.Plan, planner: res.Planner, optimize: res.Optimize}, nil
 }
 
 // Query optimizes and executes an MPF query.
@@ -517,12 +615,12 @@ func (db *Database) Query(q *QuerySpec) (*Result, error) {
 // query — finished, failed, or canceled — is recorded in the engine
 // metrics (Metrics).
 func (db *Database) QueryContext(ctx context.Context, q *QuerySpec) (*Result, error) {
-	p, optTime, err := db.ExplainContext(ctx, q)
+	info, err := db.plan(ctx, q)
 	if err != nil {
 		return nil, err
 	}
 	db.metrics.QueryStarted()
-	out, err := db.execute(ctx, q, p, optTime)
+	out, err := db.execute(ctx, q, info)
 	db.metrics.QueryFinished(querySample(out, err))
 	return out, err
 }
@@ -556,8 +654,11 @@ func errorsIsCanceled(err error) bool {
 // execute runs an optimized plan in the spec's execution mode. It always
 // returns a non-nil Result carrying whatever stats were gathered, even
 // on error, so callers (and the metrics registry) see partial work.
-func (db *Database) execute(ctx context.Context, q *QuerySpec, p *plan.Node, optTime time.Duration) (*Result, error) {
-	out := &Result{Plan: p, Optimize: optTime}
+func (db *Database) execute(ctx context.Context, q *QuerySpec, info planInfo) (*Result, error) {
+	p := info.p
+	out := &Result{Plan: p, Optimize: info.optimize}
+	out.Exec.Planner = info.planner
+	out.Exec.PlanCacheHit = info.cacheHit
 	switch q.Exec {
 	case EngineExec:
 		// Hypothetical replacements are loaded into temporary storage for
@@ -600,6 +701,8 @@ func (db *Database) execute(ctx context.Context, q *QuerySpec, p *plan.Node, opt
 			return t, nil
 		}, rc, fps)
 		out.Exec = st
+		out.Exec.Planner = info.planner
+		out.Exec.PlanCacheHit = info.cacheHit
 		out.Trace = st.Trace
 		if err != nil {
 			db.invalidateCorrupt(err)

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+
+	"mpf/internal/metrics"
+	"mpf/internal/plan"
+)
+
+// planCache is the engine-level plan cache: an LRU from canonical query
+// fingerprints (plan.QueryFingerprint prefixed with the optimizer's report
+// name) to finished plans. Plans are immutable after optimization, so a
+// cached *plan.Node is shared as-is between queries without copying.
+//
+// Invalidation is belt and braces. Lazily, keys embed base-table versions
+// from the database's monotone version sequence, so a write makes every
+// stale key unreachable — a reprobe after the write computes a new key and
+// misses. Eagerly, invalidateTable removes entries depending on a written
+// table so they stop occupying LRU capacity (versions never repeat, so an
+// invalidated entry could never be hit again anyway).
+type planCache struct {
+	mu      sync.Mutex
+	cap     int
+	lru     *list.List // front = most recently used; values are *planEntry
+	entries map[string]*list.Element
+
+	hits, misses, inserts, evictions, invalidations int64
+}
+
+// planEntry is one cached plan with the metadata needed for eager
+// invalidation and for reporting without re-planning.
+type planEntry struct {
+	key     string
+	p       *plan.Node
+	planner string // report name of the planner that produced p
+	tables  []string
+}
+
+// newPlanCache returns a plan cache bounded to n entries (n ≥ 1).
+func newPlanCache(n int) *planCache {
+	return &planCache{cap: n, lru: list.New(), entries: make(map[string]*list.Element)}
+}
+
+// lookup probes the cache, promoting a hit to most-recently-used.
+func (c *planCache) lookup(key string) (*plan.Node, string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, "", false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	e := el.Value.(*planEntry)
+	return e.p, e.planner, true
+}
+
+// insert adopts a freshly optimized plan, evicting the least recently
+// used entry beyond capacity. Re-inserting an existing key refreshes it.
+func (c *planCache) insert(key string, p *plan.Node, planner string, tables []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		el.Value = &planEntry{key: key, p: p, planner: planner, tables: tables}
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&planEntry{key: key, p: p, planner: planner, tables: tables})
+	c.inserts++
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.entries, back.Value.(*planEntry).key)
+		c.evictions++
+	}
+}
+
+// invalidateTable removes every entry whose plan reads the table.
+func (c *planCache) invalidateTable(table string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.lru.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*planEntry)
+		for _, t := range e.tables {
+			if t == table {
+				c.lru.Remove(el)
+				delete(c.entries, e.key)
+				c.invalidations++
+				break
+			}
+		}
+		el = next
+	}
+}
+
+// snapshot reports the cache state and counters for Database.Metrics.
+func (c *planCache) snapshot() metrics.PlanCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return metrics.PlanCacheStats{
+		Enabled:       true,
+		Entries:       int64(c.lru.Len()),
+		Capacity:      int64(c.cap),
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Inserts:       c.inserts,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
+	}
+}

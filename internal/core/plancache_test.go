@@ -1,0 +1,193 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"mpf/internal/opt"
+	"mpf/internal/plan"
+	"mpf/internal/relation"
+)
+
+func TestPlanCacheHitMissAndInvalidation(t *testing.T) {
+	db, ds := openSupplyChain(t, Config{PlanCacheEntries: 8})
+	_ = ds
+
+	spec := &QuerySpec{View: "invest", GroupVars: []string{"wid"}}
+	r1, err := db.Query(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Exec.PlanCacheHit {
+		t.Fatal("first query should miss the plan cache")
+	}
+	if r1.Exec.Planner != (opt.CSPlus{}).Name() {
+		t.Fatalf("planner = %q, want default %q", r1.Exec.Planner, (opt.CSPlus{}).Name())
+	}
+	r2, err := db.Query(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Exec.PlanCacheHit {
+		t.Fatal("repeated query should hit the plan cache")
+	}
+	if r2.Exec.Planner != r1.Exec.Planner {
+		t.Fatalf("cached plan should report original planner, got %q", r2.Exec.Planner)
+	}
+	if r2.Plan.String() != r1.Plan.String() {
+		t.Fatal("cached plan differs from original plan")
+	}
+	if !relation.Equal(r2.Relation, r1.Relation, 0, 1e-9) {
+		t.Fatal("cached-plan answer differs")
+	}
+
+	// A different strategy gets its own entry, never the cached CS+ plan.
+	veSpec := &QuerySpec{View: "invest", GroupVars: []string{"wid"}, Optimizer: opt.VE{Heuristic: opt.Degree}}
+	rv, err := db.Query(veSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rv.Exec.PlanCacheHit {
+		t.Fatal("different optimizer must not alias the cached entry")
+	}
+
+	// A write to a base table retires the plan; the next query re-plans.
+	victim := ds.Relations[0]
+	if removed, err := db.Delete(victim.Name(), victim.Row(0)); err != nil || !removed {
+		t.Fatalf("delete from %s: removed=%v err=%v", victim.Name(), removed, err)
+	}
+	r3, err := db.Query(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Exec.PlanCacheHit {
+		t.Fatal("query after base-table write must re-plan")
+	}
+
+	m := db.Metrics()
+	if !m.PlanCache.Enabled {
+		t.Fatal("plan cache should report enabled")
+	}
+	if m.PlanCache.Hits != 1 || m.PlanCache.Misses < 3 {
+		t.Fatalf("plan cache counters: hits=%d misses=%d", m.PlanCache.Hits, m.PlanCache.Misses)
+	}
+	if m.PlanCache.Invalidations == 0 {
+		t.Fatal("write should eagerly invalidate the cached plan")
+	}
+	if m.Planning["plan-cache"].Count != 1 {
+		t.Fatalf("planning metrics should count the cache hit, got %+v", m.Planning)
+	}
+	if m.Planning[(opt.CSPlus{}).Name()].Count == 0 {
+		t.Fatal("planning metrics should count optimizer runs per kind")
+	}
+}
+
+func TestPlanCacheSkipsHypotheticalQueries(t *testing.T) {
+	db, ds := openSupplyChain(t, Config{PlanCacheEntries: 8})
+	hyp := ds.Relations[0].Clone()
+	hyp.SetMeasure(0, hyp.Measure(0)+1)
+	spec := &QuerySpec{
+		View:         "invest",
+		GroupVars:    []string{"wid"},
+		Hypothetical: map[string]*relation.Relation{ds.Relations[0].Name(): hyp},
+	}
+	for i := 0; i < 2; i++ {
+		res, err := db.Query(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Exec.PlanCacheHit {
+			t.Fatal("hypothetical queries must never hit the plan cache")
+		}
+	}
+	if m := db.Metrics(); m.PlanCache.Hits != 0 || m.PlanCache.Inserts != 0 {
+		t.Fatalf("hypothetical queries must not touch the cache: %+v", m.PlanCache)
+	}
+}
+
+func TestPlanBudgetFallsBackToGreedy(t *testing.T) {
+	db, _ := openSupplyChain(t, Config{
+		Optimizer:  sleepyOptimizer{delay: 250 * time.Millisecond, inner: opt.CSPlus{}},
+		PlanBudget: time.Millisecond,
+	})
+	res, err := db.Query(&QuerySpec{View: "invest", GroupVars: []string{"wid"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exec.Planner != "greedy" {
+		t.Fatalf("budget-expired query should report greedy, got %q", res.Exec.Planner)
+	}
+	if m := db.Metrics(); m.Planning["greedy"].Count == 0 {
+		t.Fatal("greedy planning time should be accounted per kind")
+	}
+}
+
+// TestPlanCacheConcurrentWithWrites drives concurrent planning against
+// the plan cache while a writer bumps table versions — the contract the
+// Database doc commits to (planning-only work is safe during writes).
+// Run with -race to check the synchronization, not just the results.
+func TestPlanCacheConcurrentWithWrites(t *testing.T) {
+	db, ds := openSupplyChain(t, Config{PlanCacheEntries: 4})
+	vars := []string{"wid", "cid", "tid", "pid", "sid"}
+
+	const workers = 6
+	const rounds = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*rounds+rounds)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				spec := &QuerySpec{View: "invest", GroupVars: []string{vars[(w+i)%len(vars)]}}
+				if _, _, err := db.ExplainContext(context.Background(), spec); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	// The writer deletes and re-inserts rows of one base table, bumping
+	// its version every time and invalidating cached plans mid-probe.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		table := ds.Relations[0].Name()
+		for i := 0; i < rounds; i++ {
+			row := append([]int32(nil), ds.Relations[0].Row(i%ds.Relations[0].Len())...)
+			m := ds.Relations[0].Measure(i % ds.Relations[0].Len())
+			if _, err := db.Delete(table, row); err != nil {
+				errs <- err
+				return
+			}
+			if err := db.Insert(table, row, m); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if m := db.Metrics(); m.PlanCache.Misses == 0 {
+		t.Fatal("expected plan-cache traffic")
+	}
+}
+
+// sleepyOptimizer delays before planning, to force budget expiry.
+type sleepyOptimizer struct {
+	delay time.Duration
+	inner opt.Optimizer
+}
+
+func (s sleepyOptimizer) Name() string { return "sleepy(" + s.inner.Name() + ")" }
+
+func (s sleepyOptimizer) Optimize(q *opt.Query, b *plan.Builder) (*plan.Node, error) {
+	time.Sleep(s.delay)
+	return s.inner.Optimize(q, b)
+}

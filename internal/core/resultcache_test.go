@@ -54,6 +54,49 @@ func TestResultCacheRepeatQueryHits(t *testing.T) {
 	}
 }
 
+// TestResultCacheRowOrderContract pins the documented splice order
+// contract (Result.Relation, exec.ResultCache): a warm run answered
+// through cached materializations must be set-equal to the cold answer,
+// and after Relation.Sort the two must match row for row — order inside
+// a run is otherwise unspecified.
+func TestResultCacheRowOrderContract(t *testing.T) {
+	db, _ := openSupplyChain(t, Config{ResultCacheBytes: 8 << 20})
+	spec := &QuerySpec{View: "invest", GroupVars: []string{"wid", "cid"}}
+
+	cold, err := db.Query(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := db.Query(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Exec.CacheHits == 0 {
+		t.Fatal("warm run did not splice from the result cache")
+	}
+	if !relation.Equal(cold.Relation, warm.Relation, 0, 1e-9) {
+		t.Fatal("cached answer is not set-equal to the cold answer")
+	}
+
+	// The committed order contract: sorting yields identical row sequences.
+	cold.Relation.Sort()
+	warm.Relation.Sort()
+	if cold.Relation.Len() != warm.Relation.Len() {
+		t.Fatalf("row counts diverge: %d vs %d", cold.Relation.Len(), warm.Relation.Len())
+	}
+	for i := 0; i < cold.Relation.Len(); i++ {
+		cr, wr := cold.Relation.Row(i), warm.Relation.Row(i)
+		for c := range cr {
+			if cr[c] != wr[c] {
+				t.Fatalf("row %d diverges after Sort: %v vs %v", i, cr, wr)
+			}
+		}
+		if cm, wm := cold.Relation.Measure(i), warm.Relation.Measure(i); cm != wm {
+			t.Fatalf("row %d measure diverges after Sort: %v vs %v", i, cm, wm)
+		}
+	}
+}
+
 func TestResultCacheDisabledByDefault(t *testing.T) {
 	db, _ := openSupplyChain(t, Config{})
 	spec := &QuerySpec{View: "invest", GroupVars: []string{"cid"}}

@@ -132,9 +132,14 @@ func (db *Database) DropTable(table string) error {
 	}
 	delete(db.tables, table)
 	delete(db.rels, table)
+	db.verMu.Lock()
 	delete(db.versions, table)
+	db.verMu.Unlock()
 	if db.rcache != nil {
 		db.rcache.InvalidateTable(table)
+	}
+	if db.pcache != nil {
+		db.pcache.invalidateTable(table)
 	}
 	db.cat.DropTable(table)
 	return nil
@@ -151,13 +156,16 @@ func (db *Database) DropView(view string) error {
 }
 
 // afterWrite refreshes statistics, bumps the table's version (lazily
-// invalidating result-cache entries through their fingerprints, and
-// eagerly through InvalidateTable), and invalidates workload caches of
-// views that reference the table.
+// invalidating result-cache and plan-cache entries through their
+// fingerprints, and eagerly through the InvalidateTable hooks), and
+// invalidates workload caches of views that reference the table.
 func (db *Database) afterWrite(table string) error {
 	db.bumpVersion(table)
 	if db.rcache != nil {
 		db.rcache.InvalidateTable(table)
+	}
+	if db.pcache != nil {
+		db.pcache.invalidateTable(table)
 	}
 	if err := db.cat.AddTable(catalog.AnalyzeRelation(db.rels[table])); err != nil {
 		return err

@@ -129,6 +129,13 @@ type RunStats struct {
 	// consumed; zero when the run used the legacy tuple-at-a-time paths
 	// (Engine.BatchSize = 1).
 	Batches int64
+	// Planner is the report name of the planner that produced this run's
+	// plan (the budget-race winner for budgeted planning). Filled by core,
+	// not the engine; empty when the caller did not plan through core.
+	Planner string
+	// PlanCacheHit marks a run whose plan came from the plan cache rather
+	// than a fresh optimization. Filled by core.
+	PlanCacheHit bool
 	// Ops lists per-operator actuals in completion (bottom-up) order.
 	Ops []OpStat
 	// Trace lists per-operator spans in the same order as Ops, with

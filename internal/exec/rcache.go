@@ -22,6 +22,18 @@ import (
 // them eagerly. Entries are pinned while a query scans them; eviction
 // and invalidation never free a pinned heap (a dying pinned entry is
 // freed by its last release). The cache is safe for concurrent use.
+//
+// Row-order contract: a spliced hit replays the cached materialization
+// in its stored order, which can differ from the order a fresh execution
+// would produce — plan.Fingerprints canonicalizes commutative join
+// children, so the entry may have been produced by a differently-shaped
+// (equivalent) subtree. MPF relations are semantically sets of
+// (assignment, measure) pairs, and the engine guarantees only set
+// equality between cached and uncached answers; callers needing a
+// deterministic order must sort (relation.Relation.Sort gives the
+// canonical row order). This is the documented half of sort-or-document:
+// sorting every splice would cost O(n log n) per hit to defend an
+// ordering no MPF consumer relies on.
 type ResultCache struct {
 	mu      sync.Mutex
 	budget  int64

@@ -59,6 +59,17 @@ type Config struct {
 	// per op (mpfbench -faults). Results must be byte-identical to a
 	// fault-free run — the retry path absorbs every injected fault.
 	FaultSeed int64
+	// Planner, when non-empty, overrides the default planning strategy of
+	// every experiment session (opt.ByName report name, e.g. "greedy").
+	// Experiments that sweep optimizers still pass their own per query.
+	Planner string
+	// PlanCacheEntries sets the plan cache capacity for experiment
+	// sessions; 0 keeps it disabled except in experiments (plan-cache)
+	// that enable it per pass.
+	PlanCacheEntries int
+	// PlanBudget bounds planning wall time for experiment sessions, with
+	// greedy fallback past the budget (0 = unlimited).
+	PlanBudget time.Duration
 }
 
 func (c Config) scale() float64 {
@@ -149,6 +160,7 @@ func Registry() []struct {
 		{"result-cache", ResultCacheExp},
 		{"batch-exec", BatchExec},
 		{"chaos", Chaos},
+		{"plan-cache", PlanCacheExp},
 	}
 }
 
@@ -195,7 +207,19 @@ type session struct {
 // buffer-pool size plus the execution knobs every session shares
 // (parallelism, batch width, read-ahead distance, fault injection).
 func sessionConfig(cfg Config, frames int) core.Config {
-	ccfg := core.Config{PoolFrames: frames, Parallelism: cfg.Parallelism, BatchSize: cfg.BatchSize, ReadAhead: cfg.ReadAhead}
+	ccfg := core.Config{
+		PoolFrames:       frames,
+		Parallelism:      cfg.Parallelism,
+		BatchSize:        cfg.BatchSize,
+		ReadAhead:        cfg.ReadAhead,
+		PlanCacheEntries: cfg.PlanCacheEntries,
+		PlanBudget:       cfg.PlanBudget,
+	}
+	if cfg.Planner != "" {
+		if o, err := opt.ByName(cfg.Planner); err == nil {
+			ccfg.Optimizer = o
+		}
+	}
 	if cfg.FaultSeed != 0 {
 		ccfg.DiskFactory = storage.FaultDiskFactory(storage.MemDiskFactory(), storage.FaultPlan{
 			Seed:     cfg.FaultSeed,

@@ -61,6 +61,18 @@ type OpKindStats struct {
 	IO storage.Stats
 }
 
+// PlanKindStats aggregates planning work by planner kind, the planning
+// counterpart of OpKindStats: execution accounted wall time per operator
+// kind while planning time vanished from the registry entirely (the
+// Result.Optimize accounting bug). One kind per planner report name, plus
+// the synthetic "plan-cache" kind covering cache-probe time on hits.
+type PlanKindStats struct {
+	// Count is the number of queries planned by this kind.
+	Count int64
+	// Wall sums the planning wall time attributed to this kind.
+	Wall time.Duration
+}
+
 // Registry accumulates engine-wide metrics. The zero value is NOT ready;
 // use NewRegistry.
 type Registry struct {
@@ -76,11 +88,28 @@ type Registry struct {
 	batches         int64
 	execWall        time.Duration
 	opKinds         map[string]OpKindStats
+	planKinds       map[string]PlanKindStats
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{opKinds: make(map[string]OpKindStats)}
+	return &Registry{
+		opKinds:   make(map[string]OpKindStats),
+		planKinds: make(map[string]PlanKindStats),
+	}
+}
+
+// PlanSample records one planning phase: the report name of the planner
+// that produced the plan (for cache hits, the synthetic "plan-cache" kind)
+// and its planning wall time. Called once per planned query, whether or
+// not the plan then executes.
+func (r *Registry) PlanSample(planner string, wall time.Duration) {
+	r.mu.Lock()
+	k := r.planKinds[planner]
+	k.Count++
+	k.Wall += wall
+	r.planKinds[planner] = k
+	r.mu.Unlock()
 }
 
 // QueryStarted records the start of a query.
@@ -148,8 +177,13 @@ type Snapshot struct {
 	// Core fills it after taking the registry snapshot; when the cache is
 	// disabled every field is zero and Enabled is false.
 	ResultCache ResultCacheStats
+	// PlanCache is the plan cache's state and counters, filled by core the
+	// same way as ResultCache.
+	PlanCache PlanCacheStats
 	// OpKinds aggregates operators by kind.
 	OpKinds map[string]OpKindStats
+	// Planning aggregates planning time by planner kind.
+	Planning map[string]PlanKindStats
 }
 
 // ResultCacheStats reports the engine's shared subplan result cache in a
@@ -172,6 +206,20 @@ type ResultCacheStats struct {
 	IOSavedPages int64
 }
 
+// PlanCacheStats reports the engine's plan cache in a metrics snapshot.
+// Counters are cumulative; Entries is point-in-time against Capacity.
+type PlanCacheStats struct {
+	// Enabled reports whether the database was opened with a plan cache.
+	Enabled bool
+	// Entries is the number of live cached plans; Capacity the LRU bound.
+	Entries, Capacity int64
+	// Hits and Misses count cache probes by cacheable queries.
+	Hits, Misses int64
+	// Inserts counts adopted plans, Evictions LRU removals, Invalidations
+	// removals caused by base-table writes.
+	Inserts, Evictions, Invalidations int64
+}
+
 // Snapshot returns a consistent copy of the counters; pool is the buffer
 // pool's own cumulative stats to embed.
 func (r *Registry) Snapshot(pool storage.Stats) Snapshot {
@@ -180,6 +228,10 @@ func (r *Registry) Snapshot(pool storage.Stats) Snapshot {
 	kinds := make(map[string]OpKindStats, len(r.opKinds))
 	for k, v := range r.opKinds {
 		kinds[k] = v
+	}
+	planning := make(map[string]PlanKindStats, len(r.planKinds))
+	for k, v := range r.planKinds {
+		planning[k] = v
 	}
 	return Snapshot{
 		QueriesStarted:  r.started,
@@ -194,6 +246,7 @@ func (r *Registry) Snapshot(pool storage.Stats) Snapshot {
 		ExecWall:        r.execWall,
 		Pool:            pool,
 		OpKinds:         kinds,
+		Planning:        planning,
 	}
 }
 
@@ -220,6 +273,28 @@ func (s Snapshot) String() string {
 		fmt.Fprintf(&b, "result cache: %d/%d bytes in %d entries\n", rc.Bytes, rc.BudgetBytes, rc.Entries)
 		fmt.Fprintf(&b, "  %d hits, %d misses, %d inserts, %d evictions, %d invalidations, %d page IOs saved\n",
 			rc.Hits, rc.Misses, rc.Inserts, rc.Evictions, rc.Invalidations, rc.IOSavedPages)
+	}
+	pc := s.PlanCache
+	if !pc.Enabled {
+		b.WriteString("plan cache: disabled\n")
+	} else {
+		fmt.Fprintf(&b, "plan cache: %d/%d entries\n", pc.Entries, pc.Capacity)
+		fmt.Fprintf(&b, "  %d hits, %d misses, %d inserts, %d evictions, %d invalidations\n",
+			pc.Hits, pc.Misses, pc.Inserts, pc.Evictions, pc.Invalidations)
+	}
+	if len(s.Planning) == 0 {
+		b.WriteString("planning: none\n")
+	} else {
+		planners := make([]string, 0, len(s.Planning))
+		for k := range s.Planning {
+			planners = append(planners, k)
+		}
+		sort.Strings(planners)
+		b.WriteString("planning:\n")
+		for _, k := range planners {
+			st := s.Planning[k]
+			fmt.Fprintf(&b, "  %-24s %6d plans  wall %v\n", k, st.Count, st.Wall)
+		}
 	}
 	if len(s.OpKinds) == 0 {
 		b.WriteString("per-operator kind: none\n")

@@ -1,0 +1,82 @@
+package opt
+
+import (
+	"fmt"
+	"time"
+
+	"mpf/internal/plan"
+)
+
+// Budgeted runs a primary optimizer under a wall-clock planning budget and
+// falls back to a cheap planner when the budget is exhausted. This is the
+// paper's Figure 10 trade-off made operational: on large views the CS+/VE+
+// searches can cost more than the query they plan, so past the budget we
+// take the statistics-free Greedy plan instead and start executing.
+//
+// The primary keeps running in its goroutine after a timeout (optimizers
+// are pure CPU work with no cancellation hook) but its result is
+// discarded; the goroutine exits as soon as Optimize returns. A plan
+// produced under budget is identical to running the primary directly, so
+// Budgeted is deterministic except exactly at the budget boundary —
+// callers caching plans get whichever planner won the race first, which is
+// sound because both planners produce correct plans for the same query.
+type Budgeted struct {
+	// Primary is the full-search optimizer given the budget.
+	Primary Optimizer
+	// Fallback plans when the budget expires; nil means Greedy.
+	Fallback Optimizer
+	// Budget bounds the primary's planning wall time; zero or negative
+	// means unlimited (Budgeted degenerates to Primary).
+	Budget time.Duration
+}
+
+// Name implements Optimizer. It includes the budget so that distinct
+// budgets are distinct planner identities (a plan cache keyed on planner
+// name must not alias them).
+func (o Budgeted) Name() string {
+	return fmt.Sprintf("budget(%s,%s,%s)", o.Primary.Name(), o.fallback().Name(), o.Budget)
+}
+
+// fallback returns the configured fallback, defaulting to Greedy.
+func (o Budgeted) fallback() Optimizer {
+	if o.Fallback != nil {
+		return o.Fallback
+	}
+	return Greedy{}
+}
+
+// Optimize implements Optimizer.
+func (o Budgeted) Optimize(q *Query, b *plan.Builder) (*plan.Node, error) {
+	p, _, err := o.OptimizeWinner(q, b)
+	return p, err
+}
+
+// OptimizeWinner is Optimize plus the report name of the planner that
+// actually produced the plan ("cs+nonlinear" when the primary finished in
+// budget, "greedy" after a fallback). Engine tracing and metrics record
+// this so budget expirations are visible per query.
+func (o Budgeted) OptimizeWinner(q *Query, b *plan.Builder) (*plan.Node, string, error) {
+	if o.Budget <= 0 {
+		p, err := o.Primary.Optimize(q, b)
+		return p, o.Primary.Name(), err
+	}
+	type outcome struct {
+		p   *plan.Node
+		err error
+	}
+	ch := make(chan outcome, 1) // buffered: late primary must not leak its goroutine
+	go func() {
+		p, err := o.Primary.Optimize(q, b)
+		ch <- outcome{p, err}
+	}()
+	timer := time.NewTimer(o.Budget)
+	defer timer.Stop()
+	select {
+	case out := <-ch:
+		return out.p, o.Primary.Name(), out.err
+	case <-timer.C:
+		fb := o.fallback()
+		p, err := fb.Optimize(q, b)
+		return p, fb.Name(), err
+	}
+}

@@ -1,0 +1,204 @@
+package opt
+
+import (
+	"sort"
+
+	"mpf/internal/plan"
+	"mpf/internal/relation"
+)
+
+// Greedy is a statistics-free join-ordering planner for the traffic
+// regime where planning time rivals execution time: it never runs a
+// dynamic program, never consults cardinality or distinct-count
+// statistics, and plans in O(N²) node constructions instead of the
+// Selinger O(N·2^N) of CS+ (Theorem 2).
+//
+// The only schema knowledge it uses is declared variable domain sizes —
+// visible in every functional-relation schema the way pattern syntax
+// makes selectivity visible in Datalog engines. Joins are ordered by
+// ascending domain-size product of the joined variable set: each step
+// joins the pending leaf that minimizes the product over the union of
+// variables (connected candidates strictly before cross products), then
+// immediately marginalizes away every variable not needed by the
+// remaining leaves or the query (the safe GroupBy of Chaudhuri & Shim's
+// condition, applied unconditionally — marginalize-early is the right
+// default when domains are small, which is the MPF norm).
+//
+// Because the start leaf fixes the traversal direction — and on a chain
+// whose query variable sits at the small-domain end, starting there drags
+// the query variable through every intermediate — greedy is multi-start:
+// it runs the O(N²) chain once from every leaf and keeps the run whose
+// intermediates have the smallest summed domain product (again schema
+// only, no cardinalities), O(N³) node constructions in total.
+//
+// Early termination: base-table cardinalities are exact in the catalog,
+// and a selection or product join over an empty operand is empty, so once
+// an empty base table enters the running join the whole intermediate —
+// and hence the query answer — is provably empty and plan quality no
+// longer matters. (The cost-model estimate algebra floors cardinalities
+// at 1 and cannot express this, which is why emptiness is tracked from
+// the exact catalog cardinalities rather than from Est.Card.) Greedy then
+// stops scoring and appends the remaining leaves in presorted order.
+//
+// All choices break ties lexicographically by base-table name, so the
+// same query always yields the same plan (a plan-cache prerequisite).
+type Greedy struct{}
+
+// Name implements Optimizer.
+func (Greedy) Name() string { return "greedy" }
+
+// Optimize implements Optimizer.
+func (Greedy) Optimize(q *Query, b *plan.Builder) (*plan.Node, error) {
+	leaves, err := buildLeaves(q, b)
+	if err != nil {
+		return nil, err
+	}
+	if len(leaves) == 1 {
+		return finishPlan(b, leaves[0], q)
+	}
+	dom, err := domainSizes(b, q.Tables)
+	if err != nil {
+		return nil, err
+	}
+	// product is the domain-size product over a variable set, the greedy
+	// score. Iteration is in sorted order so the float product is
+	// bit-identical across runs, and capped against overflow.
+	product := func(vs relation.VarSet) float64 {
+		p := 1.0
+		for _, v := range vs.Sorted() {
+			d := dom[v]
+			if d < 1 {
+				d = 1
+			}
+			p *= d
+			if p > 1e300 {
+				return 1e300
+			}
+		}
+		return p
+	}
+
+	// Pending leaves keep their base-table name for deterministic ties and
+	// an exact-emptiness bit for early termination; buildLeaves returns one
+	// leaf per q.Tables entry in order.
+	type cand struct {
+		node  *plan.Node
+		name  string
+		empty bool
+	}
+	pending := make([]cand, len(leaves))
+	for i, l := range leaves {
+		st, err := b.Cat.Table(q.Tables[i])
+		if err != nil {
+			return nil, err
+		}
+		// Pre-marginalize the leaf: variables appearing in no other leaf
+		// and not in the query are safe to aggregate away before any join
+		// (the chain tail's dangling variable, the Proposition 1 shape).
+		// This is the single biggest win of GroupBy pushdown and needs no
+		// statistics, only variable sets.
+		ctx := relation.NewVarSet()
+		for j, other := range leaves {
+			if j != i {
+				ctx = ctx.Union(other.Vars())
+			}
+		}
+		if g := maybeGroup(b, l, ctx, q.GroupVars); g != nil {
+			l = g
+		}
+		pending[i] = cand{node: l, name: q.Tables[i], empty: st.Card == 0}
+	}
+	sort.Slice(pending, func(i, j int) bool {
+		pi, pj := product(pending[i].node.Vars()), product(pending[j].node.Vars())
+		if pi != pj {
+			return pi < pj
+		}
+		return pending[i].name < pending[j].name
+	})
+
+	// runFrom executes one greedy chain starting at pending[start] and
+	// returns the joined root plus the run's score: the summed domain
+	// product of every intermediate after its safe marginalization, a
+	// schema-only proxy for total intermediate size.
+	runFrom := func(start int) (*plan.Node, float64) {
+		rest := make([]cand, 0, len(pending)-1)
+		rest = append(rest, pending[:start]...)
+		rest = append(rest, pending[start+1:]...)
+		cur := pending[start].node
+		empty := pending[start].empty
+		total := 0.0
+		for len(rest) > 0 {
+			next := 0
+			if !empty {
+				// Two-tier pick: candidates sharing a variable with the
+				// running join strictly beat disconnected ones — a
+				// same-product tie between a connected join and a cross
+				// product must never resolve to the cross product. Within a
+				// tier the score is the domain product of the variable
+				// union; equal scores keep the earlier candidate (rest
+				// preserves the (product, name) presort, so that is the
+				// lexicographic tie-break).
+				score := func(c cand) (connected bool, prod float64) {
+					return len(cur.Vars().Intersect(c.node.Vars())) > 0,
+						product(cur.Vars().Union(c.node.Vars()))
+				}
+				bestConn, best := score(rest[0])
+				for i := 1; i < len(rest); i++ {
+					conn, prod := score(rest[i])
+					if (conn && !bestConn) || (conn == bestConn && prod < best) {
+						bestConn, best, next = conn, prod, i
+					}
+				}
+			}
+			pick := rest[next]
+			rest = append(rest[:next], rest[next+1:]...)
+			cur = b.Join(cur, pick.node)
+			if pick.empty {
+				empty = true
+			}
+			if !empty {
+				nodes := make([]*plan.Node, len(rest))
+				for i, c := range rest {
+					nodes[i] = c.node
+				}
+				if g := maybeGroup(b, cur, varsOfNodes(nodes), q.GroupVars); g != nil {
+					cur = g
+				}
+				total += product(cur.Vars())
+				if total > 1e300 {
+					total = 1e300
+				}
+			}
+		}
+		return cur, total
+	}
+
+	// Multi-start: the presort makes start order — and hence same-score
+	// tie-breaking — deterministic (smallest product, then name, wins).
+	best, bestScore := runFrom(0)
+	for s := 1; s < len(pending); s++ {
+		if root, score := runFrom(s); score < bestScore {
+			best, bestScore = root, score
+		}
+	}
+	return finishPlan(b, best, q)
+}
+
+// domainSizes collects the declared domain of every variable of the given
+// tables (the max across tables, which should agree). This is the only
+// "statistic" Greedy reads — it is schema, not data.
+func domainSizes(b *plan.Builder, tables []string) (map[string]float64, error) {
+	dom := make(map[string]float64)
+	for _, t := range tables {
+		st, err := b.Cat.Table(t)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range st.Attrs {
+			if d := float64(a.Domain); d > dom[a.Name] {
+				dom[a.Name] = d
+			}
+		}
+	}
+	return dom, nil
+}

@@ -1,0 +1,146 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mpf/internal/plan"
+	"mpf/internal/relation"
+)
+
+// TestGreedyPlansMatchOracle checks that greedy plans compute the same
+// MPF answers as brute-force evaluation on the synthetic fixtures.
+func TestGreedyPlansMatchOracle(t *testing.T) {
+	fixtures := map[string]*fixture{
+		"chain": smallChain(t, 5),
+		"star":  smallStar(t, 5),
+		"multi": smallMultiStar(t, 6),
+	}
+	for name, f := range fixtures {
+		q := &Query{Tables: f.ds.ViewTables, GroupVars: f.ds.QueryVars[:1]}
+		gp, err := Greedy{}.Optimize(q, f.b)
+		if err != nil {
+			t.Fatalf("%s: greedy: %v", name, err)
+		}
+		got := evalPlan(t, f, gp)
+		want := oracle(t, f, q)
+		if !relation.Equal(got, want, 0, 1e-9) {
+			t.Fatalf("%s: greedy answer differs from oracle:\n%s\nvs\n%s", name, got, want)
+		}
+	}
+}
+
+// TestGreedyStaysWithinCostFactor enforces the acceptance bound: greedy
+// plan cost within 1.5x of CS+ nonlinear on every fixture.
+func TestGreedyStaysWithinCostFactor(t *testing.T) {
+	fixtures := map[string]*fixture{
+		"chain": smallChain(t, 5),
+		"star":  smallStar(t, 5),
+		"multi": smallMultiStar(t, 6),
+	}
+	for name, f := range fixtures {
+		q := &Query{Tables: f.ds.ViewTables, GroupVars: f.ds.QueryVars[:1]}
+		gp, err := Greedy{}.Optimize(q, f.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp, err := CSPlus{}.Optimize(q, newFixture(t, f.ds).b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gp.TotalCost > 1.5*cp.TotalCost {
+			t.Fatalf("%s: greedy cost %.1f exceeds 1.5x cs+ cost %.1f", name, gp.TotalCost, cp.TotalCost)
+		}
+	}
+}
+
+// TestGreedyEarlyTermination empties one base table of a chain view and
+// checks that greedy still produces a valid plan whose answer is empty:
+// the early-termination path (no scoring, no marginalize-early) must not
+// break plan validity.
+func TestGreedyEarlyTermination(t *testing.T) {
+	f := smallChain(t, 4)
+	// Replace one relation with an empty one of the same schema, then
+	// rebuild the catalog so the exact cardinality 0 is visible.
+	victim := f.ds.Relations[1]
+	emptied, err := relation.New(victim.Name(), victim.Attrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.ds.Relations[1] = emptied
+	f = newFixture(t, f.ds)
+
+	q := &Query{Tables: f.ds.ViewTables, GroupVars: f.ds.QueryVars[:1]}
+	gp, err := Greedy{}.Optimize(q, f.b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := evalPlan(t, f, gp)
+	if got.Len() != 0 {
+		t.Fatalf("expected empty answer over empty base table, got %d rows", got.Len())
+	}
+}
+
+// TestBudgetedFallsBackToGreedy forces a budget expiry with a deliberately
+// slow primary and checks the fallback's plan and name are reported.
+func TestBudgetedFallsBackToGreedy(t *testing.T) {
+	f := smallChain(t, 5)
+	q := &Query{Tables: f.ds.ViewTables, GroupVars: f.ds.QueryVars[:1]}
+	slow := slowOptimizer{delay: 200 * time.Millisecond, inner: CSPlus{}}
+	bo := Budgeted{Primary: slow, Budget: time.Millisecond}
+	p, winner, err := bo.OptimizeWinner(q, f.b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if winner != "greedy" {
+		t.Fatalf("expected greedy fallback, winner = %q", winner)
+	}
+	want, err := Greedy{}.Optimize(q, newFixture(t, f.ds).b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.String() != want.String() {
+		t.Fatalf("fallback plan differs from direct greedy plan:\n%s\nvs\n%s", p, want)
+	}
+}
+
+// TestBudgetedPrimaryWinsInBudget checks the primary's plan is used when it
+// finishes under budget, and that zero budget disables the race entirely.
+func TestBudgetedPrimaryWinsInBudget(t *testing.T) {
+	f := smallChain(t, 4)
+	q := &Query{Tables: f.ds.ViewTables, GroupVars: f.ds.QueryVars[:1]}
+	for _, budget := range []time.Duration{0, time.Minute} {
+		bo := Budgeted{Primary: CSPlus{}, Budget: budget}
+		p, winner, err := bo.OptimizeWinner(q, f.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if winner != (CSPlus{}).Name() {
+			t.Fatalf("budget %v: expected primary win, winner = %q", budget, winner)
+		}
+		want, err := CSPlus{}.Optimize(q, newFixture(t, f.ds).b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.String() != want.String() {
+			t.Fatalf("budget %v: plan differs from direct primary plan", budget)
+		}
+	}
+	if !strings.Contains((Budgeted{Primary: CSPlus{}, Budget: time.Second}).Name(), "1s") {
+		t.Fatal("Budgeted.Name should embed the budget")
+	}
+}
+
+// slowOptimizer delays before delegating, to force budget expiry in tests.
+type slowOptimizer struct {
+	delay time.Duration
+	inner Optimizer
+}
+
+func (s slowOptimizer) Name() string { return "slow(" + s.inner.Name() + ")" }
+
+func (s slowOptimizer) Optimize(q *Query, b *plan.Builder) (*plan.Node, error) {
+	time.Sleep(s.delay)
+	return s.inner.Optimize(q, b)
+}

@@ -27,10 +27,13 @@ func LinearityTest(cat *catalog.Catalog, queryVar string) (admissible bool, sigm
 }
 
 // Result pairs an optimized plan with the time spent planning, the two
-// axes of the paper's Figure 10 trade-off.
+// axes of the paper's Figure 10 trade-off. Planner names the optimizer
+// that actually produced the plan — for Budgeted this is the winner of
+// the budget race, not the wrapper.
 type Result struct {
 	Plan     *plan.Node
 	Optimize time.Duration
+	Planner  string
 }
 
 // Run optimizes q with o, measuring planning time.
@@ -48,11 +51,21 @@ func RunContext(ctx context.Context, o Optimizer, q *Query, b *plan.Builder) (Re
 		return Result{}, err
 	}
 	start := time.Now()
-	p, err := o.Optimize(q, b)
+	var (
+		p      *plan.Node
+		winner string
+		err    error
+	)
+	if bo, ok := o.(Budgeted); ok {
+		p, winner, err = bo.OptimizeWinner(q, b)
+	} else {
+		p, err = o.Optimize(q, b)
+		winner = o.Name()
+	}
 	if err != nil {
 		return Result{}, err
 	}
-	res := Result{Plan: p, Optimize: time.Since(start)}
+	res := Result{Plan: p, Optimize: time.Since(start), Planner: winner}
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
@@ -81,10 +94,17 @@ func All(rng *rand.Rand) []Optimizer {
 	}
 }
 
-// ByName resolves an optimizer by its report name, e.g. "cs+nonlinear" or
-// "ve(deg)+ext".
+// Extras returns the optimizers that are available by name but are not
+// part of the paper's evaluated variant set: currently only the
+// statistics-free Greedy planner.
+func Extras() []Optimizer {
+	return []Optimizer{Greedy{}}
+}
+
+// ByName resolves an optimizer by its report name, e.g. "cs+nonlinear",
+// "ve(deg)+ext" or "greedy".
 func ByName(name string) (Optimizer, error) {
-	for _, o := range All(nil) {
+	for _, o := range append(All(nil), Extras()...) {
 		if o.Name() == name {
 			return o, nil
 		}
@@ -92,9 +112,10 @@ func ByName(name string) (Optimizer, error) {
 	return nil, fmt.Errorf("opt: unknown optimizer %q", name)
 }
 
-// Names lists the report names of all optimizer variants.
+// Names lists the report names of all optimizer variants, paper variants
+// first followed by the extras.
 func Names() []string {
-	all := All(nil)
+	all := append(All(nil), Extras()...)
 	names := make([]string, len(all))
 	for i, o := range all {
 		names[i] = o.Name()

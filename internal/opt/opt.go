@@ -21,6 +21,8 @@ package opt
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"mpf/internal/plan"
 	"mpf/internal/relation"
@@ -141,18 +143,80 @@ func finishPlan(b *plan.Builder, top *plan.Node, q *Query) (*plan.Node, error) {
 	return b.GroupBy(top, q.GroupVars)
 }
 
-// cheapest returns the lowest-TotalCost non-nil plan.
+// cheapest returns the lowest-TotalCost non-nil plan. Exact cost ties are
+// broken by the lexicographically smallest canonical plan string, never by
+// candidate generation order: the same query must always yield the same
+// plan (plan-cache correctness depends on it, and repeated EXPLAINs must
+// agree). Candidate order therefore cannot influence the winner.
 func cheapest(cands ...*plan.Node) *plan.Node {
 	var best *plan.Node
+	var bestKey string // canonical key of best, computed lazily on first tie
 	for _, c := range cands {
 		if c == nil {
 			continue
 		}
-		if best == nil || c.TotalCost < best.TotalCost {
-			best = c
+		switch {
+		case best == nil || c.TotalCost < best.TotalCost:
+			best, bestKey = c, ""
+		case c.TotalCost == best.TotalCost:
+			if bestKey == "" {
+				bestKey = canonKey(best)
+			}
+			if k := canonKey(c); k < bestKey {
+				best, bestKey = c, k
+			}
 		}
 	}
 	return best
+}
+
+// canonKey renders a plan's physical structure as a canonical string used
+// only for deterministic cost-tie breaking. Unlike plan.Fingerprints it
+// does not canonicalize join commutativity: l ⋈* r and r ⋈* l are
+// different physical plans and the tie-break must order them.
+func canonKey(n *plan.Node) string {
+	var b strings.Builder
+	var walk func(m *plan.Node)
+	walk = func(m *plan.Node) {
+		if m == nil {
+			return
+		}
+		switch m.Op {
+		case plan.OpScan:
+			b.WriteString("s:")
+			b.WriteString(m.Table)
+		case plan.OpSelect:
+			keys := make([]string, 0, len(m.Pred))
+			for k := range m.Pred {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			b.WriteString("f[")
+			for i, k := range keys {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(&b, "%s=%d", k, m.Pred[k])
+			}
+			b.WriteString("](")
+			walk(m.Left)
+			b.WriteByte(')')
+		case plan.OpJoin:
+			b.WriteString("j(")
+			walk(m.Left)
+			b.WriteByte('|')
+			walk(m.Right)
+			b.WriteByte(')')
+		case plan.OpGroupBy:
+			b.WriteString("g[")
+			b.WriteString(strings.Join(m.GroupVars, ","))
+			b.WriteString("](")
+			walk(m.Left)
+			b.WriteByte(')')
+		}
+	}
+	walk(n)
+	return b.String()
 }
 
 // varsOfNodes unions the variable sets of the given nodes.

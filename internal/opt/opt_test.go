@@ -370,8 +370,8 @@ func TestLinearPlanAdmissibleFormula(t *testing.T) {
 
 func TestOptimizerRegistry(t *testing.T) {
 	names := Names()
-	if len(names) != 15 {
-		t.Fatalf("expected 15 optimizer variants, got %d: %v", len(names), names)
+	if len(names) != 16 {
+		t.Fatalf("expected 16 optimizer variants (15 paper + greedy), got %d: %v", len(names), names)
 	}
 	for _, n := range names {
 		o, err := ByName(n)

@@ -281,9 +281,13 @@ func scoreVariable(b *plan.Builder, cand string, s []*plan.Node, queryVars []str
 		}
 		return math.Max(d, 1)
 	}
-	vars := varsOfNodes(rels)
+	// Iterate variables in sorted order: float multiplication is not
+	// associative, so accumulating these products in map-iteration order
+	// made scores (and hence elimination picks) differ between runs of the
+	// same query — a planning-determinism bug.
+	vars := varsOfNodes(rels).Sorted()
 	wid = 1
-	for v := range vars {
+	for _, v := range vars {
 		wid *= distinct(v)
 		if wid > 1e300 {
 			wid = 1e300
@@ -294,7 +298,7 @@ func scoreVariable(b *plan.Builder, cand string, s []*plan.Node, queryVars []str
 	// by the query itself.
 	needed := varsOfNodes(rest).Union(relation.NewVarSet(queryVars...))
 	deg = 1
-	for v := range vars {
+	for _, v := range vars {
 		if v == cand || !needed[v] {
 			continue
 		}

@@ -1,0 +1,77 @@
+package plan
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// QueryFingerprint computes a canonical fingerprint for a whole MPF query
+// specification — the plan-cache key. Unlike the per-node Fingerprints
+// (which key materialized intermediate results), a query fingerprint is
+// computed before any plan exists: it captures everything that determines
+// which plan is correct and current for the query, namely
+//
+//   - the semiring (plans embed no semiring, but plan choice and result
+//     both depend on it, and the cache must not hand a sum-product plan's
+//     stats-driven shape to a max-product query),
+//   - the set of base tables with their current versions, so any write to
+//     a base table retires every cached plan reading it (statistics and
+//     hence the optimal plan may have changed),
+//   - the group variables, and
+//   - the equality predicate.
+//
+// Canonicalization: tables, group variables and predicate entries are
+// rendered in sorted order (deduplicated for group variables), because the
+// product join is commutative, GroupBy output depends only on the variable
+// set, and predicates are conjunctive equality bindings — queries equal up
+// to those reorderings may soundly share a plan. Every string field is
+// rendered with strconv.Quote, which makes the encoding self-delimiting
+// and therefore injective: no two distinct canonical specs collide.
+//
+// ok=false means the query is uncacheable: some table has no version
+// (env.TableVersion returned false — e.g. a hypothetical per-query
+// replacement table).
+func QueryFingerprint(env FingerprintEnv, tables, groupVars []string, pred map[string]int32) (fp string, ok bool) {
+	var b strings.Builder
+	b.WriteString("q|")
+	b.WriteString(strconv.Quote(env.Semiring))
+	b.WriteString("|t:")
+	ts := append([]string(nil), tables...)
+	sort.Strings(ts)
+	for _, t := range ts {
+		v, vok := env.TableVersion(t)
+		if !vok {
+			return "", false
+		}
+		b.WriteString(strconv.Quote(t))
+		b.WriteByte('@')
+		b.WriteString(strconv.FormatInt(v, 10))
+		b.WriteByte(';')
+	}
+	b.WriteString("|g:")
+	gs := append([]string(nil), groupVars...)
+	sort.Strings(gs)
+	prev := ""
+	for i, g := range gs {
+		if i > 0 && g == prev {
+			continue
+		}
+		prev = g
+		b.WriteString(strconv.Quote(g))
+		b.WriteByte(';')
+	}
+	b.WriteString("|p:")
+	ps := make([]string, 0, len(pred))
+	for k := range pred {
+		ps = append(ps, k)
+	}
+	sort.Strings(ps)
+	for _, k := range ps {
+		b.WriteString(strconv.Quote(k))
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatInt(int64(pred[k]), 10))
+		b.WriteByte(';')
+	}
+	return b.String(), true
+}

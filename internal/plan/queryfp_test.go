@@ -1,0 +1,138 @@
+package plan
+
+import (
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func verEnv(sem string, vers map[string]int64) FingerprintEnv {
+	return FingerprintEnv{
+		Semiring: sem,
+		TableVersion: func(name string) (int64, bool) {
+			v, ok := vers[name]
+			return v, ok
+		},
+	}
+}
+
+func TestQueryFingerprintCanonicalization(t *testing.T) {
+	vers := map[string]int64{"a": 1, "b": 2, "c": 3}
+	env := verEnv("sum-product", vers)
+	fp1, ok := QueryFingerprint(env, []string{"a", "b", "c"}, []string{"x", "y"}, map[string]int32{"z": 4})
+	if !ok {
+		t.Fatal("expected cacheable")
+	}
+	// Table and group-var order (and group-var duplicates) are canonicalized.
+	fp2, ok := QueryFingerprint(env, []string{"c", "a", "b"}, []string{"y", "x", "y"}, map[string]int32{"z": 4})
+	if !ok || fp1 != fp2 {
+		t.Fatalf("reordered spec should fingerprint identically:\n%s\n%s", fp1, fp2)
+	}
+	// Any table version bump changes the fingerprint.
+	fp3, ok := QueryFingerprint(verEnv("sum-product", map[string]int64{"a": 1, "b": 2, "c": 4}),
+		[]string{"a", "b", "c"}, []string{"x", "y"}, map[string]int32{"z": 4})
+	if !ok || fp3 == fp1 {
+		t.Fatal("version bump should change the fingerprint")
+	}
+	// The semiring is part of the key.
+	fp4, ok := QueryFingerprint(verEnv("max-product", vers),
+		[]string{"a", "b", "c"}, []string{"x", "y"}, map[string]int32{"z": 4})
+	if !ok || fp4 == fp1 {
+		t.Fatal("semiring should change the fingerprint")
+	}
+	// A table without a version makes the query uncacheable.
+	if _, ok := QueryFingerprint(env, []string{"a", "nope"}, nil, nil); ok {
+		t.Fatal("unversionable table should be uncacheable")
+	}
+}
+
+// queryCanon is the reference canonical form a fingerprint must encode
+// injectively: if two canons differ the fingerprints must differ, and if
+// they are equal the fingerprints must be equal.
+type queryCanon struct {
+	Sem    string
+	Tables []string // sorted "name@version" multiset
+	Group  []string // sorted, deduplicated
+	Pred   map[string]int32
+}
+
+func canonOf(sem string, vers map[string]int64, tables, group []string, pred map[string]int32) (queryCanon, bool) {
+	c := queryCanon{Sem: sem, Pred: pred}
+	for _, t := range tables {
+		v, ok := vers[t]
+		if !ok {
+			return queryCanon{}, false
+		}
+		c.Tables = append(c.Tables, t+"@"+strconv.FormatInt(v, 10))
+	}
+	sort.Strings(c.Tables)
+	seen := map[string]bool{}
+	for _, g := range group {
+		if !seen[g] {
+			seen[g] = true
+			c.Group = append(c.Group, g)
+		}
+	}
+	sort.Strings(c.Group)
+	if len(c.Pred) == 0 {
+		c.Pred = nil
+	}
+	return c, true
+}
+
+// FuzzQueryFingerprint cross-checks the injectivity contract: two query
+// specs get the same fingerprint exactly when their canonical forms agree
+// (same semiring, same table-version multiset, same group-var set, same
+// predicate). Field values deliberately include the separator characters
+// used by the encoding ("|", "@", ";", "=", quotes) — strconv.Quote must
+// keep them from forging a collision.
+func FuzzQueryFingerprint(f *testing.F) {
+	f.Add("sum-product", "max-product", "a,b", "b,a", int64(1), int64(1), "x", "x,x", "z=1", "z=1")
+	f.Add("s", "s", "t", "t", int64(0), int64(1), "", "", "", "")
+	f.Add("s", "s", `t@1`, `t`, int64(1), int64(1), "g", "g", "", "")
+	f.Add("a|b", `a"|b`, "t;u", "t,u", int64(2), int64(2), "x;y", "x,y", "k=1,k2=2", "k=1")
+	f.Fuzz(func(t *testing.T, semA, semB, tblA, tblB string, verA, verB int64, gvA, gvB, prA, prB string) {
+		parse := func(tbl, gv, pr string, ver int64) (tables, group []string, pred map[string]int32, vers map[string]int64) {
+			if tbl != "" {
+				tables = strings.Split(tbl, ",")
+			}
+			if gv != "" {
+				group = strings.Split(gv, ",")
+			}
+			pred = map[string]int32{}
+			for _, kv := range strings.Split(pr, ",") {
+				if k, v, ok := strings.Cut(kv, "="); ok {
+					if n, err := strconv.Atoi(v); err == nil {
+						pred[k] = int32(n)
+					}
+				}
+			}
+			// Per-table versions derived deterministically from the seed
+			// so different seeds give different version assignments.
+			vers = map[string]int64{}
+			for i, tb := range tables {
+				vers[tb] = ver + int64(i%2)
+			}
+			return
+		}
+		tsA, gA, pA, vA := parse(tblA, gvA, prA, verA)
+		tsB, gB, pB, vB := parse(tblB, gvB, prB, verB)
+		fpA, okA := QueryFingerprint(verEnv(semA, vA), tsA, gA, pA)
+		fpB, okB := QueryFingerprint(verEnv(semB, vB), tsB, gB, pB)
+		cA, cokA := canonOf(semA, vA, tsA, gA, pA)
+		cB, cokB := canonOf(semB, vB, tsB, gB, pB)
+		if okA != cokA || okB != cokB {
+			t.Fatalf("cacheable disagreement: fp ok=%v/%v canon ok=%v/%v", okA, okB, cokA, cokB)
+		}
+		if !okA || !okB {
+			return
+		}
+		same := reflect.DeepEqual(cA, cB)
+		if same != (fpA == fpB) {
+			t.Fatalf("canon equal=%v but fingerprint equal=%v:\nA: %#v\n   %s\nB: %#v\n   %s",
+				same, fpA == fpB, cA, fpA, cB, fpB)
+		}
+	})
+}

@@ -37,6 +37,13 @@ func buildSpanTree(trace []exec.Span) []*spanNode {
 // physical IO, followed by run totals.
 func renderAnalyze(st exec.RunStats) string {
 	var b strings.Builder
+	if st.Planner != "" {
+		fmt.Fprintf(&b, "Planner: %s", st.Planner)
+		if st.PlanCacheHit {
+			b.WriteString(" (plan cache hit)")
+		}
+		b.WriteString("\n")
+	}
 	for _, root := range buildSpanTree(st.Trace) {
 		renderSpanNode(&b, root, 0)
 	}

@@ -78,14 +78,14 @@ func TestExplainAnalyzeExecutes(t *testing.T) {
 	if out.Exec.Operators == 0 || out.Exec.RowsOut == 0 {
 		t.Fatalf("query did not execute: %+v", out.Exec)
 	}
-	for _, want := range []string{"GroupBy", "Scan", "actual time=", "rows=", "Total: wall="} {
+	for _, want := range []string{"Planner: ", "GroupBy", "Scan", "actual time=", "rows=", "Total: wall="} {
 		if !strings.Contains(out.Message, want) {
 			t.Fatalf("report missing %q:\n%s", want, out.Message)
 		}
 	}
-	// One line per operator plus the totals line.
+	// The planner header, one line per operator, and the totals line.
 	lines := strings.Count(strings.TrimRight(out.Message, "\n"), "\n") + 1
-	if lines != out.Exec.Operators+1 {
+	if lines != out.Exec.Operators+2 {
 		t.Fatalf("report has %d lines for %d operators:\n%s", lines, out.Exec.Operators, out.Message)
 	}
 }

@@ -185,6 +185,7 @@ func OptimizerByName(name string) (Optimizer, error) { return opt.ByName(name) }
 // Optimizers lists the report names of all optimizer variants.
 func Optimizers() []string { return opt.Names() }
 
-// AllOptimizers returns every optimizer variant studied in the paper; rng
-// seeds the random elimination heuristic (nil for a fixed seed).
-func AllOptimizers(rng *rand.Rand) []Optimizer { return opt.All(rng) }
+// AllOptimizers returns every registered optimizer variant — the paper's
+// fifteen plus the engine extras (the statistics-free greedy planner);
+// rng seeds the random elimination heuristic (nil for a fixed seed).
+func AllOptimizers(rng *rand.Rand) []Optimizer { return append(opt.All(rng), opt.Extras()...) }
