@@ -4,13 +4,15 @@
 
 GO ?= go
 
-.PHONY: all check build test test-race race bench bench-json chaos experiments examples fmt vet clean docs-check
+.PHONY: all check build test test-race race bench bench-json chaos experiments examples fmt vet clean docs-check loadgen server-smoke
 
 all: check
 
-# Full gate: compile, vet, plain tests, then the race-enabled suite
-# (which exercises the parallel executor with Parallelism > 1).
-check: build vet test test-race
+# Full gate: compile, vet, plain tests, the race-enabled suite (which
+# exercises the parallel executor with Parallelism > 1), then the two
+# serving-layer smokes: a curl-driven endpoint walk of cmd/mpfserver and
+# a reduced concurrent load generation run over the wire.
+check: build vet test test-race server-smoke loadgen
 
 # Documentation gate: vet, the exported-identifier doc-comment check,
 # and markdown link verification (README/DESIGN/EXPERIMENTS/ARCHITECTURE).
@@ -45,6 +47,18 @@ bench-json:
 # EXPERIMENTS.md, `chaos`). The fixed seed makes failures reproducible.
 chaos:
 	$(GO) run ./cmd/mpfbench -exp chaos -quick -seed 1
+
+# Concurrent serving smoke: mixed read/write sessions over HTTP against
+# internal/server with tight admission control. Fails on any answer that
+# differs from serial replay or any untyped rejection (see EXPERIMENTS.md,
+# `loadgen`). Drop -quick for the full 240-session acceptance run.
+loadgen:
+	$(GO) run ./cmd/mpfbench -exp loadgen -quick -seed 1
+
+# End-to-end smoke of cmd/mpfserver: start on an ephemeral port, walk
+# the wire endpoints with curl, then assert a clean SIGTERM drain.
+server-smoke:
+	sh scripts/server_smoke.sh
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

@@ -3,7 +3,7 @@
 // operation of that experiment (plan optimization for the cost tables,
 // engine execution for the timing figures). cmd/mpfbench prints the full
 // sweeps; these benches track the same quantities under `go test -bench`.
-package mpf
+package mpf_test
 
 import (
 	"fmt"

@@ -23,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"mpf"
 	"mpf/internal/core"
 	"mpf/internal/gen"
 	"mpf/internal/opt"
@@ -57,7 +58,7 @@ func main() {
 		*strategy = *planner
 	}
 	if err := run(*load, *scale, *density, *tables, *seed, *srName, *strategy, *script, *command, *frames, *parallel, *rcache, *batch, *readahead, *ioRetries, *planCache, *planBudget); err != nil {
-		fmt.Fprintln(os.Stderr, "mpfcli:", err)
+		fmt.Fprintf(os.Stderr, "mpfcli: %v [%s]\n", err, mpf.ErrorCode(err))
 		os.Exit(1)
 	}
 }
@@ -219,7 +220,7 @@ func repl(db *core.Database, sess *sqlx.Session) error {
 			pending.Reset()
 			if strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(stmt), ";")) != "" {
 				if err := execute(sess, stmt); err != nil {
-					fmt.Println("error:", err)
+					fmt.Printf("error [%s]: %v\n", mpf.ErrorCode(err), err)
 				}
 			}
 		}

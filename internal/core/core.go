@@ -511,6 +511,11 @@ func validateExec(q *QuerySpec) error {
 }
 
 // Explain optimizes the query and returns the plan without executing it.
+//
+// Deprecated: Explain is a thin wrapper for ExplainContext with
+// context.Background(), kept for callers that predate the context-first
+// API. New code should call ExplainContext (or go through a Session,
+// which applies per-client deadlines and budgets).
 func (db *Database) Explain(q *QuerySpec) (*plan.Node, time.Duration, error) {
 	return db.ExplainContext(context.Background(), q)
 }
@@ -603,6 +608,11 @@ func (db *Database) plan(ctx context.Context, q *QuerySpec) (planInfo, error) {
 }
 
 // Query optimizes and executes an MPF query.
+//
+// Deprecated: Query is a thin wrapper for QueryContext with
+// context.Background(), kept for callers that predate the context-first
+// API. New code should call QueryContext (or go through a Session,
+// which applies per-client deadlines and budgets).
 func (db *Database) Query(q *QuerySpec) (*Result, error) {
 	return db.QueryContext(context.Background(), q)
 }
@@ -723,6 +733,12 @@ func (db *Database) execute(ctx context.Context, q *QuerySpec, info planInfo) (*
 		out.Relation = rel
 		out.Exec.Wall = time.Since(start)
 		out.Exec.RowsOut = int64(rel.Len())
+		// The in-memory interpreter has no operator-level accounting, so
+		// only the result-cardinality bound of a context budget applies.
+		if b, ok := exec.BudgetFromContext(ctx); ok && b.MaxRows > 0 && out.Exec.RowsOut > b.MaxRows {
+			out.Relation = nil
+			return out, &exec.BudgetError{Resource: "rows", Limit: b.MaxRows, Used: out.Exec.RowsOut}
+		}
 	}
 	if q.Having != nil {
 		out.Relation = filterHaving(out.Relation, q.Having)
@@ -772,6 +788,11 @@ func filterHaving(r *relation.Relation, h *Having) *relation.Relation {
 // functional relation — as a new base table, enabling MPF queries over
 // MPF results ("the result of an MPF query is an FR; thus MPF queries may
 // be used as subqueries", §2).
+//
+// Deprecated: Materialize is a thin wrapper for MaterializeContext with
+// context.Background(), kept for callers that predate the context-first
+// API. New code should call MaterializeContext (or go through a
+// Session, which applies per-client deadlines and budgets).
 func (db *Database) Materialize(name string, q *QuerySpec) (*relation.Relation, error) {
 	return db.MaterializeContext(context.Background(), name, q)
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 
 	"mpf/internal/catalog"
+	"mpf/internal/exec"
 	"mpf/internal/storage"
 )
 
@@ -44,6 +45,14 @@ var (
 	// page, and any result-cache entries over the damaged table are
 	// invalidated.
 	ErrCorrupt = storage.ErrCorruptPage
+	// ErrBudget reports a query stopped by its per-query resource budget
+	// (exec.WithBudget / Session budgets): it materialized more
+	// intermediate tuples or produced more result rows than the budget
+	// allows. It is the exec sentinel, so the error carries a
+	// *exec.BudgetError naming the exceeded bound. The query fails
+	// cleanly — temps dropped, no frames pinned — and the database keeps
+	// serving.
+	ErrBudget = exec.ErrBudget
 )
 
 // CancelError wraps the context error that ended a query. errors.Is

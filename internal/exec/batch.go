@@ -100,19 +100,24 @@ func (k *keyIndex) put(buf []byte, n, pos int) {
 // batchWriter accumulates output rows and flushes them to a table one
 // page-sized batch at a time, replacing per-row Append (a pool pin, a
 // header rewrite, and for shared outputs a mutex acquisition per row)
-// with one AppendRows per page of output.
+// with one AppendRows per page of output. Each flush charges the run's
+// TempTuples counter immediately, which is also where the per-query
+// temp-tuple budget is enforced for the vectorized paths: an exploding
+// join output is stopped within one page of output of crossing its
+// bound.
 type batchWriter struct {
 	t      *Table
 	locked bool // flush under t's mutex (shared outputs of parallel producers)
+	st     *RunStats
 	b      storage.Batch
 	limit  int
-	rows   int64 // total rows written, for TempTuples accounting
+	rows   int64 // total rows written by this writer
 }
 
-// newBatchWriter returns a writer into t; locked selects LockedAppend
-// semantics for outputs shared between goroutines.
-func newBatchWriter(t *Table, locked bool) *batchWriter {
-	w := &batchWriter{t: t, locked: locked, limit: storage.TuplesPerPage(len(t.Attrs))}
+// newBatchWriter returns a writer into t charging st; locked selects
+// LockedAppend semantics for outputs shared between goroutines.
+func newBatchWriter(t *Table, locked bool, st *RunStats) *batchWriter {
+	w := &batchWriter{t: t, locked: locked, st: st, limit: storage.TuplesPerPage(len(t.Attrs))}
 	w.b.Reset(len(t.Attrs))
 	return w
 }
@@ -126,7 +131,8 @@ func (w *batchWriter) append(vals []int32, m float64) error {
 	return nil
 }
 
-// flush writes the buffered rows out and resets the buffer.
+// flush writes the buffered rows out, resets the buffer, charges the
+// run's temp-tuple accounting, and enforces the temp-tuple budget.
 func (w *batchWriter) flush() error {
 	if w.b.Len() == 0 {
 		return nil
@@ -137,9 +143,14 @@ func (w *batchWriter) flush() error {
 	} else {
 		err = w.t.Heap.AppendBatch(&w.b)
 	}
-	w.rows += int64(w.b.Len())
+	n := int64(w.b.Len())
+	w.rows += n
 	w.b.Reset(w.b.Arity)
-	return err
+	w.st.addTempTuples(n)
+	if err != nil {
+		return err
+	}
+	return w.st.overTemp()
 }
 
 // selectBatch is the vectorized equality-selection scan: filter each
@@ -147,8 +158,7 @@ func (w *batchWriter) flush() error {
 func (e *Engine) selectBatch(ctx context.Context, in *Table, cols []int, want []int32, out *Table, st *RunStats) error {
 	it := e.scanB(ctx, in.Heap)
 	defer it.Close()
-	w := newBatchWriter(out, false)
-	defer func() { st.addTempTuples(w.rows) }()
+	w := newBatchWriter(out, false, st)
 	for {
 		b, ok := it.Next()
 		if !ok {
@@ -246,8 +256,7 @@ func (e *Engine) hashJoinIntoBatch(ctx context.Context, l, build, probe *Table, 
 	if err != nil {
 		return err
 	}
-	w := newBatchWriter(out, true)
-	defer func() { st.addTempTuples(w.rows) }()
+	w := newBatchWriter(out, true, st)
 	rowBuf := make([]int32, len(out.Attrs))
 	keyBuf := keyBufFor(probeCols)
 	nl := len(l.Attrs)
@@ -340,7 +349,7 @@ func (a *batchAgg) emit(ctx context.Context, out *Table, locked bool, st *RunSta
 		return err
 	}
 	st.addTempTuples(int64(len(a.meas)))
-	return nil
+	return st.overTemp()
 }
 
 // aggregateBatch runs one vectorized hash-aggregation pass over in.
@@ -378,15 +387,8 @@ func (e *Engine) aggregateBatch(ctx context.Context, in *Table, cols []int, st *
 func (e *Engine) partitionBatch(ctx context.Context, t *Table, cols []int, depth int, parts []*Table, st *RunStats) error {
 	writers := make([]*batchWriter, len(parts))
 	for i, p := range parts {
-		writers[i] = newBatchWriter(p, false)
+		writers[i] = newBatchWriter(p, false, st)
 	}
-	defer func() {
-		var rows int64
-		for _, w := range writers {
-			rows += w.rows
-		}
-		st.addTempTuples(rows)
-	}()
 	it := e.scanB(ctx, t.Heap)
 	defer it.Close()
 	for {

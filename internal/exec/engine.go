@@ -75,9 +75,9 @@ func NewEngine(pool *storage.Pool, factory storage.DiskFactory, sr semiring.Semi
 // children's time subtracted — matching PostgreSQL's per-node "actual
 // time" semantics.
 type OpStat struct {
-	Desc string
-	Rows int64
-	Wall time.Duration
+	Desc string        `json:"desc"`
+	Rows int64         `json:"rows"`
+	Wall time.Duration `json:"wall_ns"`
 }
 
 // Span is one operator's execution window within a query trace. Spans
@@ -90,57 +90,63 @@ type OpStat struct {
 // operator's window land in its delta.
 type Span struct {
 	// Desc is the operator description, e.g. "Scan(contracts)".
-	Desc string
+	Desc string `json:"desc"`
 	// Kind is the operator kind, e.g. "Scan", "ProductJoin", "GroupBy".
-	Kind string
+	Kind string `json:"kind"`
 	// Depth is the operator's distance from the plan root (root = 0).
-	Depth int
+	Depth int `json:"depth"`
 	// Rows is the operator's output cardinality.
-	Rows int64
+	Rows int64 `json:"rows"`
 	// Start and Stop are offsets from the run's start time.
-	Start, Stop time.Duration
+	Start time.Duration `json:"start_ns"`
+	Stop  time.Duration `json:"stop_ns"`
 	// Wall is exclusive (self) time, children subtracted.
-	Wall time.Duration
+	Wall time.Duration `json:"wall_ns"`
 	// IO is the pool-stats delta attributed to this operator alone.
-	IO storage.Stats
+	IO storage.Stats `json:"io"`
 }
 
 // RunStats describes one plan execution. On error the counters hold the
 // partial work done up to the failure (Wall and IO included), so EXPLAIN
 // ANALYZE of a failed query still reports what was spent.
 type RunStats struct {
-	Wall       time.Duration
-	IO         storage.Stats
-	RowsOut    int64
-	Operators  int
-	TempTuples int64 // tuples written to intermediate tables
+	Wall       time.Duration `json:"wall_ns"`
+	IO         storage.Stats `json:"io"`
+	RowsOut    int64         `json:"rows_out"`
+	Operators  int           `json:"operators"`
+	TempTuples int64         `json:"temp_tuples"` // tuples written to intermediate tables
 	// HotKeyFallbacks counts Grace-join partitions that hit the recursion
 	// depth limit still oversized (a hot join key) and fell back to an
 	// in-memory join above the build cap. Non-zero means pathological
 	// skew worth knowing about.
-	HotKeyFallbacks int64
+	HotKeyFallbacks int64 `json:"hot_key_fallbacks,omitempty"`
 	// CacheHits counts result-cache hits spliced into this run: subtrees
 	// whose execution was replaced by a scan of a cached materialization.
-	CacheHits int64
+	CacheHits int64 `json:"cache_hits,omitempty"`
 	// CacheMisses counts cacheable nodes of this run that probed the
 	// result cache and found nothing.
-	CacheMisses int64
+	CacheMisses int64 `json:"cache_misses,omitempty"`
 	// Batches counts the tuple batches the vectorized operator paths
 	// consumed; zero when the run used the legacy tuple-at-a-time paths
 	// (Engine.BatchSize = 1).
-	Batches int64
+	Batches int64 `json:"batches,omitempty"`
 	// Planner is the report name of the planner that produced this run's
 	// plan (the budget-race winner for budgeted planning). Filled by core,
 	// not the engine; empty when the caller did not plan through core.
-	Planner string
+	Planner string `json:"planner,omitempty"`
 	// PlanCacheHit marks a run whose plan came from the plan cache rather
 	// than a fresh optimization. Filled by core.
-	PlanCacheHit bool
+	PlanCacheHit bool `json:"plan_cache_hit,omitempty"`
 	// Ops lists per-operator actuals in completion (bottom-up) order.
-	Ops []OpStat
+	Ops []OpStat `json:"ops,omitempty"`
 	// Trace lists per-operator spans in the same order as Ops, with
 	// timestamps and IO deltas (EXPLAIN ANALYZE's data source).
-	Trace []Span
+	Trace []Span `json:"trace,omitempty"`
+
+	// budget holds the per-query resource bounds read from the context
+	// at run start (WithBudget); unexported so it never appears in the
+	// wire encoding of RunStats.
+	budget Budget
 }
 
 // Run executes the plan and returns the result as an in-memory relation
@@ -176,6 +182,9 @@ func (e *Engine) RunCachedContext(ctx context.Context, p *plan.Node, resolve Res
 	start := time.Now()
 	before := e.Pool.Stats()
 	st := &RunStats{}
+	if b, ok := BudgetFromContext(ctx); ok {
+		st.budget = b
+	}
 	if fps == nil {
 		cache = nil
 	}
@@ -203,6 +212,9 @@ func (e *Engine) RunCachedContext(ctx context.Context, p *plan.Node, resolve Res
 	}
 	finish()
 	st.RowsOut = int64(rel.Len())
+	if err := st.overRows(st.RowsOut); err != nil {
+		return nil, *st, err
+	}
 	return rel, *st, nil
 }
 
@@ -269,6 +281,15 @@ func (e *Engine) exec(ctx context.Context, p *plan.Node, env *runEnv, depth int)
 		env.st.CacheMisses++
 	}
 	out, childWall, childIO, err := e.execOp(ctx, p, env, depth)
+	if err == nil && out != nil {
+		// Operator-boundary budget backstop: loops enforce the temp-tuple
+		// bound at poll/flush cadence; this catches paths that only tally
+		// on completion.
+		if berr := env.st.overTemp(); berr != nil {
+			dropInput(out, false)
+			out, err = nil, berr
+		}
+	}
 	incl := time.Since(start)
 	inclIO := e.Pool.Stats().Sub(ioBefore)
 	if err == nil && out != nil {
@@ -457,17 +478,26 @@ const ctxPollInterval = 512
 
 // poller amortizes context checks over tuple-loop iterations. The zero
 // count means the first check happens after ctxPollInterval tuples —
-// callers already check ctx at operator entry.
+// callers already check ctx at operator entry. When st is set, each
+// check also enforces the run's temp-tuple budget, so budget
+// enforcement shares the cancellation cadence.
 type poller struct {
 	ctx context.Context
+	st  *RunStats
 	n   uint32
 }
 
-// check polls ctx.Err about every ctxPollInterval calls.
+// check polls ctx.Err (and the temp-tuple budget, when a RunStats is
+// attached) about every ctxPollInterval calls.
 func (p *poller) check() error {
 	p.n++
 	if p.n%ctxPollInterval == 0 {
-		return p.ctx.Err()
+		if err := p.ctx.Err(); err != nil {
+			return err
+		}
+		if p.st != nil {
+			return p.st.overTemp()
+		}
 	}
 	return nil
 }
@@ -515,7 +545,7 @@ func (e *Engine) selectOp(ctx context.Context, in *Table, pred relation.Predicat
 	}
 	it := in.Heap.ScanContext(ctx)
 	defer it.Close()
-	poll := poller{ctx: ctx}
+	poll := poller{ctx: ctx, st: st}
 	for {
 		vals, m, ok := it.Next()
 		if !ok {
@@ -624,7 +654,7 @@ func (e *Engine) hashJoinInto(ctx context.Context, l, r *Table, lCols, rCols, rE
 		return e.hashJoinIntoBatch(ctx, l, build, probe, buildCols, probeCols, rExtra, buildIsLeft, out, st)
 	}
 
-	poll := poller{ctx: ctx}
+	poll := poller{ctx: ctx, st: st}
 	ht := make(map[string][]buildRow, build.Heap.NumTuples())
 	bit := build.Heap.ScanContext(ctx)
 	keyBuf := make([]byte, 4*len(buildCols))

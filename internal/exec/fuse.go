@@ -54,7 +54,7 @@ func (e *Engine) fusedJoinGroupBy(ctx context.Context, l, r *Table, groupVars []
 	if e.batchOn() {
 		return e.fusedBatch(ctx, l, r, build, probe, buildCols, probeCols, rExtra, groupCols, aggAttrs, buildIsLeft, len(outAttrs), st)
 	}
-	poll := poller{ctx: ctx}
+	poll := poller{ctx: ctx, st: st}
 	ht := make(map[string][]buildRow, build.Heap.NumTuples())
 	bit := build.Heap.ScanContext(ctx)
 	keyBuf := make([]byte, 4*max(len(buildCols), len(groupCols)))

@@ -160,7 +160,7 @@ func (e *Engine) partition(ctx context.Context, t *Table, cols []int, depth int,
 	defer func() { st.addTempTuples(tmp) }()
 	it := t.Heap.ScanContext(ctx)
 	defer it.Close()
-	poll := poller{ctx: ctx}
+	poll := poller{ctx: ctx, st: st}
 	for {
 		vals, m, ok := it.Next()
 		if !ok {

@@ -129,8 +129,7 @@ func (e *Engine) indexedSelect(ctx context.Context, in *Table, pred relation.Pre
 	// of matches instead of one per match.
 	var w *batchWriter
 	if e.batchOn() {
-		w = newBatchWriter(out, false)
-		defer func() { st.addTempTuples(w.rows) }()
+		w = newBatchWriter(out, false, st)
 	}
 	emit := func(vals []int32, m float64) error {
 		for i, c := range residCols {

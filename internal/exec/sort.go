@@ -76,7 +76,7 @@ func (e *Engine) spillRun(ctx context.Context, run *memRun, cols []int, attrs []
 	}
 	var tmp int64
 	defer func() { st.addTempTuples(tmp) }()
-	poll := poller{ctx: ctx}
+	poll := poller{ctx: ctx, st: st}
 	for i := 0; i < run.len(); i++ {
 		if err := poll.check(); err != nil {
 			rt.Drop()
@@ -132,7 +132,7 @@ func (e *Engine) scanRuns(ctx context.Context, in *Table, runSize int, st *RunSt
 		}
 	} else {
 		it := in.Heap.ScanContext(ctx)
-		poll := poller{ctx: ctx}
+		poll := poller{ctx: ctx, st: st}
 		for {
 			vals, m, ok := it.Next()
 			if !ok {
@@ -365,7 +365,7 @@ func (e *Engine) mergeRuns(ctx context.Context, runs []*Table, cols []int, attrs
 		}
 	}
 	heap.Init(mh)
-	poll := poller{ctx: ctx}
+	poll := poller{ctx: ctx, st: st}
 	for mh.Len() > 0 {
 		c := mh.cursors[0]
 		if err := poll.check(); err != nil {
@@ -530,7 +530,7 @@ func (e *Engine) sortMergeJoin(ctx context.Context, l, r *Table, st *RunStats) (
 		return nil, err
 	}
 	rowBuf := make([]int32, len(outAttrs))
-	poll := poller{ctx: ctx}
+	poll := poller{ctx: ctx, st: st}
 	for lok && rok {
 		if err := poll.check(); err != nil {
 			out.Drop()

@@ -161,6 +161,7 @@ func Registry() []struct {
 		{"batch-exec", BatchExec},
 		{"chaos", Chaos},
 		{"plan-cache", PlanCacheExp},
+		{"loadgen", LoadGen},
 	}
 }
 

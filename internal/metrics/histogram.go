@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"math/bits"
+	"sync"
+	"time"
+)
+
+// latencyBuckets is the number of log₂ histogram buckets: bucket i
+// covers [2^i, 2^(i+1)) microseconds, so the range spans 1µs to ~2.3h —
+// far beyond any sane query latency — with a fixed, tiny footprint.
+const latencyBuckets = 43
+
+// Histogram is a fixed-size log₂-bucketed latency histogram. It trades
+// exactness for O(1) memory and lock-hold time: quantiles are read from
+// bucket upper bounds (at most 2× overestimate within a bucket), which
+// is the right fidelity for p50/p99 serving reports. Safe for
+// concurrent use; the zero value is ready.
+type Histogram struct {
+	mu     sync.Mutex
+	counts [latencyBuckets]int64
+	count  int64
+	sum    time.Duration
+	max    time.Duration
+}
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	us := d.Microseconds()
+	if us < 1 {
+		us = 1
+	}
+	i := bits.Len64(uint64(us)) - 1
+	if i >= latencyBuckets {
+		i = latencyBuckets - 1
+	}
+	return i
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.mu.Lock()
+	h.counts[bucketOf(d)]++
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+	h.mu.Unlock()
+}
+
+// LatencyStats is a point-in-time quantile summary of a Histogram, in
+// the wire encoding used by the serving layer's metrics endpoint.
+// Quantiles are bucket upper bounds clamped to the observed maximum.
+type LatencyStats struct {
+	Count int64         `json:"count"`
+	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P90   time.Duration `json:"p90_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+// Stats summarizes the histogram. All zeros when nothing was observed.
+func (h *Histogram) Stats() LatencyStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return LatencyStats{}
+	}
+	return LatencyStats{
+		Count: h.count,
+		Mean:  h.sum / time.Duration(h.count),
+		P50:   h.quantileLocked(0.50),
+		P90:   h.quantileLocked(0.90),
+		P99:   h.quantileLocked(0.99),
+		Max:   h.max,
+	}
+}
+
+// quantileLocked returns the q-quantile as the upper bound of the
+// bucket holding the q·count-th sample, clamped to the observed max.
+// Caller holds mu; count > 0.
+func (h *Histogram) quantileLocked(q float64) time.Duration {
+	rank := int64(q * float64(h.count))
+	if rank >= h.count {
+		rank = h.count - 1
+	}
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen > rank {
+			upper := time.Duration(1<<uint(i+1)) * time.Microsecond
+			if upper > h.max {
+				upper = h.max
+			}
+			return upper
+		}
+	}
+	return h.max
+}

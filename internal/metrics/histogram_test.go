@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramQuantiles asserts the log-bucket estimator brackets true
+// quantiles within one bucket (a factor of two) on a known population.
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if got := h.Stats(); got != (LatencyStats{}) {
+		t.Fatalf("empty histogram must report zeros, got %+v", got)
+	}
+	// 1000 samples: 1ms, 2ms, ..., 1000ms.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	st := h.Stats()
+	if st.Count != 1000 || st.Max != time.Second {
+		t.Fatalf("count/max wrong: %+v", st)
+	}
+	check := func(name string, got time.Duration, trueQ time.Duration) {
+		if got < trueQ || got > 2*trueQ {
+			t.Errorf("%s = %v, want within [%v, %v]", name, got, trueQ, 2*trueQ)
+		}
+	}
+	check("p50", st.P50, 500*time.Millisecond)
+	check("p90", st.P90, 900*time.Millisecond)
+	check("p99", st.P99, 990*time.Millisecond)
+	if st.Mean != 500500*time.Microsecond {
+		t.Errorf("mean = %v, want 500.5ms", st.Mean)
+	}
+
+	// Sub-microsecond and negative observations land in the first bucket
+	// rather than panicking.
+	var tiny Histogram
+	tiny.Observe(0)
+	tiny.Observe(-time.Second)
+	tiny.Observe(100 * time.Nanosecond)
+	if st := tiny.Stats(); st.Count != 3 || st.P99 > 2*time.Microsecond {
+		t.Fatalf("tiny samples misbucketed: %+v", st)
+	}
+}
+
+// TestHistogramConcurrent exercises Observe/Stats under the race
+// detector.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(w*i) * time.Microsecond)
+				if i%100 == 0 {
+					h.Stats()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := h.Stats(); st.Count != 8000 {
+		t.Fatalf("lost observations: %+v", st)
+	}
+}
+
+// TestSnapshotServerRendering asserts the server section of the text
+// report: "disabled" by default, full counters when a server fills it.
+func TestSnapshotServerRendering(t *testing.T) {
+	var s Snapshot
+	if !strings.Contains(s.String(), "server: disabled") {
+		t.Fatalf("unserved snapshot must render server as disabled:\n%s", s)
+	}
+	s.Server = ServerStats{
+		Enabled:        true,
+		SessionsOpened: 5, SessionsClosed: 2, SessionsActive: 3,
+		Admitted: 100, InFlight: 1, Queued: 2,
+		RejectedRate: 7, RejectedQueue: 1, RejectedDrain: 4,
+		Draining: true,
+		Latency:  LatencyStats{Count: 100, P50: time.Millisecond, P99: 4 * time.Millisecond, Max: 5 * time.Millisecond},
+	}
+	out := s.String()
+	for _, want := range []string{"server: draining", "3 sessions active", "100 admitted", "7 rate / 1 queue / 4 drain", "p50 1ms"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("server rendering missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -54,11 +54,11 @@ type QuerySample struct {
 // OpKindStats aggregates all executed operators of one kind.
 type OpKindStats struct {
 	// Count is the number of operators of this kind executed.
-	Count int64
+	Count int64 `json:"count"`
 	// Wall sums their exclusive wall time.
-	Wall time.Duration
+	Wall time.Duration `json:"wall_ns"`
 	// IO sums their attributed pool-stats deltas.
-	IO storage.Stats
+	IO storage.Stats `json:"io"`
 }
 
 // PlanKindStats aggregates planning work by planner kind, the planning
@@ -68,9 +68,9 @@ type OpKindStats struct {
 // the synthetic "plan-cache" kind covering cache-probe time on hits.
 type PlanKindStats struct {
 	// Count is the number of queries planned by this kind.
-	Count int64
+	Count int64 `json:"count"`
 	// Wall sums the planning wall time attributed to this kind.
-	Wall time.Duration
+	Wall time.Duration `json:"wall_ns"`
 }
 
 // Registry accumulates engine-wide metrics. The zero value is NOT ready;
@@ -152,38 +152,41 @@ func (r *Registry) QueryFinished(q QuerySample) {
 // operator overlap that per-query deltas cannot attribute exactly).
 type Snapshot struct {
 	// QueriesStarted counts queries that entered execution.
-	QueriesStarted int64
+	QueriesStarted int64 `json:"queries_started"`
 	// QueriesFinished counts queries that returned (any outcome).
-	QueriesFinished int64
+	QueriesFinished int64 `json:"queries_finished"`
 	// QueriesCanceled counts queries that ended with a context error.
-	QueriesCanceled int64
+	QueriesCanceled int64 `json:"queries_canceled"`
 	// QueriesFailed counts queries that ended with a non-context error.
-	QueriesFailed int64
+	QueriesFailed int64 `json:"queries_failed"`
 	// RowsOut sums result cardinalities over finished queries.
-	RowsOut int64
+	RowsOut int64 `json:"rows_out"`
 	// TempTuples sums intermediate tuples written.
-	TempTuples int64
+	TempTuples int64 `json:"temp_tuples"`
 	// Operators counts executed physical operators.
-	Operators int64
+	Operators int64 `json:"operators"`
 	// HotKeyFallbacks counts Grace-join hot-key fallbacks.
-	HotKeyFallbacks int64
+	HotKeyFallbacks int64 `json:"hot_key_fallbacks"`
 	// Batches counts tuple batches consumed by vectorized operators.
-	Batches int64
+	Batches int64 `json:"batches"`
 	// ExecWall sums query execution wall time.
-	ExecWall time.Duration
+	ExecWall time.Duration `json:"exec_wall_ns"`
 	// Pool is the buffer pool's cumulative IO (reads, writes, hits).
-	Pool storage.Stats
+	Pool storage.Stats `json:"pool"`
 	// ResultCache is the shared subplan result cache's state and counters.
 	// Core fills it after taking the registry snapshot; when the cache is
 	// disabled every field is zero and Enabled is false.
-	ResultCache ResultCacheStats
+	ResultCache ResultCacheStats `json:"result_cache"`
 	// PlanCache is the plan cache's state and counters, filled by core the
 	// same way as ResultCache.
-	PlanCache PlanCacheStats
+	PlanCache PlanCacheStats `json:"plan_cache"`
+	// Server is the network serving layer's state and counters, filled by
+	// internal/server on databases it serves; Enabled is false otherwise.
+	Server ServerStats `json:"server"`
 	// OpKinds aggregates operators by kind.
-	OpKinds map[string]OpKindStats
+	OpKinds map[string]OpKindStats `json:"op_kinds"`
 	// Planning aggregates planning time by planner kind.
-	Planning map[string]PlanKindStats
+	Planning map[string]PlanKindStats `json:"planning"`
 }
 
 // ResultCacheStats reports the engine's shared subplan result cache in a
@@ -193,31 +196,40 @@ type Snapshot struct {
 // (the latter via Enabled).
 type ResultCacheStats struct {
 	// Enabled reports whether the database was opened with a cache budget.
-	Enabled bool
+	Enabled bool `json:"enabled"`
 	// Entries is the number of live cached materializations; Bytes their
 	// resident size against BudgetBytes.
-	Entries, Bytes, BudgetBytes int64
+	Entries     int64 `json:"entries"`
+	Bytes       int64 `json:"bytes"`
+	BudgetBytes int64 `json:"budget_bytes"`
 	// Hits and Misses count probes at cacheable plan nodes.
-	Hits, Misses int64
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
 	// Inserts counts adopted materializations, Evictions cost-aware
 	// removals, Invalidations removals caused by base-table writes.
-	Inserts, Evictions, Invalidations int64
+	Inserts       int64 `json:"inserts"`
+	Evictions     int64 `json:"evictions"`
+	Invalidations int64 `json:"invalidations"`
 	// IOSavedPages sums the rebuild page IO avoided by hits.
-	IOSavedPages int64
+	IOSavedPages int64 `json:"io_saved_pages"`
 }
 
 // PlanCacheStats reports the engine's plan cache in a metrics snapshot.
 // Counters are cumulative; Entries is point-in-time against Capacity.
 type PlanCacheStats struct {
 	// Enabled reports whether the database was opened with a plan cache.
-	Enabled bool
+	Enabled bool `json:"enabled"`
 	// Entries is the number of live cached plans; Capacity the LRU bound.
-	Entries, Capacity int64
+	Entries  int64 `json:"entries"`
+	Capacity int64 `json:"capacity"`
 	// Hits and Misses count cache probes by cacheable queries.
-	Hits, Misses int64
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
 	// Inserts counts adopted plans, Evictions LRU removals, Invalidations
 	// removals caused by base-table writes.
-	Inserts, Evictions, Invalidations int64
+	Inserts       int64 `json:"inserts"`
+	Evictions     int64 `json:"evictions"`
+	Invalidations int64 `json:"invalidations"`
 }
 
 // Snapshot returns a consistent copy of the counters; pool is the buffer
@@ -281,6 +293,22 @@ func (s Snapshot) String() string {
 		fmt.Fprintf(&b, "plan cache: %d/%d entries\n", pc.Entries, pc.Capacity)
 		fmt.Fprintf(&b, "  %d hits, %d misses, %d inserts, %d evictions, %d invalidations\n",
 			pc.Hits, pc.Misses, pc.Inserts, pc.Evictions, pc.Invalidations)
+	}
+	sv := s.Server
+	if !sv.Enabled {
+		b.WriteString("server: disabled\n")
+	} else {
+		state := "serving"
+		if sv.Draining {
+			state = "draining"
+		}
+		fmt.Fprintf(&b, "server: %s, %d sessions active (%d opened, %d closed)\n",
+			state, sv.SessionsActive, sv.SessionsOpened, sv.SessionsClosed)
+		fmt.Fprintf(&b, "  admission: %d admitted, %d in flight, %d queued; rejected %d rate / %d queue / %d drain\n",
+			sv.Admitted, sv.InFlight, sv.Queued, sv.RejectedRate, sv.RejectedQueue, sv.RejectedDrain)
+		lat := sv.Latency
+		fmt.Fprintf(&b, "  latency: %d requests, p50 %v, p90 %v, p99 %v, max %v\n",
+			lat.Count, lat.P50, lat.P90, lat.P99, lat.Max)
 	}
 	if len(s.Planning) == 0 {
 		b.WriteString("planning: none\n")

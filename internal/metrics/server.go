@@ -1,0 +1,37 @@
+package metrics
+
+// ServerStats reports the network serving layer in a metrics snapshot.
+// The server (internal/server) fills it after taking the registry
+// snapshot, the same way core fills ResultCache and PlanCache; on a
+// database not being served, Enabled is false and the report renders
+// "server: disabled". Counters are cumulative over the server's
+// lifetime; SessionsActive, InFlight, Queued, and Draining are
+// point-in-time.
+type ServerStats struct {
+	// Enabled reports whether a server is attached to the database.
+	Enabled bool `json:"enabled"`
+	// SessionsOpened and SessionsClosed count wire sessions over the
+	// server's lifetime; SessionsActive is the current population.
+	SessionsOpened int64 `json:"sessions_opened"`
+	SessionsClosed int64 `json:"sessions_closed"`
+	SessionsActive int64 `json:"sessions_active"`
+	// Admitted counts requests that passed admission control and ran.
+	Admitted int64 `json:"admitted"`
+	// InFlight is the number of requests currently executing; Queued the
+	// number waiting for an admission token.
+	InFlight int64 `json:"in_flight"`
+	Queued   int64 `json:"queued"`
+	// RejectedRate counts requests refused with 429 (token-bucket rate
+	// exceeded beyond the queueable wait), RejectedQueue requests refused
+	// with 503 (admission queue full), RejectedDrain requests refused
+	// with 503 during graceful shutdown.
+	RejectedRate  int64 `json:"rejected_rate"`
+	RejectedQueue int64 `json:"rejected_queue"`
+	RejectedDrain int64 `json:"rejected_drain"`
+	// Draining marks a server past Shutdown: finishing in-flight work and
+	// refusing new requests.
+	Draining bool `json:"draining"`
+	// Latency summarizes served request latencies (admission wait
+	// included — it is time the client experienced).
+	Latency LatencyStats `json:"latency"`
+}

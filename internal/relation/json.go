@@ -1,0 +1,66 @@
+package relation
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// relationJSON is the wire form of a Relation: schema plus row-major
+// values and a parallel measure column. The encoding is the canonical
+// one shared by the HTTP wire protocol (internal/server) and any client
+// that round-trips relations as JSON.
+type relationJSON struct {
+	Name     string    `json:"name"`
+	Attrs    []Attr    `json:"attrs"`
+	Rows     [][]int32 `json:"rows"`
+	Measures []float64 `json:"measures"`
+}
+
+// MarshalJSON encodes the relation as
+// {"name":...,"attrs":[...],"rows":[[...]...],"measures":[...]}.
+// Row order is preserved; callers needing a canonical byte encoding
+// should Sort first.
+func (r *Relation) MarshalJSON() ([]byte, error) {
+	w := relationJSON{
+		Name:     r.name,
+		Attrs:    r.attrs,
+		Rows:     make([][]int32, r.Len()),
+		Measures: append([]float64(nil), r.measures...),
+	}
+	for i := 0; i < r.Len(); i++ {
+		w.Rows[i] = append([]int32(nil), r.Row(i)...)
+	}
+	if w.Rows == nil {
+		w.Rows = [][]int32{}
+	}
+	if w.Measures == nil {
+		w.Measures = []float64{}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes the wire form, validating the schema (unique
+// attribute names, positive domains) and every value against its
+// attribute domain. The functional-dependency check is not performed
+// here — CreateTable and hypothetical validation do that where it
+// matters — so decoding stays linear in the payload.
+func (r *Relation) UnmarshalJSON(data []byte) error {
+	var w relationJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if len(w.Rows) != len(w.Measures) {
+		return fmt.Errorf("relation %s: %d rows but %d measures", w.Name, len(w.Rows), len(w.Measures))
+	}
+	fresh, err := New(w.Name, w.Attrs)
+	if err != nil {
+		return err
+	}
+	for i, row := range w.Rows {
+		if err := fresh.Append(row, w.Measures[i]); err != nil {
+			return err
+		}
+	}
+	*r = *fresh
+	return nil
+}

@@ -28,9 +28,12 @@ import (
 
 // Attr describes one variable attribute: its name and the size of its
 // categorical domain. Values of the attribute are integers in [0, Domain).
+// The JSON encoding is the obvious object form, e.g.
+// {"name":"wid","domain":50}; it is part of the wire protocol
+// (internal/server) and must stay stable.
 type Attr struct {
-	Name   string
-	Domain int
+	Name   string `json:"name"`
+	Domain int    `json:"domain"`
 }
 
 // Relation is an in-memory functional relation. Rows are stored row-major

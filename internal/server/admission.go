@@ -1,0 +1,128 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// AdmissionConfig bounds the request intake: a token bucket paces
+// admissions at RatePerSec with Burst tokens of slack, and requests
+// that would have to wait line up in a bounded queue.
+type AdmissionConfig struct {
+	// RatePerSec is the sustained admission rate; 0 disables admission
+	// control entirely (every request admitted immediately).
+	RatePerSec float64
+	// Burst is the bucket depth: how many requests may be admitted
+	// back-to-back after an idle period. Minimum 1.
+	Burst int
+	// QueueDepth bounds how many requests may wait for a token at once;
+	// a request arriving past it is rejected with CodeOverloaded.
+	QueueDepth int
+	// QueueWait bounds how long an admitted-if-it-waits request may be
+	// asked to wait; a request whose token lies further out is rejected
+	// with CodeRateLimited.
+	QueueWait time.Duration
+}
+
+// Typed admission rejections; the HTTP layer maps them to the 429/503
+// envelope codes.
+var (
+	errRateLimited = errors.New("server: admission rate exceeded")
+	errOverloaded  = errors.New("server: admission queue full")
+)
+
+// admitter is a virtual-clock token bucket. Instead of materializing
+// tokens, it tracks `next`, the time the next token becomes available:
+// admitting a request advances next by one token interval, and idleness
+// is capped by flooring next at now − (Burst−1)·interval so at most
+// Burst tokens accumulate. A request admitted with next in the future
+// sleeps until its reserved token time (the queue), bounded by
+// QueueWait and QueueDepth.
+type admitter struct {
+	cfg      AdmissionConfig
+	interval time.Duration
+
+	mu     sync.Mutex
+	next   time.Time
+	queued int64
+}
+
+// newAdmitter builds an admitter; nil config fields are normalized.
+func newAdmitter(cfg AdmissionConfig) *admitter {
+	a := &admitter{cfg: cfg}
+	if cfg.RatePerSec > 0 {
+		a.interval = time.Duration(float64(time.Second) / cfg.RatePerSec)
+		if a.interval <= 0 {
+			a.interval = 1
+		}
+	}
+	if a.cfg.Burst < 1 {
+		a.cfg.Burst = 1
+	}
+	return a
+}
+
+// queuedNow reports the current queue population.
+func (a *admitter) queuedNow() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.queued
+}
+
+// admit blocks until the request may proceed, returning the wait it
+// served. Rejections are errRateLimited (token too far out),
+// errOverloaded (queue full), or ctx's error (caller gave up while
+// queued).
+func (a *admitter) admit(ctx context.Context) (time.Duration, error) {
+	if a.interval == 0 {
+		return 0, nil
+	}
+	a.mu.Lock()
+	now := time.Now()
+	// Cap accumulated idle credit at Burst tokens.
+	if floor := now.Add(-time.Duration(a.cfg.Burst-1) * a.interval); a.next.Before(floor) {
+		a.next = floor
+	}
+	token := a.next
+	wait := token.Sub(now)
+	if wait > a.cfg.QueueWait {
+		a.mu.Unlock()
+		return 0, errRateLimited
+	}
+	if wait > 0 && a.queued >= int64(a.cfg.QueueDepth) {
+		a.mu.Unlock()
+		return 0, errOverloaded
+	}
+	a.next = token.Add(a.interval)
+	if wait <= 0 {
+		a.mu.Unlock()
+		return 0, nil
+	}
+	a.queued++
+	a.mu.Unlock()
+
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		a.done(nil)
+		return wait, nil
+	case <-ctx.Done():
+		a.done(ctx.Err())
+		return 0, ctx.Err()
+	}
+}
+
+// done leaves the queue; an abandoned reservation (err != nil) is given
+// back to the bucket when it is still the most recent one, so callers
+// that give up while queued do not burn rate.
+func (a *admitter) done(err error) {
+	a.mu.Lock()
+	a.queued--
+	if err != nil {
+		a.next = a.next.Add(-a.interval)
+	}
+	a.mu.Unlock()
+}

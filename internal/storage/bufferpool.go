@@ -12,24 +12,24 @@ import (
 // together with the fault counters of its resilience machinery (retry,
 // checksum verification).
 type Stats struct {
-	Reads      int64 // pages fetched from a Disk (read-ahead included)
-	Writes     int64 // pages written back to a Disk
-	Hits       int64 // page requests satisfied from the pool
-	Prefetches int64 // pages fetched by the read-ahead path (subset of Reads)
+	Reads      int64 `json:"reads"`      // pages fetched from a Disk (read-ahead included)
+	Writes     int64 `json:"writes"`     // pages written back to a Disk
+	Hits       int64 `json:"hits"`       // page requests satisfied from the pool
+	Prefetches int64 `json:"prefetches"` // pages fetched by the read-ahead path (subset of Reads)
 	// Retries counts IO re-attempts issued after transient faults
 	// (SetRetry); zero in a fault-free run.
-	Retries int64
+	Retries int64 `json:"retries,omitempty"`
 	// TransientFaults counts transient IO faults observed (injected by a
 	// FaultDisk or real errno-class faults), whether or not a retry
 	// ultimately succeeded.
-	TransientFaults int64
+	TransientFaults int64 `json:"transient_faults,omitempty"`
 	// PermanentFaults counts IO errors the pool propagated to callers:
 	// non-transient faults, and transient faults that exhausted their
 	// retries. Checksum failures are counted separately.
-	PermanentFaults int64
+	PermanentFaults int64 `json:"permanent_faults,omitempty"`
 	// ChecksumFailures counts page fills whose contents failed checksum
 	// verification (surfaced as *CorruptPageError, never retried).
-	ChecksumFailures int64
+	ChecksumFailures int64 `json:"checksum_failures,omitempty"`
 }
 
 // IO returns total physical page transfers (reads + writes), the quantity

@@ -79,8 +79,15 @@ type (
 	Database = core.Database
 	// QuerySpec describes an MPF query against a view.
 	QuerySpec = core.QuerySpec
+	// Having is a post-aggregation filter on the result measure (the
+	// constrained-range query form).
+	Having = core.Having
+	// HavingOp is the comparison operator of a Having clause.
+	HavingOp = core.HavingOp
 	// Result is a query answer with plan and measurements.
 	Result = core.Result
+	// OpStat records one executed operator's actuals in RunStats.Ops.
+	OpStat = exec.OpStat
 	// RunStats describes one plan execution (wall, IO, per-operator
 	// actuals, trace spans).
 	RunStats = exec.RunStats
@@ -125,6 +132,10 @@ var (
 	// ErrCorrupt reports a query that hit a page whose checksum failed
 	// verification; corrupt bytes never reach query answers.
 	ErrCorrupt = core.ErrCorrupt
+	// ErrBudget reports a query stopped by its per-query resource budget
+	// (WithBudget / SessionOptions.Budget); errors.As against
+	// *BudgetError tells which bound tripped.
+	ErrBudget = core.ErrBudget
 )
 
 // Execution modes for QuerySpec.Exec.
@@ -133,6 +144,15 @@ const (
 	EngineExec = core.EngineExec
 	// MemoryExec interprets plans over in-memory relations.
 	MemoryExec = core.MemoryExec
+)
+
+// Comparison operators for Having clauses.
+const (
+	HavingLT = core.HavingLT
+	HavingLE = core.HavingLE
+	HavingGT = core.HavingGT
+	HavingGE = core.HavingGE
+	HavingEQ = core.HavingEQ
 )
 
 // Predefined semirings.

@@ -1,0 +1,63 @@
+#!/bin/sh
+# server_smoke.sh — end-to-end smoke test of cmd/mpfserver over the wire.
+#
+# Builds the server, starts it on an ephemeral port with the supply-chain
+# dataset, exercises the health, session, query, explain, catalog, and
+# metrics endpoints with curl, then sends SIGTERM and asserts a clean
+# drain (exit 0, "drained" on stdout). Any unexpected status or payload
+# fails the script.
+set -eu
+
+workdir=$(mktemp -d)
+bin="$workdir/mpfserver"
+portfile="$workdir/port"
+log="$workdir/server.log"
+trap 'kill "$srvpid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$bin" ./cmd/mpfserver
+
+"$bin" -addr 127.0.0.1:0 -port-file "$portfile" -load supplychain -scale 0.005 \
+    -admit-rate 500 -admit-burst 32 >"$log" 2>&1 &
+srvpid=$!
+
+# Wait for the listener.
+for i in $(seq 1 100); do
+    [ -s "$portfile" ] && break
+    kill -0 "$srvpid" 2>/dev/null || { echo "FAIL: server died during startup"; cat "$log"; exit 1; }
+    sleep 0.1
+done
+[ -s "$portfile" ] || { echo "FAIL: port file never appeared"; cat "$log"; exit 1; }
+base="http://$(cat "$portfile")"
+
+get() { curl -sS -o "$workdir/body" -w '%{http_code}' "$base$1"; }
+post() { curl -sS -o "$workdir/body" -w '%{http_code}' -X POST -d "$2" "$base$1"; }
+
+expect() { # expect <got_status> <want_status> <grep_pattern> <label>
+    if [ "$1" != "$2" ] || ! grep -q "$3" "$workdir/body"; then
+        echo "FAIL: $4 (status $1, want $2, pattern '$3')"
+        cat "$workdir/body"; echo; cat "$log"
+        exit 1
+    fi
+    echo "ok: $4"
+}
+
+expect "$(get /v1/health)" 200 '"status":"ok"' "health"
+expect "$(post /v1/sessions '{"timeout_ms":10000}')" 200 '"session":"s1"' "open session"
+expect "$(post /v1/query '{"session":"s1","query":{"view":"invest","group_vars":["wid"]}}')" \
+    200 '"rows"' "query via session"
+expect "$(post /v1/explain '{"query":{"view":"invest","group_vars":["wid"]}}')" \
+    200 '"plan"' "explain"
+expect "$(get /v1/catalog)" 200 '"views"' "catalog"
+expect "$(get /v1/metrics)" 200 '"server"' "metrics"
+expect "$(post /v1/query '{"query":{"view":"nope"}}')" 404 '"code":"unknown_view"' "typed error envelope"
+expect "$(curl -sS -o "$workdir/body" -w '%{http_code}' -X DELETE "$base/v1/sessions/s1")" \
+    200 '{}' "close session"
+
+# Graceful drain: SIGTERM must finish with exit 0 and report "drained".
+kill -TERM "$srvpid"
+if ! wait "$srvpid"; then
+    echo "FAIL: server exited non-zero on SIGTERM"; cat "$log"; exit 1
+fi
+grep -q "drained" "$log" || { echo "FAIL: no drain confirmation in log"; cat "$log"; exit 1; }
+echo "ok: SIGTERM drain"
+echo "server smoke: PASS"

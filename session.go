@@ -1,0 +1,118 @@
+package mpf
+
+import (
+	"context"
+	"time"
+
+	"mpf/internal/exec"
+	"mpf/internal/relation"
+)
+
+// Budget bounds a single query's resource use: intermediate tuples
+// written by the engine and result cardinality. Attach one to a context
+// with WithBudget, or set a per-client default via SessionOptions.
+// Exceeding a bound fails the query with ErrBudget (a *BudgetError).
+type Budget = exec.Budget
+
+// BudgetError reports which budget resource a failed query exceeded; it
+// matches ErrBudget via errors.Is.
+type BudgetError = exec.BudgetError
+
+// WithBudget returns a context carrying a per-query resource budget,
+// honored by Database.QueryContext and MaterializeContext.
+func WithBudget(ctx context.Context, b Budget) context.Context {
+	return exec.WithBudget(ctx, b)
+}
+
+// SessionOptions are the per-client defaults a Session applies to every
+// query that does not carry its own.
+type SessionOptions struct {
+	// Timeout bounds each call's wall time; applied only when the call's
+	// context has no deadline of its own. Zero means no default timeout.
+	Timeout time.Duration
+	// Budget bounds each query's resource use; applied only when the
+	// call's context carries no budget of its own (WithBudget). The zero
+	// Budget means no default bounds.
+	Budget Budget
+}
+
+// Session is a per-client handle on a Database: a thin wrapper that
+// stamps every call with the client's default deadline and resource
+// budget. Sessions are cheap (no server-side state beyond the options),
+// safe for concurrent use, and many sessions may share one Database —
+// the network layer (internal/server) creates one per wire session.
+//
+// Explicit context values win: a deadline already on ctx suppresses the
+// session timeout, and a budget already on ctx (WithBudget) suppresses
+// the session budget.
+type Session struct {
+	db   *Database
+	opts SessionOptions
+}
+
+// NewSession wraps db with per-client defaults.
+func NewSession(db *Database, opts SessionOptions) *Session {
+	return &Session{db: db, opts: opts}
+}
+
+// DB returns the underlying database.
+func (s *Session) DB() *Database { return s.db }
+
+// Options returns the session's defaults.
+func (s *Session) Options() SessionOptions { return s.opts }
+
+// apply stamps ctx with the session defaults, returning the derived
+// context and a cancel that must be called when the query finishes.
+func (s *Session) apply(ctx context.Context) (context.Context, context.CancelFunc) {
+	cancel := context.CancelFunc(func() {})
+	if s.opts.Timeout > 0 {
+		if _, has := ctx.Deadline(); !has {
+			ctx, cancel = context.WithTimeout(ctx, s.opts.Timeout)
+		}
+	}
+	if b := s.opts.Budget; (b != Budget{}) {
+		if _, has := exec.BudgetFromContext(ctx); !has {
+			ctx = WithBudget(ctx, b)
+		}
+	}
+	return ctx, cancel
+}
+
+// Query runs an MPF query with the session defaults applied.
+func (s *Session) Query(ctx context.Context, q *QuerySpec) (*Result, error) {
+	ctx, cancel := s.apply(ctx)
+	defer cancel()
+	return s.db.QueryContext(ctx, q)
+}
+
+// Explain optimizes a query without executing it, with the session
+// defaults applied.
+func (s *Session) Explain(ctx context.Context, q *QuerySpec) (*Result, error) {
+	ctx, cancel := s.apply(ctx)
+	defer cancel()
+	p, d, err := s.db.ExplainContext(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Plan: p, Optimize: d}, nil
+}
+
+// Materialize runs a query and registers its answer as a new table,
+// with the session defaults applied.
+func (s *Session) Materialize(ctx context.Context, name string, q *QuerySpec) (*relation.Relation, error) {
+	ctx, cancel := s.apply(ctx)
+	defer cancel()
+	return s.db.MaterializeContext(ctx, name, q)
+}
+
+// Insert adds one row to a base table (write calls are not budgeted;
+// they are serialized by the caller or the serving layer).
+func (s *Session) Insert(table string, vals []int32, measure float64) error {
+	return s.db.Insert(table, vals, measure)
+}
+
+// Delete removes one row from a base table, reporting whether it
+// existed.
+func (s *Session) Delete(table string, vals []int32) (bool, error) {
+	return s.db.Delete(table, vals)
+}

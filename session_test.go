@@ -1,0 +1,104 @@
+package mpf
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// openCostsDB builds a small database with a single-table view "v".
+func openCostsDB(t *testing.T) *Database {
+	t.Helper()
+	db, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	r, err := FromRows("costs",
+		[]Attr{{Name: "a", Domain: 4}, {Name: "b", Domain: 4}},
+		[][]int32{{0, 0}, {0, 1}, {1, 0}, {1, 1}, {2, 3}, {3, 2}},
+		[]float64{1, 2, 3, 4, 5, 6},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateView("v", []string{"costs"}); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestSessionDefaults asserts a session stamps its default budget onto
+// queries and that an explicit per-call budget wins over the default.
+func TestSessionDefaults(t *testing.T) {
+	db := openCostsDB(t)
+	spec := &QuerySpec{View: "v", GroupVars: []string{"a"}}
+
+	// A default budget too small for the result fails the query...
+	tight := NewSession(db, SessionOptions{Budget: Budget{MaxRows: 1}})
+	if _, err := tight.Query(context.Background(), spec); !errors.Is(err, ErrBudget) {
+		t.Fatalf("session default budget not applied: err=%v", err)
+	}
+	// ...unless the call carries its own, which takes precedence.
+	ctx := WithBudget(context.Background(), Budget{MaxRows: 1 << 20})
+	res, err := tight.Query(ctx, spec)
+	if err != nil {
+		t.Fatalf("explicit budget should override session default: %v", err)
+	}
+	if res.Relation.Len() == 0 {
+		t.Fatal("empty result")
+	}
+
+	// A session with no options behaves like the plain API.
+	plain := NewSession(db, SessionOptions{})
+	if _, err := plain.Query(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.Explain(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSessionTimeout asserts the default deadline is applied (an
+// already-expired timeout cancels queries) without leaking into
+// contexts that carry their own deadline.
+func TestSessionTimeout(t *testing.T) {
+	db := openCostsDB(t)
+	spec := &QuerySpec{View: "v", GroupVars: []string{"a"}}
+
+	s := NewSession(db, SessionOptions{Timeout: time.Nanosecond})
+	time.Sleep(time.Microsecond)
+	if _, err := s.Query(context.Background(), spec); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("nanosecond session timeout should cancel, got %v", err)
+	}
+
+	// An explicit generous deadline on the call wins.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if _, err := s.Query(ctx, spec); err != nil {
+		t.Fatalf("explicit deadline should override session timeout: %v", err)
+	}
+}
+
+// TestSessionWrites asserts the write passthroughs hit the database.
+func TestSessionWrites(t *testing.T) {
+	db := openCostsDB(t)
+	s := NewSession(db, SessionOptions{})
+	if err := s.Insert("costs", []int32{3, 3}, 7); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := s.Delete("costs", []int32{3, 3})
+	if err != nil || !ok {
+		t.Fatalf("delete inserted row: ok=%v err=%v", ok, err)
+	}
+	if _, err := s.Materialize(context.Background(), "va", &QuerySpec{View: "v", GroupVars: []string{"a"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Relation("va"); err != nil {
+		t.Fatalf("materialized table missing: %v", err)
+	}
+}
