@@ -4,15 +4,16 @@
 
 GO ?= go
 
-.PHONY: all check build test test-race race bench bench-json chaos experiments examples fmt vet clean docs-check loadgen server-smoke
+.PHONY: all check build test test-race race bench bench-json chaos columnar experiments examples fmt vet clean docs-check loadgen server-smoke
 
 all: check
 
 # Full gate: compile, vet, plain tests, the race-enabled suite (which
-# exercises the parallel executor with Parallelism > 1), then the two
-# serving-layer smokes: a curl-driven endpoint walk of cmd/mpfserver and
-# a reduced concurrent load generation run over the wire.
-check: build vet test test-race server-smoke loadgen
+# exercises the parallel executor with Parallelism > 1), the two
+# serving-layer smokes (a curl-driven endpoint walk of cmd/mpfserver and
+# a reduced concurrent load generation run over the wire), and the quick
+# columnar-layout identity check.
+check: build vet test test-race server-smoke loadgen columnar
 
 # Documentation gate: vet, the exported-identifier doc-comment check,
 # and markdown link verification (README/DESIGN/EXPERIMENTS/ARCHITECTURE).
@@ -36,17 +37,25 @@ bench:
 
 # Snapshot the vectorized-executor microbenchmarks (tuple vs batch mode:
 # scan, Grace join, group-by) as machine-readable JSON in BENCH_PR4.json,
-# and the planning-latency microbenchmarks (CS+ search vs greedy vs a
-# warmed plan-cache probe) as BENCH_PR6.json.
+# the planning-latency microbenchmarks (CS+ search vs greedy vs a warmed
+# plan-cache probe) as BENCH_PR6.json, and the columnar-vs-row-major
+# layout microbenchmarks (scan, join, group-by) as BENCH_PR8.json.
 bench-json:
 	$(GO) test -run=NONE -bench=Batch -benchtime=10x -benchmem ./internal/exec/ | $(GO) run ./cmd/benchjson > BENCH_PR4.json
 	$(GO) test -run=NONE -bench=Planning -benchtime=100x -benchmem ./internal/core/ | $(GO) run ./cmd/benchjson > BENCH_PR6.json
+	$(GO) test -run=NONE -bench=Columnar -benchtime=10x -benchmem ./internal/exec/ | $(GO) run ./cmd/benchjson > BENCH_PR8.json
 
 # Deterministic-seed chaos run: replay the optimizer/executor matrix
 # over fault-injecting disks and check the resilience contract (see
 # EXPERIMENTS.md, `chaos`). The fixed seed makes failures reproducible.
 chaos:
 	$(GO) run ./cmd/mpfbench -exp chaos -quick -seed 1
+
+# Quick columnar-layout check: the columnar experiment errors unless the
+# encoded kernels return byte-identical results with identical physical
+# IO (see EXPERIMENTS.md, `columnar`); the speedup column is informative.
+columnar:
+	$(GO) run ./cmd/mpfbench -exp columnar -quick -seed 1
 
 # Concurrent serving smoke: mixed read/write sessions over HTTP against
 # internal/server with tight admission control. Fails on any answer that

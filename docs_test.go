@@ -15,6 +15,7 @@ var docFiles = []string{
 	"EXPERIMENTS.md",
 	"ROADMAP.md",
 	"docs/ARCHITECTURE.md",
+	"docs/PAGE_FORMAT.md",
 }
 
 // mdLink matches inline markdown links; group 1 is the target.

@@ -357,3 +357,73 @@ func TestCorruptReadInvalidatesResultCache(t *testing.T) {
 		t.Fatalf("corruption never detected by checksums: %+v", st)
 	}
 }
+
+// TestChaosColumnarUnderFaults replays the chaos matrix with columnar
+// page encoding on: first fault-free, where every answer must be
+// bit-identical to the row-major configuration (the encodings change CPU
+// work, never results), then over disks injecting transient faults on 5%
+// of operations, where the retry machinery must absorb every fault —
+// encoded pages round-trip through the checksum/retry paths like any
+// other page. Run under -race this drives concurrent encoded scans.
+func TestChaosColumnarUnderFaults(t *testing.T) {
+	groupVars := []string{"a", "b", "c"}
+	ref := chaosReference(t, groupVars)
+
+	// Fault-free columnar pass: bit-identical to row-major answers.
+	colCfg := chaosConfig()
+	colCfg.Columnar = true
+	cleanDB, err := Open(colCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadChaosTables(t, cleanDB)
+	refCol := make(map[string]*relation.Relation)
+	for _, gv := range groupVars {
+		res, err := cleanDB.Query(&QuerySpec{View: "rs", GroupVars: []string{gv}})
+		if err != nil {
+			t.Fatalf("clean columnar %s: %v", gv, err)
+		}
+		if !relation.Equal(res.Relation, ref[gv], 0, 0) {
+			t.Fatalf("%s: columnar answer differs bit-wise from row-major", gv)
+		}
+		refCol[gv] = res.Relation
+	}
+	if es := cleanDB.Pool().EncodingStats(); es.PagesEncoded == 0 {
+		t.Fatal("columnar chaos config never encoded a page")
+	}
+	cleanDB.Close()
+
+	// Transient-fault pass: every query succeeds and matches within the
+	// harness's float-reorder tolerance; no frame stays pinned.
+	fleet := &faultFleet{}
+	cfg := colCfg
+	cfg.DiskFactory = fleet.factory(storage.MemDiskFactory(),
+		storage.FaultPlan{Seed: 17, ReadErr: 0.05, WriteErr: 0.05, AllocErr: 0.05})
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	loadChaosTables(t, db)
+	for pass := 0; pass < 2; pass++ {
+		for _, gv := range groupVars {
+			res, err := db.Query(&QuerySpec{View: "rs", GroupVars: []string{gv}})
+			if err != nil {
+				t.Fatalf("pass %d %s: %v", pass, gv, err)
+			}
+			if !matchesReference(res.Relation, refCol[gv]) {
+				t.Fatalf("pass %d %s: faulty columnar answer differs from fault-free", pass, gv)
+			}
+			if n := db.Pool().Pinned(); n != 0 {
+				t.Fatalf("pass %d %s: %d frames left pinned", pass, gv, n)
+			}
+		}
+	}
+	st := db.Pool().Stats()
+	if st.Retries == 0 || st.TransientFaults == 0 {
+		t.Fatalf("fault schedule never exercised the retry path: %+v", st)
+	}
+	if es := db.Pool().EncodingStats(); es.PagesEncoded == 0 {
+		t.Fatal("faulty columnar run never encoded a page")
+	}
+}

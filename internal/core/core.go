@@ -65,6 +65,15 @@ type Config struct {
 	// IO counts reproduce the paper's cost model exactly (see
 	// exec.Engine.ReadAhead).
 	ReadAhead int
+	// Columnar, when true, re-encodes every heap page that fills — base
+	// tables and intermediates alike — with the per-page columnar layout
+	// (dictionary/run-length column segments where they pay for
+	// themselves) and routes batch execution through the encoded-value
+	// kernels. Results are byte-identical to row-major execution; page
+	// counts, and therefore the paper's IO cost model, are unchanged (the
+	// encoding compresses within pages, never across them). No effect
+	// when BatchSize is 1.
+	Columnar bool
 	// IORetries bounds how many times the buffer pool re-attempts an IO
 	// operation that failed with a transient fault (storage.IsTransient),
 	// with capped exponential backoff between attempts. 0 (the default)
@@ -155,6 +164,7 @@ func Open(cfg Config) (*Database, error) {
 	engine.Parallelism = cfg.Parallelism
 	engine.BatchSize = cfg.BatchSize
 	engine.ReadAhead = cfg.ReadAhead
+	engine.Columnar = cfg.Columnar
 	db := &Database{
 		cfg:      cfg,
 		pool:     pool,
@@ -209,6 +219,7 @@ func (db *Database) Engine() *exec.Engine { return db.engine }
 // queries.
 func (db *Database) Metrics() metrics.Snapshot {
 	s := db.metrics.Snapshot(db.pool.Stats())
+	s.Encoding = db.pool.EncodingStats()
 	if db.rcache != nil {
 		cs := db.rcache.Snapshot()
 		s.ResultCache = metrics.ResultCacheStats{
@@ -266,7 +277,7 @@ func (db *Database) CreateTable(r *relation.Relation) error {
 	if err := r.CheckFD(); err != nil {
 		return fmt.Errorf("core: %w: %w", ErrNotFunctional, err)
 	}
-	t, err := exec.LoadRelation(db.pool, db.factory, r)
+	t, err := exec.LoadRelationColumnar(db.pool, db.factory, r, db.cfg.Columnar)
 	if err != nil {
 		return err
 	}
@@ -652,6 +663,10 @@ func querySample(out *Result, err error) metrics.QuerySample {
 		for i, sp := range out.Exec.Trace {
 			s.Ops[i] = metrics.OpSample{Kind: sp.Kind, Wall: sp.Wall, IO: sp.IO}
 		}
+		s.Morsels = make([]metrics.MorselSample, len(out.Exec.Morsels))
+		for i, m := range out.Exec.Morsels {
+			s.Morsels[i] = metrics.MorselSample{Kind: m.Kind, Count: m.Count, Busy: m.Busy}
+		}
 	}
 	return s
 }
@@ -680,7 +695,7 @@ func (db *Database) execute(ctx context.Context, q *QuerySpec, info planInfo) (*
 			}
 		}()
 		for name, h := range q.Hypothetical {
-			ht, err := exec.LoadRelation(db.pool, db.factory, h)
+			ht, err := exec.LoadRelationColumnar(db.pool, db.factory, h, db.cfg.Columnar)
 			if err != nil {
 				return out, err
 			}

@@ -1,0 +1,496 @@
+package exec
+
+// Encoded-batch operator paths. These mirror the vectorized kernels of
+// batch.go but consume storage.ColBatch views, operating on the page
+// encodings directly: an equality predicate is checked once per RLE run
+// instead of once per row, and dictionary/byte codes feed per-batch
+// memo tables so a group-by or join probe does one keyIndex lookup per
+// distinct code per batch instead of one per row. The canonical hash key
+// is always the 4-bytes-per-column encodeKey through the existing
+// keyIndex — per-page dictionary codes only short-circuit lookups, never
+// key tables — so mixed columnar/row-major/fallback pages aggregate and
+// join consistently. Every kernel emits rows in exactly the scan order
+// of the row-major paths, and RLE aggregation folds measures row by row
+// within a run (never pre-summing the run), so results stay
+// byte-identical to row-major execution, float accumulation order
+// included.
+
+import (
+	"context"
+	"encoding/binary"
+
+	"mpf/internal/storage"
+)
+
+// colOn reports whether the encoded-batch paths are selected: columnar
+// mode on top of the vectorized paths.
+func (e *Engine) colOn() bool { return e.Columnar && e.batchOn() }
+
+// scanCB returns an encoded-batch iterator over h configured with the
+// engine's batch width and read-ahead distance.
+func (e *Engine) scanCB(ctx context.Context, h *storage.Heap) *storage.ColBatchIterator {
+	it := h.ScanColBatchesContext(ctx)
+	if e.BatchSize > 1 {
+		it.SetBatchSize(e.BatchSize)
+	}
+	if e.ReadAhead > 0 {
+		it.SetReadAhead(e.ReadAhead)
+	}
+	return it
+}
+
+// flatCols materializes every column of cb as a plain value slice
+// (cached inside each view; a passthrough for plain columns), so gather
+// loops index slices directly instead of switching on the encoding per
+// value. Costs one decode pass per column — what the row-major batch
+// decoder pays unconditionally.
+func flatCols(cb *storage.ColBatch, buf [][]int32) [][]int32 {
+	buf = buf[:0]
+	for c := range cb.Cols {
+		buf = append(buf, cb.Cols[c].Flat())
+	}
+	return buf
+}
+
+// gatherRow copies row i of the flattened columns into dst.
+func gatherRow(fs [][]int32, i int, dst []int32) {
+	for c, f := range fs {
+		dst[c] = f[i]
+	}
+}
+
+// markMismatches clears mask entries whose value in v differs from want,
+// using the encoding: whole RLE runs are accepted or rejected at once,
+// and byte/dict views compare codes without decoding.
+func markMismatches(v *storage.ColView, want int32, mask []bool) {
+	switch v.Enc {
+	case storage.EncRLE:
+		i := 0
+		for _, r := range v.Runs {
+			if r.Val != want {
+				for j := 0; j < r.Len; j++ {
+					mask[i+j] = false
+				}
+			}
+			i += r.Len
+		}
+	case storage.EncByte:
+		if want < 0 || want > 255 {
+			for i := range mask {
+				mask[i] = false
+			}
+			return
+		}
+		wb := uint8(want)
+		for i, c := range v.Codes {
+			if c != wb {
+				mask[i] = false
+			}
+		}
+	case storage.EncDict:
+		code := -1
+		for d, dv := range v.Dict {
+			if dv == want {
+				code = d
+				break
+			}
+		}
+		if code < 0 {
+			for i := range mask {
+				mask[i] = false
+			}
+			return
+		}
+		wc := uint8(code)
+		for i, c := range v.Codes {
+			if c != wc {
+				mask[i] = false
+			}
+		}
+	default:
+		for i, x := range v.Plain {
+			if x != want {
+				mask[i] = false
+			}
+		}
+	}
+}
+
+// selectColBatch is the encoded equality-selection scan: build a match
+// mask per batch from the column encodings, then gather and emit the
+// surviving rows in scan order.
+func (e *Engine) selectColBatch(ctx context.Context, in *Table, cols []int, want []int32, out *Table, st *RunStats) error {
+	it := e.scanCB(ctx, in.Heap)
+	defer it.Close()
+	w := newBatchWriter(out, false, st)
+	rowBuf := make([]int32, len(in.Attrs))
+	fbuf := make([][]int32, 0, len(in.Attrs))
+	var mask []bool
+	for {
+		cb, ok := it.Next()
+		if !ok {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		st.addBatches(1)
+		n := cb.Len()
+		if cap(mask) < n {
+			mask = make([]bool, n)
+		}
+		mask = mask[:n]
+		for i := range mask {
+			mask[i] = true
+		}
+		for j, c := range cols {
+			markMismatches(&cb.Cols[c], want[j], mask)
+		}
+		var fs [][]int32 // flattened lazily: an all-miss batch never decodes
+		for i := 0; i < n; i++ {
+			if !mask[i] {
+				continue
+			}
+			if fs == nil {
+				fs = flatCols(cb, fbuf)
+				fbuf = fs
+			}
+			gatherRow(fs, i, rowBuf)
+			if err := w.append(rowBuf, cb.Measures[i]); err != nil {
+				return err
+			}
+		}
+	}
+	if err := it.Err(); err != nil {
+		return err
+	}
+	return w.flush()
+}
+
+// absorbAt is batchAgg.absorb returning the group position, for memo
+// fast paths that cache positions per dictionary code.
+func (a *batchAgg) absorbAt(e *Engine, buf []byte, n int, row []int32, cols []int, m float64) int {
+	gi, seen := a.idx.get(buf, n)
+	if seen {
+		a.meas[gi] = e.Sr.Add(a.meas[gi], m)
+		return gi
+	}
+	gi = len(a.meas)
+	for _, c := range cols {
+		a.vals = append(a.vals, row[c])
+	}
+	a.meas = append(a.meas, m)
+	a.idx.put(buf, n, gi)
+	return gi
+}
+
+// absorbRun folds one RLE run's measures into the group keyed by
+// buf[:n], in row order — one key lookup for the run, but per-row
+// semiring adds, so float accumulation order matches the row path.
+func (a *batchAgg) absorbRun(e *Engine, buf []byte, n int, row []int32, cols []int, meas []float64) {
+	gi, seen := a.idx.get(buf, n)
+	i := 0
+	if !seen {
+		gi = len(a.meas)
+		for _, c := range cols {
+			a.vals = append(a.vals, row[c])
+		}
+		a.meas = append(a.meas, meas[0])
+		a.idx.put(buf, n, gi)
+		i = 1
+	}
+	for ; i < len(meas); i++ {
+		a.meas[gi] = e.Sr.Add(a.meas[gi], meas[i])
+	}
+}
+
+// aggregateColBatch runs one encoded hash-aggregation pass over in. A
+// single-column group key hits the encoding fast paths (one lookup per
+// RLE run, one lookup per distinct byte/dict code per batch); wider keys
+// gather rows and use the canonical path.
+func (e *Engine) aggregateColBatch(ctx context.Context, in *Table, cols []int, st *RunStats) (*batchAgg, error) {
+	agg := newBatchAgg(len(cols))
+	keyBuf := keyBufFor(cols)
+	rowBuf := make([]int32, len(in.Attrs))
+	fbuf := make([][]int32, 0, len(in.Attrs))
+	single := len(cols) == 1
+	var memo [256]int32 // group position + 1 per code, per batch
+	it := e.scanCB(ctx, in.Heap)
+	defer it.Close()
+	for {
+		cb, ok := it.Next()
+		if !ok {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		st.addBatches(1)
+		if single {
+			c := cols[0]
+			v := &cb.Cols[c]
+			switch v.Enc {
+			case storage.EncRLE:
+				i := 0
+				for _, r := range v.Runs {
+					binary.LittleEndian.PutUint32(keyBuf, uint32(r.Val))
+					rowBuf[c] = r.Val
+					agg.absorbRun(e, keyBuf, 4, rowBuf, cols, cb.Measures[i:i+r.Len])
+					i += r.Len
+				}
+				continue
+			case storage.EncByte, storage.EncDict:
+				ncodes := len(v.Dict)
+				if v.Enc == storage.EncByte {
+					ncodes = 256
+				}
+				for i := 0; i < ncodes; i++ {
+					memo[i] = 0
+				}
+				for i, code := range v.Codes {
+					if gi := memo[code]; gi != 0 {
+						agg.meas[gi-1] = e.Sr.Add(agg.meas[gi-1], cb.Measures[i])
+						continue
+					}
+					val := int32(code)
+					if v.Enc == storage.EncDict {
+						val = v.Dict[code]
+					}
+					binary.LittleEndian.PutUint32(keyBuf, uint32(val))
+					rowBuf[c] = val
+					memo[code] = int32(agg.absorbAt(e, keyBuf, 4, rowBuf, cols, cb.Measures[i])) + 1
+				}
+				continue
+			}
+		}
+		fs := flatCols(cb, fbuf)
+		fbuf = fs
+		for i := 0; i < cb.Len(); i++ {
+			gatherRow(fs, i, rowBuf)
+			n := encodeKey(rowBuf, cols, keyBuf)
+			agg.absorb(e, keyBuf, n, rowBuf, cols, cb.Measures[i])
+		}
+	}
+	if err := it.Err(); err != nil {
+		return nil, err
+	}
+	return agg, nil
+}
+
+// hashJoinIntoColBatch is the encoded in-memory-build hash join: build
+// with the vectorized buildBatch (decoding works on any page format),
+// then probe encoded batches, memoizing the group lookup per dictionary
+// code (or per RLE run) on single-column join keys. Output rows are
+// emitted in exactly the row path's order.
+func (e *Engine) hashJoinIntoColBatch(ctx context.Context, l, build, probe *Table, buildCols, probeCols, rExtra []int, buildIsLeft bool, out *Table, st *RunStats) error {
+	hb, err := e.buildBatch(ctx, build, buildCols, st)
+	if err != nil {
+		return err
+	}
+	w := newBatchWriter(out, true, st)
+	rowBuf := make([]int32, len(out.Attrs))
+	probeBuf := make([]int32, len(probe.Attrs))
+	fbuf := make([][]int32, 0, len(probe.Attrs))
+	keyBuf := keyBufFor(probeCols)
+	nl := len(l.Attrs)
+	emit := func(rows []buildRow, probeRow []int32, pm float64) error {
+		for _, br := range rows {
+			var lv, rv []int32
+			var lm, rm float64
+			if buildIsLeft {
+				lv, lm, rv, rm = br.vals, br.measure, probeRow, pm
+			} else {
+				lv, lm, rv, rm = probeRow, pm, br.vals, br.measure
+			}
+			copy(rowBuf, lv)
+			for j, c := range rExtra {
+				rowBuf[nl+j] = rv[c]
+			}
+			if err := w.append(rowBuf, e.Sr.Mul(lm, rm)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	lookup1 := func(val int32) []buildRow {
+		binary.LittleEndian.PutUint32(keyBuf, uint32(val))
+		return hb.lookup(keyBuf, 4)
+	}
+	single := len(probeCols) == 1
+	var memo [256][]buildRow // matches per code, per batch
+	var memoSet [256]bool
+	it := e.scanCB(ctx, probe.Heap)
+	defer it.Close()
+	for {
+		cb, ok := it.Next()
+		if !ok {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		st.addBatches(1)
+		var fs [][]int32 // flattened on first match: all-miss batches skip decode
+		row := func(i int) []int32 {
+			if fs == nil {
+				fs = flatCols(cb, fbuf)
+				fbuf = fs
+			}
+			gatherRow(fs, i, probeBuf)
+			return probeBuf
+		}
+		if single {
+			c := probeCols[0]
+			v := &cb.Cols[c]
+			switch v.Enc {
+			case storage.EncRLE:
+				i := 0
+				for _, r := range v.Runs {
+					rows := lookup1(r.Val)
+					if len(rows) == 0 {
+						i += r.Len
+						continue
+					}
+					for j := i; j < i+r.Len; j++ {
+						if err := emit(rows, row(j), cb.Measures[j]); err != nil {
+							return err
+						}
+					}
+					i += r.Len
+				}
+				continue
+			case storage.EncByte, storage.EncDict:
+				ncodes := len(v.Dict)
+				if v.Enc == storage.EncByte {
+					ncodes = 256
+				}
+				for i := 0; i < ncodes; i++ {
+					memoSet[i] = false
+				}
+				for i, code := range v.Codes {
+					if !memoSet[code] {
+						val := int32(code)
+						if v.Enc == storage.EncDict {
+							val = v.Dict[code]
+						}
+						memo[code] = lookup1(val)
+						memoSet[code] = true
+					}
+					rows := memo[code]
+					if len(rows) == 0 {
+						continue
+					}
+					if err := emit(rows, row(i), cb.Measures[i]); err != nil {
+						return err
+					}
+				}
+				continue
+			}
+		}
+		for i := 0; i < cb.Len(); i++ {
+			n := encodeKey(row(i), probeCols, keyBuf)
+			rows := hb.lookup(keyBuf, n)
+			if len(rows) == 0 {
+				continue
+			}
+			if err := emit(rows, probeBuf, cb.Measures[i]); err != nil {
+				return err
+			}
+		}
+	}
+	if err := it.Err(); err != nil {
+		return err
+	}
+	return w.flush()
+}
+
+// partitionColBatch is the encoded Grace partition pass: bucket numbers
+// come from the encodings (one hash per RLE run, one per distinct
+// byte/dict code per batch on single-column keys) while rows are
+// gathered and routed in scan order, so every partition holds exactly
+// the rows, in exactly the order, the row paths produce.
+func (e *Engine) partitionColBatch(ctx context.Context, t *Table, cols []int, depth int, parts []*Table, st *RunStats) error {
+	writers := make([]*batchWriter, len(parts))
+	for i, p := range parts {
+		writers[i] = newBatchWriter(p, false, st)
+	}
+	rowBuf := make([]int32, len(t.Attrs))
+	fbuf := make([][]int32, 0, len(t.Attrs))
+	single := len(cols) == 1
+	var memo [256]int16 // bucket + 1 per code, per batch
+	it := e.scanCB(ctx, t.Heap)
+	defer it.Close()
+	for {
+		cb, ok := it.Next()
+		if !ok {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		st.addBatches(1)
+		fs := flatCols(cb, fbuf) // every row is routed, so decode up front
+		fbuf = fs
+		if single {
+			c := cols[0]
+			v := &cb.Cols[c]
+			switch v.Enc {
+			case storage.EncRLE:
+				i := 0
+				for _, r := range v.Runs {
+					rowBuf[c] = r.Val
+					w := writers[partitionHash(rowBuf, cols, depth)]
+					for j := i; j < i+r.Len; j++ {
+						gatherRow(fs, j, rowBuf)
+						if err := w.append(rowBuf, cb.Measures[j]); err != nil {
+							return err
+						}
+					}
+					i += r.Len
+				}
+				continue
+			case storage.EncByte, storage.EncDict:
+				ncodes := len(v.Dict)
+				if v.Enc == storage.EncByte {
+					ncodes = 256
+				}
+				for i := 0; i < ncodes; i++ {
+					memo[i] = 0
+				}
+				for i, code := range v.Codes {
+					b := memo[code]
+					if b == 0 {
+						val := int32(code)
+						if v.Enc == storage.EncDict {
+							val = v.Dict[code]
+						}
+						rowBuf[c] = val
+						b = int16(partitionHash(rowBuf, cols, depth)) + 1
+						memo[code] = b
+					}
+					gatherRow(fs, i, rowBuf)
+					if err := writers[b-1].append(rowBuf, cb.Measures[i]); err != nil {
+						return err
+					}
+				}
+				continue
+			}
+		}
+		for i := 0; i < cb.Len(); i++ {
+			gatherRow(fs, i, rowBuf)
+			w := writers[partitionHash(rowBuf, cols, depth)]
+			if err := w.append(rowBuf, cb.Measures[i]); err != nil {
+				return err
+			}
+		}
+	}
+	if err := it.Err(); err != nil {
+		return err
+	}
+	for _, w := range writers {
+		if err := w.flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

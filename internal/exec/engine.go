@@ -62,6 +62,13 @@ type Engine struct {
 	// reproduce the paper's cost model exactly; see Pool.Prefetch for the
 	// accounting when enabled.
 	ReadAhead int
+	// Columnar writes intermediate heaps in the columnar page format
+	// (storage.SetColumnar) and routes scan/select/Grace-join/group-by
+	// through the encoded-batch kernels, which operate on dictionary codes
+	// and RLE runs directly. Results are byte-identical to row-major
+	// execution; page counts (and so IO) are unchanged. Requires the
+	// vectorized paths (no effect when BatchSize == 1).
+	Columnar bool
 }
 
 // NewEngine returns an engine with hash-based operators.
@@ -142,11 +149,20 @@ type RunStats struct {
 	// Trace lists per-operator spans in the same order as Ops, with
 	// timestamps and IO deltas (EXPLAIN ANALYZE's data source).
 	Trace []Span `json:"trace,omitempty"`
+	// Morsels lists per-operator-kind morsel-scheduler totals (tasks run
+	// and worker busy time) for runs with Parallelism > 1. Busy time is
+	// attributed to the kind that submitted each morsel, not the operator
+	// whose goroutine blocked waiting — the truthful decomposition of
+	// where parallel workers spent their time.
+	Morsels []MorselStat `json:"morsels,omitempty"`
 
 	// budget holds the per-query resource bounds read from the context
 	// at run start (WithBudget); unexported so it never appears in the
 	// wire encoding of RunStats.
 	budget Budget
+	// sched is the run's morsel scheduler (nil when serial); unexported
+	// for the same wire-encoding reason.
+	sched *morselSched
 }
 
 // Run executes the plan and returns the result as an in-memory relation
@@ -185,6 +201,10 @@ func (e *Engine) RunCachedContext(ctx context.Context, p *plan.Node, resolve Res
 	if b, ok := BudgetFromContext(ctx); ok {
 		st.budget = b
 	}
+	if w := e.workers(); w > 1 {
+		st.sched = newMorselSched(w)
+		defer st.sched.close()
+	}
 	if fps == nil {
 		cache = nil
 	}
@@ -194,6 +214,9 @@ func (e *Engine) RunCachedContext(ctx context.Context, p *plan.Node, resolve Res
 	finish := func() {
 		st.Wall = time.Since(start)
 		st.IO = e.Pool.Stats().Sub(before)
+		if st.sched != nil {
+			st.Morsels = st.sched.snapshot()
+		}
 	}
 	out, _, _, err := e.exec(ctx, p, env, 0)
 	if err != nil {
@@ -467,6 +490,7 @@ func (e *Engine) newTemp(ctx context.Context, name string, attrs []relation.Attr
 		return nil, err
 	}
 	h.SetContext(ctx)
+	h.SetColumnar(e.Columnar)
 	return &Table{Name: name, Attrs: attrs, Heap: h, temp: true}, nil
 }
 
@@ -535,6 +559,13 @@ func (e *Engine) selectOp(ctx context.Context, in *Table, pred relation.Predicat
 	out, err := e.newTemp(ctx, "σ("+in.Name+")", in.Attrs)
 	if err != nil {
 		return nil, err
+	}
+	if e.colOn() {
+		if err := e.selectColBatch(ctx, in, cols, want, out, st); err != nil {
+			out.Drop()
+			return nil, err
+		}
+		return out, nil
 	}
 	if e.batchOn() {
 		if err := e.selectBatch(ctx, in, cols, want, out, st); err != nil {
@@ -649,6 +680,9 @@ func (e *Engine) hashJoinInto(ctx context.Context, l, r *Table, lCols, rCols, rE
 		build, probe = r, l
 		buildCols, probeCols = rCols, lCols
 		buildIsLeft = false
+	}
+	if e.colOn() {
+		return e.hashJoinIntoColBatch(ctx, l, build, probe, buildCols, probeCols, rExtra, buildIsLeft, out, st)
 	}
 	if e.batchOn() {
 		return e.hashJoinIntoBatch(ctx, l, build, probe, buildCols, probeCols, rExtra, buildIsLeft, out, st)
@@ -780,7 +814,12 @@ func (e *Engine) hashGroupBy(ctx context.Context, in *Table, groupVars []string,
 		return e.parallelHashGroupBy(ctx, in, cols, outAttrs, st)
 	}
 	if e.batchOn() {
-		agg, err := e.aggregateBatch(ctx, in, cols, st)
+		var agg *batchAgg
+		if e.colOn() {
+			agg, err = e.aggregateColBatch(ctx, in, cols, st)
+		} else {
+			agg, err = e.aggregateBatch(ctx, in, cols, st)
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -2,7 +2,6 @@ package exec
 
 import (
 	"context"
-	"sync"
 	"sync/atomic"
 )
 
@@ -71,26 +70,29 @@ func (e *Engine) maxBuild() int64 {
 }
 
 // graceJoin hash-partitions both inputs on the shared variables and joins
-// partition pairs, appending results to out. With Engine.Parallelism > 1
-// the two partition passes run concurrently and the partition pairs are
-// spread over a bounded worker pool, each pair appending into out under
-// its lock; recursive repartitioning stays serial inside its worker.
+// partition pairs, appending results to out. With a morsel scheduler
+// attached to the run (Engine.Parallelism > 1) the two partition passes
+// run as concurrent morsels and the partition pairs are morsels spread
+// over the run's shared worker pool, each pair appending into out under
+// its lock; recursive repartitioning stays serial inside its morsel.
 // Partition pairs touch disjoint pages and every result row performs the
 // same appends as in serial order, so (absent pool eviction) the IO
 // counters match serial execution exactly.
 func (e *Engine) graceJoin(ctx context.Context, l, r *Table, lCols, rCols, rExtra []int, out *Table, depth int, st *RunStats) error {
-	parallel := depth == 0 && e.workers() > 1
+	parallel := depth == 0 && st != nil && st.sched != nil
 	var lParts, rParts []*Table
 	var lErr, rErr error
 	if parallel {
-		var wg sync.WaitGroup
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			lParts, lErr = e.partition(ctx, l, lCols, depth, st)
-		}()
-		rParts, rErr = e.partition(ctx, r, rCols, depth, st)
-		wg.Wait()
+		// Both partition passes as one morsel set: whichever the caller
+		// does not run itself lands on a pool worker.
+		st.sched.parallelFor("ProductJoin", 2, func(i int) error {
+			if i == 0 {
+				lParts, lErr = e.partition(ctx, l, lCols, depth, st)
+			} else {
+				rParts, rErr = e.partition(ctx, r, rCols, depth, st)
+			}
+			return nil
+		})
 	} else {
 		lParts, lErr = e.partition(ctx, l, lCols, depth, st)
 		if lErr == nil {
@@ -128,7 +130,7 @@ func (e *Engine) graceJoin(ctx context.Context, l, r *Table, lCols, rCols, rExtr
 		return e.hashJoinInto(ctx, lp, rp, lCols, rCols, rExtra, out, st)
 	}
 	if parallel {
-		return runParallel(graceFanOut, e.workers(), pair)
+		return st.sched.parallelFor("ProductJoin", graceFanOut, pair)
 	}
 	for i := 0; i < graceFanOut; i++ {
 		if err := pair(i); err != nil {
@@ -148,6 +150,13 @@ func (e *Engine) partition(ctx context.Context, t *Table, cols []int, depth int,
 			return nil, err
 		}
 		parts[i] = p
+	}
+	if e.colOn() {
+		if err := e.partitionColBatch(ctx, t, cols, depth, parts, st); err != nil {
+			dropAll(parts)
+			return nil, err
+		}
+		return parts, nil
 	}
 	if e.batchOn() {
 		if err := e.partitionBatch(ctx, t, cols, depth, parts, st); err != nil {

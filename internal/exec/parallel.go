@@ -2,7 +2,6 @@ package exec
 
 import (
 	"context"
-	"sync"
 	"sync/atomic"
 
 	"mpf/internal/relation"
@@ -45,62 +44,14 @@ func (st *RunStats) addBatches(n int64) {
 	}
 }
 
-// runParallel executes task(0..n-1) on at most w goroutines, handing out
-// indexes by work-stealing. The first task error stops the handout and is
-// returned after all in-flight tasks finish.
-func runParallel(n, w int, task func(i int) error) error {
-	if w > n {
-		w = n
-	}
-	if w <= 1 {
-		for i := 0; i < n; i++ {
-			if err := task(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	next := int64(-1)
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	for g := 0; g < w; g++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1))
-				if i >= n {
-					return
-				}
-				mu.Lock()
-				stop := firstErr != nil
-				mu.Unlock()
-				if stop {
-					return
-				}
-				if err := task(i); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return firstErr
-}
-
 // parallelHashGroupBy partitions the input on the group-key hash, runs the
-// in-memory aggregation on each partition concurrently, and concatenates
-// the partition results. Rows of one group always land in one partition,
-// and partitioning preserves scan order within a partition, so every
-// group's measures are accumulated in exactly the serial order — results
-// are bit-identical to serial hash aggregation (only output row order
-// differs, which is immaterial for a functional relation).
+// in-memory aggregation on each partition as concurrent morsels on the
+// run's scheduler, and concatenates the partition results. Rows of one
+// group always land in one partition, and partitioning preserves scan
+// order within a partition, so every group's measures are accumulated in
+// exactly the serial order — results are bit-identical to serial hash
+// aggregation (only output row order differs, which is immaterial for a
+// functional relation).
 func (e *Engine) parallelHashGroupBy(ctx context.Context, in *Table, cols []int, outAttrs []relation.Attr, st *RunStats) (*Table, error) {
 	parts, err := e.partition(ctx, in, cols, 0, st)
 	if err != nil {
@@ -111,13 +62,20 @@ func (e *Engine) parallelHashGroupBy(ctx context.Context, in *Table, cols []int,
 	if err != nil {
 		return nil, err
 	}
-	err = runParallel(len(parts), e.workers(), func(i int) error {
+	err = st.parallelFor("GroupBy", len(parts), func(i int) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		p := parts[i]
 		if p.Heap.NumTuples() == 0 {
 			return nil
+		}
+		if e.colOn() {
+			agg, err := e.aggregateColBatch(ctx, p, cols, st)
+			if err != nil {
+				return err
+			}
+			return agg.emit(ctx, out, true, st)
 		}
 		if e.batchOn() {
 			agg, err := e.aggregateBatch(ctx, p, cols, st)

@@ -184,57 +184,45 @@ func (e *Engine) serialRuns(ctx context.Context, in *Table, cols []int, runSize 
 }
 
 // parallelRuns generates sorted runs with the scan on the calling
-// goroutine and sort+spill work fanned out over the engine's workers. The
-// runs slice is indexed by chunk order, so the downstream k-way merge
-// breaks ties between runs exactly as it would for serial generation and
-// the sorted output is identical.
+// goroutine and sort+spill work submitted as morsels to the run's
+// scheduler as chunks are discovered; the group's submission backpressure
+// bounds how many unspilled in-memory runs can exist at once. The runs
+// slice is indexed by chunk order, so the downstream k-way merge breaks
+// ties between runs exactly as it would for serial generation and the
+// sorted output is identical.
 func (e *Engine) parallelRuns(ctx context.Context, in *Table, cols []int, runSize int, st *RunStats) ([]*Table, error) {
 	var (
-		mu       sync.Mutex
-		runs     []*Table
-		firstErr error
-		wg       sync.WaitGroup
+		mu   sync.Mutex
+		runs []*Table
 	)
-	sem := make(chan struct{}, e.workers())
+	g := st.sched.newGroup("SortRun")
 	scanErr := e.scanRuns(ctx, in, runSize, st, func(run *memRun) error {
 		mu.Lock()
-		if firstErr != nil {
-			err := firstErr
-			mu.Unlock()
-			return err
-		}
 		idx := len(runs)
 		runs = append(runs, nil)
 		mu.Unlock()
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
+		return g.submit(func() error {
 			rt, err := e.spillRun(ctx, run, cols, in.Attrs, st)
-			mu.Lock()
-			defer mu.Unlock()
 			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				return
+				return err
 			}
+			mu.Lock()
 			runs[idx] = rt
-		}()
-		return nil
+			mu.Unlock()
+			return nil
+		})
 	})
-	wg.Wait()
-	if firstErr == nil {
-		firstErr = scanErr
+	err := g.wait()
+	if err == nil {
+		err = scanErr
 	}
-	if firstErr != nil {
+	if err != nil {
 		for _, r := range runs {
 			if r != nil {
 				r.Drop()
 			}
 		}
-		return nil, firstErr
+		return nil, err
 	}
 	return runs, nil
 }
@@ -251,7 +239,7 @@ func (e *Engine) externalSort(ctx context.Context, in *Table, cols []int, st *Ru
 
 	var runs []*Table
 	var err error
-	if e.workers() > 1 && in.Heap.NumTuples() > int64(runSize) {
+	if st != nil && st.sched != nil && in.Heap.NumTuples() > int64(runSize) {
 		runs, err = e.parallelRuns(ctx, in, cols, runSize, st)
 	} else {
 		runs, err = e.serialRuns(ctx, in, cols, runSize, st)

@@ -104,10 +104,19 @@ func (t *Table) Drop() error {
 // from the factory, registered with the pool. It is how base tables enter
 // the engine.
 func LoadRelation(pool *storage.Pool, factory storage.DiskFactory, r *relation.Relation) (*Table, error) {
+	return LoadRelationColumnar(pool, factory, r, false)
+}
+
+// LoadRelationColumnar is LoadRelation with a columnar switch: when on,
+// every heap page that fills during the load is re-encoded in place with
+// the per-page columnar layout (dictionary/run-length where they pay for
+// themselves), so scans of the base table serve encoded batches.
+func LoadRelationColumnar(pool *storage.Pool, factory storage.DiskFactory, r *relation.Relation, columnar bool) (*Table, error) {
 	h, err := storage.NewTempHeap(pool, factory, r.Arity())
 	if err != nil {
 		return nil, err
 	}
+	h.SetColumnar(columnar)
 	for i := 0; i < r.Len(); i++ {
 		if err := h.Append(r.Row(i), r.Measure(i)); err != nil {
 			h.Drop()

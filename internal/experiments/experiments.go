@@ -54,6 +54,10 @@ type Config struct {
 	// pages applied to experiment sessions (0 = off). batch-exec overrides
 	// it per run.
 	ReadAhead int
+	// Columnar enables the per-page columnar encoding and encoded-value
+	// kernels for experiment sessions. The columnar experiment compares
+	// the two layouts itself regardless of this setting.
+	Columnar bool
 	// FaultSeed, when non-zero, backs every experiment session with a
 	// seeded storage.FaultDisk injecting transient read/write faults at 2%
 	// per op (mpfbench -faults). Results must be byte-identical to a
@@ -162,6 +166,7 @@ func Registry() []struct {
 		{"chaos", Chaos},
 		{"plan-cache", PlanCacheExp},
 		{"loadgen", LoadGen},
+		{"columnar", ColumnarExec},
 	}
 }
 
@@ -213,6 +218,7 @@ func sessionConfig(cfg Config, frames int) core.Config {
 		Parallelism:      cfg.Parallelism,
 		BatchSize:        cfg.BatchSize,
 		ReadAhead:        cfg.ReadAhead,
+		Columnar:         cfg.Columnar,
 		PlanCacheEntries: cfg.PlanCacheEntries,
 		PlanBudget:       cfg.PlanBudget,
 	}

@@ -49,6 +49,30 @@ type QuerySample struct {
 	Wall time.Duration
 	// Ops lists the per-operator samples from the query trace.
 	Ops []OpSample
+	// Morsels lists the per-kind morsel-scheduler samples of a parallel
+	// run (empty for serial queries).
+	Morsels []MorselSample
+}
+
+// MorselSample is one operator kind's share of a query's morsel-driven
+// parallel work: how many morsels the kind submitted and the busy time
+// measured inside those morsels (exclusive task time on whichever worker
+// ran them — attributed to the submitting kind, not the worker).
+type MorselSample struct {
+	// Kind is the submitting operator kind (ProductJoin, GroupBy, Sort).
+	Kind string
+	// Count is the number of morsels executed.
+	Count int64
+	// Busy is the summed task execution time.
+	Busy time.Duration
+}
+
+// MorselKindStats aggregates all morsels submitted by one operator kind.
+type MorselKindStats struct {
+	// Count is the number of morsels executed.
+	Count int64 `json:"count"`
+	// Busy sums their execution time.
+	Busy time.Duration `json:"busy_ns"`
 }
 
 // OpKindStats aggregates all executed operators of one kind.
@@ -89,13 +113,15 @@ type Registry struct {
 	execWall        time.Duration
 	opKinds         map[string]OpKindStats
 	planKinds       map[string]PlanKindStats
+	morselKinds     map[string]MorselKindStats
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		opKinds:   make(map[string]OpKindStats),
-		planKinds: make(map[string]PlanKindStats),
+		opKinds:     make(map[string]OpKindStats),
+		planKinds:   make(map[string]PlanKindStats),
+		morselKinds: make(map[string]MorselKindStats),
 	}
 }
 
@@ -144,6 +170,12 @@ func (r *Registry) QueryFinished(q QuerySample) {
 		k.IO = k.IO.Add(op.IO)
 		r.opKinds[op.Kind] = k
 	}
+	for _, m := range q.Morsels {
+		k := r.morselKinds[m.Kind]
+		k.Count += m.Count
+		k.Busy += m.Busy
+		r.morselKinds[m.Kind] = k
+	}
 }
 
 // Snapshot is a point-in-time copy of the registry, extended with the
@@ -187,6 +219,13 @@ type Snapshot struct {
 	OpKinds map[string]OpKindStats `json:"op_kinds"`
 	// Planning aggregates planning time by planner kind.
 	Planning map[string]PlanKindStats `json:"planning"`
+	// Morsels aggregates morsel-scheduler work by submitting operator
+	// kind over all parallel queries.
+	Morsels map[string]MorselKindStats `json:"morsels"`
+	// Encoding is the buffer pool's cumulative columnar page-encoding
+	// counters, filled by core from the pool at snapshot time; all zero
+	// when columnar storage was never enabled.
+	Encoding storage.EncodingStats `json:"encoding"`
 }
 
 // ResultCacheStats reports the engine's shared subplan result cache in a
@@ -245,6 +284,10 @@ func (r *Registry) Snapshot(pool storage.Stats) Snapshot {
 	for k, v := range r.planKinds {
 		planning[k] = v
 	}
+	morsels := make(map[string]MorselKindStats, len(r.morselKinds))
+	for k, v := range r.morselKinds {
+		morsels[k] = v
+	}
 	return Snapshot{
 		QueriesStarted:  r.started,
 		QueriesFinished: r.finished,
@@ -259,6 +302,7 @@ func (r *Registry) Snapshot(pool storage.Stats) Snapshot {
 		Pool:            pool,
 		OpKinds:         kinds,
 		Planning:        planning,
+		Morsels:         morsels,
 	}
 }
 
@@ -278,6 +322,9 @@ func (s Snapshot) String() string {
 		s.Pool.Reads, s.Pool.Writes, s.Pool.Hits, s.Pool.Prefetches)
 	fmt.Fprintf(&b, "pool faults: %d retries, %d transient, %d permanent, %d checksum failures\n",
 		s.Pool.Retries, s.Pool.TransientFaults, s.Pool.PermanentFaults, s.Pool.ChecksumFailures)
+	enc := s.Encoding
+	fmt.Fprintf(&b, "page encoding: %d encoded, %d fallback, %d bytes saved; segments %d plain / %d byte / %d rle / %d dict\n",
+		enc.PagesEncoded, enc.PagesFallback, enc.BytesSaved, enc.SegPlain, enc.SegByte, enc.SegRLE, enc.SegDict)
 	rc := s.ResultCache
 	if !rc.Enabled {
 		b.WriteString("result cache: disabled\n")
@@ -322,6 +369,20 @@ func (s Snapshot) String() string {
 		for _, k := range planners {
 			st := s.Planning[k]
 			fmt.Fprintf(&b, "  %-24s %6d plans  wall %v\n", k, st.Count, st.Wall)
+		}
+	}
+	if len(s.Morsels) == 0 {
+		b.WriteString("morsels: none\n")
+	} else {
+		mk := make([]string, 0, len(s.Morsels))
+		for k := range s.Morsels {
+			mk = append(mk, k)
+		}
+		sort.Strings(mk)
+		b.WriteString("morsels:\n")
+		for _, k := range mk {
+			st := s.Morsels[k]
+			fmt.Fprintf(&b, "  %-12s %6d morsels  busy %v\n", k, st.Count, st.Busy)
 		}
 	}
 	if len(s.OpKinds) == 0 {

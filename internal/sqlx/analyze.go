@@ -47,6 +47,13 @@ func renderAnalyze(st exec.RunStats) string {
 	for _, root := range buildSpanTree(st.Trace) {
 		renderSpanNode(&b, root, 0)
 	}
+	// Morsel busy time is measured inside each task and attributed to the
+	// operator kind that submitted it, so these lines decompose where the
+	// workers actually spent their time — span wall times above remain the
+	// submitting operator's own wall clock.
+	for _, m := range st.Morsels {
+		fmt.Fprintf(&b, "Morsels: %s count=%d busy=%v\n", m.Kind, m.Count, m.Busy)
+	}
 	fmt.Fprintf(&b, "Total: wall=%v io=%dr/%dw/%dh rows=%d temp_tuples=%d operators=%d batches=%d",
 		st.Wall, st.IO.Reads, st.IO.Writes, st.IO.Hits,
 		st.RowsOut, st.TempTuples, st.Operators, st.Batches)

@@ -113,6 +113,9 @@ type Pool struct {
 	// Fault counters live outside p.stats because the read path observes
 	// faults with the pool lock released; Stats() folds them in.
 	retryN, transientN, permanentN, checksumN atomic.Int64
+	// Columnar page-encoding counters (EncodingStats); atomics for the
+	// same reason — heaps encode pages with the pool lock released.
+	encPages, encFallback, encSegPlain, encSegByte, encSegRLE, encSegDict, encSaved atomic.Int64
 }
 
 // maxPrefetchers bounds the pool's concurrent read-ahead goroutines. The
@@ -213,6 +216,13 @@ func (p *Pool) ResetStats() {
 	p.transientN.Store(0)
 	p.permanentN.Store(0)
 	p.checksumN.Store(0)
+	p.encPages.Store(0)
+	p.encFallback.Store(0)
+	p.encSegPlain.Store(0)
+	p.encSegByte.Store(0)
+	p.encSegRLE.Store(0)
+	p.encSegDict.Store(0)
+	p.encSaved.Store(0)
 }
 
 // Default retry backoff: the first re-attempt waits retryBackoffBase,

@@ -1,0 +1,476 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"testing"
+)
+
+// fillHeap appends n deterministic tuples via gen and returns the
+// expected rows for comparison.
+func fillHeapGen(t *testing.T, h *Heap, n int, gen func(i int) ([]int32, float64)) (vals [][]int32, meas []float64) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		v, m := gen(i)
+		if err := h.Append(v, m); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		vals = append(vals, append([]int32(nil), v...))
+		meas = append(meas, m)
+	}
+	return vals, meas
+}
+
+// checkScan asserts every read path of the heap returns exactly the
+// expected rows, bit for bit.
+func checkScan(t *testing.T, h *Heap, vals [][]int32, meas []float64) {
+	t.Helper()
+	// Tuple iterator.
+	it := h.Scan()
+	for i := range vals {
+		v, m, ok := it.Next()
+		if !ok {
+			t.Fatalf("Scan: ended at row %d of %d: %v", i, len(vals), it.Err())
+		}
+		if !int32sEqual(v, vals[i]) || math.Float64bits(m) != math.Float64bits(meas[i]) {
+			t.Fatalf("Scan row %d: got %v %v want %v %v", i, v, m, vals[i], meas[i])
+		}
+	}
+	if _, _, ok := it.Next(); ok {
+		t.Fatalf("Scan: extra rows past %d", len(vals))
+	}
+	if err := it.Close(); err != nil {
+		t.Fatalf("Scan close: %v", err)
+	}
+	// Batch iterator.
+	bit := h.ScanBatches()
+	i := 0
+	for {
+		b, ok := bit.Next()
+		if !ok {
+			break
+		}
+		for r := 0; r < b.Len(); r++ {
+			if !int32sEqual(b.Row(r), vals[i]) || math.Float64bits(b.Measures[r]) != math.Float64bits(meas[i]) {
+				t.Fatalf("ScanBatches row %d: got %v %v want %v %v", i, b.Row(r), b.Measures[r], vals[i], meas[i])
+			}
+			i++
+		}
+	}
+	if err := bit.Close(); err != nil || i != len(vals) {
+		t.Fatalf("ScanBatches: %d rows err %v, want %d", i, err, len(vals))
+	}
+	// Encoded column-batch iterator.
+	cit := h.ScanColBatches()
+	i = 0
+	row := make([]int32, h.Arity())
+	for {
+		cb, ok := cit.Next()
+		if !ok {
+			break
+		}
+		for r := 0; r < cb.Len(); r++ {
+			cb.Row(r, row)
+			if !int32sEqual(row, vals[i]) || math.Float64bits(cb.Measures[r]) != math.Float64bits(meas[i]) {
+				t.Fatalf("ScanColBatches row %d: got %v %v want %v %v", i, row, cb.Measures[r], vals[i], meas[i])
+			}
+			i++
+		}
+	}
+	if err := cit.Close(); err != nil || i != len(vals) {
+		t.Fatalf("ScanColBatches: %d rows err %v, want %d", i, err, len(vals))
+	}
+	// Random access.
+	for _, probe := range []int{0, len(vals) / 2, len(vals) - 1} {
+		per := TuplesPerPage(h.Arity())
+		pageNo, slot := int64(probe/per), probe%per
+		v, m, err := h.ReadTuple(pageNo, slot)
+		if err != nil {
+			t.Fatalf("ReadTuple(%d,%d): %v", pageNo, slot, err)
+		}
+		if !int32sEqual(v, vals[probe]) || math.Float64bits(m) != math.Float64bits(meas[probe]) {
+			t.Fatalf("ReadTuple row %d: got %v %v want %v %v", probe, v, m, vals[probe], meas[probe])
+		}
+	}
+}
+
+func int32sEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func newColumnarHeap(t *testing.T, frames, arity int) (*Pool, *Heap) {
+	t.Helper()
+	pool := NewPool(frames)
+	h, err := NewHeap(pool, NewMemDisk(), arity)
+	if err != nil {
+		t.Fatalf("NewHeap: %v", err)
+	}
+	h.SetColumnar(true)
+	return pool, h
+}
+
+// TestColumnarRoundTrip covers the encoding mix: a long-runs column
+// (RLE), a tiny-domain column (byte codes), a sparse large-value column
+// (dictionary), and an incompressible column (plain), across several
+// full pages plus a row-major partial tail.
+func TestColumnarRoundTrip(t *testing.T) {
+	pool, h := newColumnarHeap(t, 8, 4)
+	per := TuplesPerPage(4)
+	n := 3*per + per/3 // three encoded pages + a row-major tail
+	vals, meas := fillHeapGen(t, h, n, func(i int) ([]int32, float64) {
+		return []int32{
+			int32(i / 64),              // long runs → RLE
+			int32(i % 7),               // tiny domain → byte codes
+			1_000_000 + int32(i%5)*777, // few large values → dictionary
+			int32(i*2654435761 + 17),   // incompressible → plain
+		}, float64(i) * 0.25
+	})
+	checkScan(t, h, vals, meas)
+	st := pool.EncodingStats()
+	if st.PagesEncoded != 3 {
+		t.Fatalf("expected 3 encoded pages, got %+v", st)
+	}
+	if st.SegRLE == 0 || st.SegByte == 0 || st.SegDict == 0 || st.SegPlain == 0 {
+		t.Fatalf("expected all four encodings present, got %+v", st)
+	}
+	if st.BytesSaved <= 0 {
+		t.Fatalf("expected positive bytes saved, got %+v", st)
+	}
+}
+
+// TestColumnarDictOverflow drives a column past 255 distinct non-byte
+// values so the dictionary overflows and the column falls back to plain,
+// while a companion RLE column keeps the page encodable.
+func TestColumnarDictOverflow(t *testing.T) {
+	pool, h := newColumnarHeap(t, 8, 2)
+	per := TuplesPerPage(2)
+	vals, meas := fillHeapGen(t, h, per, func(i int) ([]int32, float64) {
+		return []int32{7, 100_000 + int32(i)}, float64(i)
+	})
+	checkScan(t, h, vals, meas)
+	st := pool.EncodingStats()
+	if st.PagesEncoded != 1 || st.SegPlain != 1 || st.SegRLE != 1 {
+		t.Fatalf("expected one encoded page with one plain + one RLE segment, got %+v", st)
+	}
+}
+
+// TestColumnarFallback fills a page where no column compresses; the page
+// must stay row-major and be counted as a fallback.
+func TestColumnarFallback(t *testing.T) {
+	pool, h := newColumnarHeap(t, 8, 1)
+	per := TuplesPerPage(1)
+	vals, meas := fillHeapGen(t, h, per, func(i int) ([]int32, float64) {
+		return []int32{int32(i*2654435761 + 1_000_003)}, float64(i)
+	})
+	checkScan(t, h, vals, meas)
+	st := pool.EncodingStats()
+	if st.PagesEncoded != 0 || st.PagesFallback != 1 {
+		t.Fatalf("expected one fallback page, got %+v", st)
+	}
+}
+
+// TestColumnarRLEAcrossBatches splits an RLE page into small batch
+// windows so runs span batch boundaries, on both batch read paths.
+func TestColumnarRLEAcrossBatches(t *testing.T) {
+	_, h := newColumnarHeap(t, 8, 1)
+	per := TuplesPerPage(1)
+	vals, meas := fillHeapGen(t, h, per, func(i int) ([]int32, float64) {
+		return []int32{int32(i / 100)}, float64(i)
+	})
+	for _, size := range []int{1, 3, 64, 100, per - 1} {
+		i := 0
+		bit := h.ScanBatches()
+		bit.SetBatchSize(size)
+		for {
+			b, ok := bit.Next()
+			if !ok {
+				break
+			}
+			for r := 0; r < b.Len(); r++ {
+				if b.Row(r)[0] != vals[i][0] || b.Measures[r] != meas[i] {
+					t.Fatalf("size %d row %d: got %v %v want %v %v", size, i, b.Row(r), b.Measures[r], vals[i], meas[i])
+				}
+				i++
+			}
+		}
+		if err := bit.Close(); err != nil || i != per {
+			t.Fatalf("size %d: %d rows err %v", size, i, err)
+		}
+		i = 0
+		cit := h.ScanColBatches()
+		cit.SetBatchSize(size)
+		var row [1]int32
+		for {
+			cb, ok := cit.Next()
+			if !ok {
+				break
+			}
+			// Runs must be clipped to the window: their lengths sum to Len.
+			sum := 0
+			for _, r := range cb.Cols[0].Runs {
+				sum += r.Len
+			}
+			if cb.Cols[0].Enc == EncRLE && sum != cb.Len() {
+				t.Fatalf("size %d: clipped runs sum %d != batch len %d", size, sum, cb.Len())
+			}
+			for r := 0; r < cb.Len(); r++ {
+				cb.Row(r, row[:])
+				if row[0] != vals[i][0] || cb.Measures[r] != meas[i] {
+					t.Fatalf("size %d row %d: got %v %v want %v %v", size, i, row, cb.Measures[r], vals[i], meas[i])
+				}
+				i++
+			}
+		}
+		if err := cit.Close(); err != nil || i != per {
+			t.Fatalf("size %d: %d col rows err %v", size, i, err)
+		}
+	}
+}
+
+// TestColumnarMixedFormats toggles columnar mode mid-append so the heap
+// interleaves row-major and columnar pages within one file.
+func TestColumnarMixedFormats(t *testing.T) {
+	pool := NewPool(8)
+	h, err := NewHeap(pool, NewMemDisk(), 2)
+	if err != nil {
+		t.Fatalf("NewHeap: %v", err)
+	}
+	per := TuplesPerPage(2)
+	gen := func(i int) ([]int32, float64) { return []int32{int32(i / 50), int32(i % 4)}, float64(i) }
+	var vals [][]int32
+	var meas []float64
+	for i := 0; i < 4*per; i++ {
+		h.SetColumnar(i/per%2 == 1) // pages 0,2 row-major; 1,3 columnar
+		v, m := gen(i)
+		if err := h.Append(v, m); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		vals = append(vals, append([]int32(nil), v...))
+		meas = append(meas, m)
+	}
+	checkScan(t, h, vals, meas)
+	if st := pool.EncodingStats(); st.PagesEncoded != 2 {
+		t.Fatalf("expected 2 encoded pages, got %+v", st)
+	}
+}
+
+// TestColumnarSurvivesReopen flushes a columnar heap to disk and reopens
+// it: OpenHeap's count recovery and every read path must work on the
+// persisted pages, and checksum sealing must round-trip them unchanged.
+func TestColumnarSurvivesReopen(t *testing.T) {
+	pool, h := newColumnarHeap(t, 4, 2)
+	d := h.disk
+	per := TuplesPerPage(2)
+	n := 2*per + 5
+	vals, meas := fillHeapGen(t, h, n, func(i int) ([]int32, float64) {
+		return []int32{int32(i % 3), int32(i / 128)}, float64(i) + 0.5
+	})
+	if err := pool.FlushAll(); err != nil {
+		t.Fatalf("FlushAll: %v", err)
+	}
+	if err := pool.Unregister(h.handle); err != nil {
+		t.Fatalf("Unregister: %v", err)
+	}
+	h2, err := OpenHeap(pool, d, 2)
+	if err != nil {
+		t.Fatalf("OpenHeap: %v", err)
+	}
+	if h2.NumTuples() != int64(n) {
+		t.Fatalf("reopened heap has %d tuples, want %d", h2.NumTuples(), n)
+	}
+	checkScan(t, h2, vals, meas)
+}
+
+// TestColumnarAppendAfterReopen verifies a reopened columnar heap keeps
+// appending to its row-major tail page and encodes it when it fills.
+func TestColumnarAppendAfterReopen(t *testing.T) {
+	pool, h := newColumnarHeap(t, 4, 1)
+	d := h.disk
+	per := TuplesPerPage(1)
+	gen := func(i int) ([]int32, float64) { return []int32{int32(i / 9)}, float64(i) }
+	vals, meas := fillHeapGen(t, h, per/2, gen)
+	if err := pool.FlushAll(); err != nil {
+		t.Fatalf("FlushAll: %v", err)
+	}
+	if err := pool.Unregister(h.handle); err != nil {
+		t.Fatalf("Unregister: %v", err)
+	}
+	h2, err := OpenHeap(pool, d, 1)
+	if err != nil {
+		t.Fatalf("OpenHeap: %v", err)
+	}
+	h2.SetColumnar(true)
+	for i := per / 2; i < per+3; i++ {
+		v, m := gen(i)
+		if err := h2.Append(v, m); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		vals = append(vals, append([]int32(nil), v...))
+		meas = append(meas, m)
+	}
+	checkScan(t, h2, vals, meas)
+	if st := pool.EncodingStats(); st.PagesEncoded != 1 {
+		t.Fatalf("expected the filled tail page encoded, got %+v", st)
+	}
+}
+
+// FuzzColumnarPageRoundTrip encodes an arbitrary full page and asserts
+// the decode returns exactly the original rows.
+func FuzzColumnarPageRoundTrip(f *testing.F) {
+	f.Add(int64(1), 2, 4)
+	f.Add(int64(7), 1, 1)
+	f.Add(int64(42), 6, 300)
+	f.Add(int64(99), 3, 1_000_000)
+	f.Fuzz(func(t *testing.T, seed int64, arity, domain int) {
+		if arity < 1 || arity > 8 {
+			return
+		}
+		if domain < 1 {
+			domain = 1
+		}
+		n := TuplesPerPage(arity)
+		// Build a row-major page image directly.
+		buf := make([]byte, PageSize)
+		binary.LittleEndian.PutUint16(buf[0:], uint16(n))
+		rnd := seed
+		next := func() int64 {
+			rnd = rnd*6364136223846793005 + 1442695040888963407
+			return rnd
+		}
+		ts := tupleSize(arity)
+		want := make([]int32, n*arity)
+		wantM := make([]float64, n)
+		for r := 0; r < n; r++ {
+			off := pageHeaderSize + r*ts
+			for c := 0; c < arity; c++ {
+				v := int32(next() % int64(domain))
+				if next()%17 == 0 {
+					v = -v // negative values must survive too
+				}
+				want[r*arity+c] = v
+				binary.LittleEndian.PutUint32(buf[off+4*c:], uint32(v))
+			}
+			m := math.Float64frombits(uint64(next()))
+			if math.IsNaN(m) {
+				m = 0.5
+			}
+			wantM[r] = m
+			binary.LittleEndian.PutUint64(buf[off+4*arity:], math.Float64bits(m))
+		}
+		orig := append([]byte(nil), buf...)
+		var s colScratch
+		_, saved, ok := encodePageColumnar(buf, arity, n, &s)
+		if !ok {
+			if !bytes.Equal(buf, orig) {
+				t.Fatalf("fallback mutated the page")
+			}
+			return
+		}
+		if saved <= 0 {
+			t.Fatalf("encoded page saved %d bytes", saved)
+		}
+		got := make([]int32, n*arity)
+		gotM := make([]float64, n)
+		if err := decodeColumnarRows(buf, arity, 0, n, got, gotM); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("value %d: got %d want %d", i, got[i], want[i])
+			}
+		}
+		for i := range wantM {
+			if math.Float64bits(gotM[i]) != math.Float64bits(wantM[i]) {
+				t.Fatalf("measure %d: got %x want %x", i, math.Float64bits(gotM[i]), math.Float64bits(wantM[i]))
+			}
+		}
+		// Windowed decode must agree with the full decode.
+		from, wn := n/3, n/2
+		if wn > n-from {
+			wn = n - from
+		}
+		if wn > 0 {
+			wv := make([]int32, wn*arity)
+			wm := make([]float64, wn)
+			if err := decodeColumnarRows(buf, arity, from, wn, wv, wm); err != nil {
+				t.Fatalf("window decode: %v", err)
+			}
+			for i := 0; i < wn*arity; i++ {
+				if wv[i] != want[from*arity+i] {
+					t.Fatalf("window value %d mismatch", i)
+				}
+			}
+		}
+	})
+}
+
+// TestColumnarChecksumRoundTrip seals and verifies encoded pages — the
+// checksum trailer is format-agnostic and must hold for columnar pages.
+func TestColumnarChecksumRoundTrip(t *testing.T) {
+	_, h := newColumnarHeap(t, 4, 2)
+	per := TuplesPerPage(2)
+	fillHeapGen(t, h, per, func(i int) ([]int32, float64) {
+		return []int32{int32(i % 5), int32(i / 200)}, float64(i)
+	})
+	buf, err := h.pool.Pin(h.handle, 0)
+	if err != nil {
+		t.Fatalf("pin: %v", err)
+	}
+	if pageFormat(buf) != formatColumnar {
+		t.Fatalf("page 0 not columnar")
+	}
+	page := append([]byte(nil), buf...)
+	if err := h.pool.Unpin(h.handle, 0, false); err != nil {
+		t.Fatalf("unpin: %v", err)
+	}
+	SealPage(page)
+	if !VerifyPage(page) {
+		t.Fatalf("sealed columnar page failed verification")
+	}
+	page[pageHeaderSize+3] ^= 0x40
+	if VerifyPage(page) {
+		t.Fatalf("corrupted columnar page passed verification")
+	}
+}
+
+// TestColumnarEncodeDeterminism encodes the same logical page twice and
+// requires byte-identical images — the chooser's tie-break is fixed.
+func TestColumnarEncodeDeterminism(t *testing.T) {
+	image := func() []byte {
+		_, h := newColumnarHeap(t, 4, 3)
+		per := TuplesPerPage(3)
+		fillHeapGen(t, h, per, func(i int) ([]int32, float64) {
+			return []int32{int32(i / 31), int32(i % 9), 500 + int32(i%11)}, float64(i) * 1.5
+		})
+		buf, err := h.pool.Pin(h.handle, 0)
+		if err != nil {
+			t.Fatalf("pin: %v", err)
+		}
+		defer h.pool.Unpin(h.handle, 0, false)
+		return append([]byte(nil), buf...)
+	}
+	a, b := image(), image()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same page contents encoded to different images")
+	}
+}
+
+// TestColumnarStatsString sanity-checks the EncodingStats JSON tags stay
+// distinct (a rename here would silently break metrics consumers).
+func TestColumnarStatsString(t *testing.T) {
+	st := EncodingStats{PagesEncoded: 1, PagesFallback: 2, SegPlain: 3, SegByte: 4, SegRLE: 5, SegDict: 6, BytesSaved: 7}
+	s := fmt.Sprintf("%+v", st)
+	if s == "" {
+		t.Fatal("empty stats string")
+	}
+}

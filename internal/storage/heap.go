@@ -32,6 +32,30 @@ type Heap struct {
 	lastCount  int   // tuples on last page
 	statsOwned bool
 	ctx        context.Context // nil means context.Background()
+	// columnar re-encodes each page into the columnar format (columnar.go)
+	// the moment it fills; partial pages are always row-major.
+	columnar bool
+	colEnc   colScratch
+}
+
+// SetColumnar selects the page format for subsequent appends: when on,
+// every page is re-encoded in place into the columnar layout as it fills
+// (falling back to row-major page by page when encoding does not pay).
+// Reads always dispatch on each page's own format byte, so a heap may
+// freely mix formats and the flag may be toggled at any append boundary.
+func (h *Heap) SetColumnar(on bool) { h.columnar = on }
+
+// maybeEncodePage re-encodes the just-filled pinned page in place when
+// the heap is in columnar mode, updating the pool's encoding counters.
+func (h *Heap) maybeEncodePage(buf []byte) {
+	if !h.columnar {
+		return
+	}
+	if segs, saved, ok := encodePageColumnar(buf, h.arity, h.perPage, &h.colEnc); ok {
+		h.pool.noteEncoded(segs, saved)
+	} else {
+		h.pool.noteEncodeFallback()
+	}
 }
 
 // SetContext attaches a cancellation context to the heap: subsequent
@@ -203,6 +227,9 @@ func (h *Heap) AppendLocated(vals []int32, measure float64) (pageNo int64, slot 
 	h.lastCount++
 	binary.LittleEndian.PutUint16(buf[0:], uint16(h.lastCount))
 	h.ntuples++
+	if h.lastCount == h.perPage {
+		h.maybeEncodePage(buf)
+	}
 	return pageNo, slot, h.pool.Unpin(h.handle, pageNo, true)
 }
 
@@ -252,6 +279,9 @@ func (h *Heap) AppendRows(vals []int32, measures []float64) error {
 		binary.LittleEndian.PutUint16(buf[0:], uint16(h.lastCount))
 		h.ntuples += int64(k)
 		i += k
+		if h.lastCount == h.perPage {
+			h.maybeEncodePage(buf)
+		}
 		if err := h.pool.Unpin(h.handle, pageNo, true); err != nil {
 			return err
 		}
@@ -305,6 +335,12 @@ type Iterator struct {
 	started   bool
 	readAhead int
 	raMark    int64
+	// Columnar pages are decoded whole on pin into these scratch arrays
+	// (isCol marks the current page's format); rows are then served from
+	// them with the same per-row interface as row-major pages.
+	isCol   bool
+	colVals []int32
+	colMeas []float64
 }
 
 // Scan returns an iterator over the heap. The iterator must be Closed.
@@ -351,8 +387,28 @@ func (it *Iterator) Next() (vals []int32, measure float64, ok bool) {
 			it.pinned = true
 			it.inPage = 0
 			it.count = int(binary.LittleEndian.Uint16(buf[0:]))
+			it.isCol = it.count > 0 && pageFormat(buf) == formatColumnar
+			if it.isCol {
+				if cap(it.colVals) < it.count*it.h.arity {
+					it.colVals = make([]int32, it.count*it.h.arity)
+					it.colMeas = make([]float64, it.count)
+				}
+				it.colVals = it.colVals[:it.count*it.h.arity]
+				it.colMeas = it.colMeas[:it.count]
+				if err := decodeColumnarRows(buf, it.h.arity, 0, it.count, it.colVals, it.colMeas); err != nil {
+					it.err = err
+					it.done = true
+					return nil, 0, false
+				}
+			}
 		}
 		if it.inPage < it.count {
+			if it.isCol {
+				copy(it.valBuf, it.colVals[it.inPage*it.h.arity:(it.inPage+1)*it.h.arity])
+				m := it.colMeas[it.inPage]
+				it.inPage++
+				return it.valBuf, m, true
+			}
 			off := pageHeaderSize + it.inPage*it.h.tupleSize
 			for i := 0; i < it.h.arity; i++ {
 				it.valBuf[i] = int32(binary.LittleEndian.Uint32(it.buf[off+4*i:]))
@@ -508,7 +564,12 @@ func (it *BatchIterator) Next() (b *Batch, ok bool) {
 			n = it.size
 		}
 		if n > 0 {
-			it.decode(buf, n)
+			if err := it.decode(buf, n); err != nil {
+				it.h.pool.Unpin(it.h.handle, it.pageNo, false)
+				it.err = err
+				it.done = true
+				return nil, false
+			}
 		}
 		if err := it.h.pool.Unpin(it.h.handle, it.pageNo, false); err != nil {
 			it.err = err
@@ -523,8 +584,10 @@ func (it *BatchIterator) Next() (b *Batch, ok bool) {
 }
 
 // decode fills it.batch with n tuples starting at it.inPage from the
-// pinned page buffer, reusing the batch's backing arrays.
-func (it *BatchIterator) decode(buf []byte, n int) {
+// pinned page buffer, reusing the batch's backing arrays. It dispatches
+// on the page's format byte, so row-major and columnar pages interleave
+// transparently within one scan.
+func (it *BatchIterator) decode(buf []byte, n int) error {
 	arity := it.h.arity
 	it.batch.Reset(arity)
 	if cap(it.batch.Vals) < n*arity {
@@ -535,19 +598,26 @@ func (it *BatchIterator) decode(buf []byte, n int) {
 	}
 	vals := it.batch.Vals[:n*arity]
 	meas := it.batch.Measures[:n]
-	off := pageHeaderSize + it.inPage*it.h.tupleSize
-	vi := 0
-	for j := 0; j < n; j++ {
-		for c := 0; c < arity; c++ {
-			vals[vi] = int32(binary.LittleEndian.Uint32(buf[off+4*c:]))
-			vi++
+	if pageFormat(buf) == formatColumnar {
+		if err := decodeColumnarRows(buf, arity, it.inPage, n, vals, meas); err != nil {
+			return err
 		}
-		meas[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off+4*arity:]))
-		off += it.h.tupleSize
+	} else {
+		off := pageHeaderSize + it.inPage*it.h.tupleSize
+		vi := 0
+		for j := 0; j < n; j++ {
+			for c := 0; c < arity; c++ {
+				vals[vi] = int32(binary.LittleEndian.Uint32(buf[off+4*c:]))
+				vi++
+			}
+			meas[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off+4*arity:]))
+			off += it.h.tupleSize
+		}
 	}
 	it.batch.Vals = vals
 	it.batch.Measures = meas
 	it.inPage += n
+	return nil
 }
 
 // Err returns the first error encountered during iteration.
@@ -575,8 +645,15 @@ func (h *Heap) ReadTuple(pageNo int64, slot int) ([]int32, float64, error) {
 	if slot < 0 || slot >= count {
 		return nil, 0, fmt.Errorf("heap: slot %d out of range on page %d (%d tuples)", slot, pageNo, count)
 	}
-	off := pageHeaderSize + slot*h.tupleSize
 	vals := make([]int32, h.arity)
+	if pageFormat(buf) == formatColumnar {
+		var m [1]float64
+		if err := decodeColumnarRows(buf, h.arity, slot, 1, vals, m[:]); err != nil {
+			return nil, 0, err
+		}
+		return vals, m[0], nil
+	}
+	off := pageHeaderSize + slot*h.tupleSize
 	for i := 0; i < h.arity; i++ {
 		vals[i] = int32(binary.LittleEndian.Uint32(buf[off+4*i:]))
 	}
@@ -604,6 +681,25 @@ func (h *Heap) ReadTupleBatchContext(ctx context.Context, pageNo int64, slots []
 	defer h.pool.Unpin(h.handle, pageNo, false)
 	count := int(binary.LittleEndian.Uint16(buf[0:]))
 	vals := make([]int32, h.arity)
+	if count > 0 && pageFormat(buf) == formatColumnar {
+		// Decode the page once; slot lookups then index the decoded arrays
+		// (a per-slot RLE decode would rewalk the runs for every probe).
+		all := make([]int32, count*h.arity)
+		meas := make([]float64, count)
+		if err := decodeColumnarRows(buf, h.arity, 0, count, all, meas); err != nil {
+			return err
+		}
+		for _, slot := range slots {
+			if slot < 0 || int(slot) >= count {
+				return fmt.Errorf("heap: slot %d out of range on page %d (%d tuples)", slot, pageNo, count)
+			}
+			copy(vals, all[int(slot)*h.arity:(int(slot)+1)*h.arity])
+			if err := fn(vals, meas[slot]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	for _, slot := range slots {
 		if slot < 0 || int(slot) >= count {
 			return fmt.Errorf("heap: slot %d out of range on page %d (%d tuples)", slot, pageNo, count)

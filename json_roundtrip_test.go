@@ -213,6 +213,7 @@ func TestRunStatsJSONRoundTrip(t *testing.T) {
 			Desc: "Scan(costs)", Kind: "Scan", Depth: 1, Rows: 4,
 			Start: time.Microsecond, Stop: 2 * time.Microsecond, Wall: time.Microsecond,
 		}},
+		Morsels: []MorselStat{{Kind: "GroupBy", Count: 16, Busy: 3 * time.Millisecond}},
 	}
 	st.IO.Reads = 10
 	st.IO.Hits = 20

@@ -93,6 +93,9 @@ type (
 	RunStats = exec.RunStats
 	// Span is one operator's execution window within a query trace.
 	Span = exec.Span
+	// MorselStat is one operator kind's morsel-scheduler work in
+	// RunStats.Morsels (parallel runs only).
+	MorselStat = exec.MorselStat
 	// MetricsSnapshot is a point-in-time copy of the engine-wide metrics,
 	// returned by Database.Metrics.
 	MetricsSnapshot = metrics.Snapshot
