@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all check build test test-race race bench bench-json chaos columnar experiments examples fmt vet clean docs-check loadgen server-smoke
+.PHONY: all check build test test-race race bench bench-json bench-compare chaos columnar columnar-fuse experiments examples fmt vet clean docs-check loadgen server-smoke
 
 all: check
 
@@ -12,8 +12,8 @@ all: check
 # exercises the parallel executor with Parallelism > 1), the two
 # serving-layer smokes (a curl-driven endpoint walk of cmd/mpfserver and
 # a reduced concurrent load generation run over the wire), and the quick
-# columnar-layout identity check.
-check: build vet test test-race server-smoke loadgen columnar
+# columnar-layout and columnar-fuse identity checks.
+check: build vet test test-race server-smoke loadgen columnar columnar-fuse
 
 # Documentation gate: vet, the exported-identifier doc-comment check,
 # and markdown link verification (README/DESIGN/EXPERIMENTS/ARCHITECTURE).
@@ -39,11 +39,20 @@ bench:
 # scan, Grace join, group-by) as machine-readable JSON in BENCH_PR4.json,
 # the planning-latency microbenchmarks (CS+ search vs greedy vs a warmed
 # plan-cache probe) as BENCH_PR6.json, and the columnar-vs-row-major
-# layout microbenchmarks (scan, join, group-by) as BENCH_PR8.json.
+# layout microbenchmarks (scan, join, sort, fused join+aggregate,
+# group-by) as BENCH_PR9.json.
 bench-json:
 	$(GO) test -run=NONE -bench=Batch -benchtime=10x -benchmem ./internal/exec/ | $(GO) run ./cmd/benchjson > BENCH_PR4.json
 	$(GO) test -run=NONE -bench=Planning -benchtime=100x -benchmem ./internal/core/ | $(GO) run ./cmd/benchjson > BENCH_PR6.json
-	$(GO) test -run=NONE -bench=Columnar -benchtime=10x -benchmem ./internal/exec/ | $(GO) run ./cmd/benchjson > BENCH_PR8.json
+	$(GO) test -run=NONE -bench=Columnar -benchtime=50x -benchmem -count=5 ./internal/exec/ | $(GO) run ./cmd/benchjson > BENCH_PR9.json
+
+# Regression gate: rerun the columnar microbenchmarks (best of 5 against
+# scheduler noise, matching how the snapshot is taken) and compare ns/op
+# against the most recent BENCH_PR*.json snapshot, failing on any
+# benchmark present in both runs that slowed by more than 10%.
+bench-compare:
+	$(GO) test -run=NONE -bench=Columnar -benchtime=50x -benchmem -count=5 ./internal/exec/ | \
+		$(GO) run ./cmd/benchjson -compare $$(ls BENCH_PR*.json | sort -V | tail -1)
 
 # Deterministic-seed chaos run: replay the optimizer/executor matrix
 # over fault-injecting disks and check the resilience contract (see
@@ -56,6 +65,14 @@ chaos:
 # IO (see EXPERIMENTS.md, `columnar`); the speedup column is informative.
 columnar:
 	$(GO) run ./cmd/mpfbench -exp columnar -quick -seed 1
+
+# Quick end-to-end columnar check: the columnar-fuse experiment errors
+# unless the columnar sort and fused join+aggregate paths return
+# byte-identical results with identical physical IO versus row-major
+# (see EXPERIMENTS.md, `columnar-fuse`); the speedup column is
+# informative.
+columnar-fuse:
+	$(GO) run ./cmd/mpfbench -exp columnar-fuse -quick -seed 1
 
 # Concurrent serving smoke: mixed read/write sessions over HTTP against
 # internal/server with tight admission control. Fails on any answer that

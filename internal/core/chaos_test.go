@@ -359,71 +359,109 @@ func TestCorruptReadInvalidatesResultCache(t *testing.T) {
 }
 
 // TestChaosColumnarUnderFaults replays the chaos matrix with columnar
-// page encoding on: first fault-free, where every answer must be
-// bit-identical to the row-major configuration (the encodings change CPU
-// work, never results), then over disks injecting transient faults on 5%
-// of operations, where the retry machinery must absorb every fault —
+// page encoding on, across the three encoded execution paths — hash
+// aggregation, the fused join+aggregate, and sort-based aggregation —
+// first fault-free, where every answer must be bit-identical to the same
+// path's row-major configuration (the encodings change CPU work, never
+// results), then over disks injecting transient faults on 5% of
+// operations, where the retry machinery must absorb every fault —
 // encoded pages round-trip through the checksum/retry paths like any
 // other page. Run under -race this drives concurrent encoded scans.
 func TestChaosColumnarUnderFaults(t *testing.T) {
 	groupVars := []string{"a", "b", "c"}
-	ref := chaosReference(t, groupVars)
 
-	// Fault-free columnar pass: bit-identical to row-major answers.
-	colCfg := chaosConfig()
-	colCfg.Columnar = true
-	cleanDB, err := Open(colCfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	loadChaosTables(t, cleanDB)
-	refCol := make(map[string]*relation.Relation)
-	for _, gv := range groupVars {
-		res, err := cleanDB.Query(&QuerySpec{View: "rs", GroupVars: []string{gv}})
-		if err != nil {
-			t.Fatalf("clean columnar %s: %v", gv, err)
-		}
-		if !relation.Equal(res.Relation, ref[gv], 0, 0) {
-			t.Fatalf("%s: columnar answer differs bit-wise from row-major", gv)
-		}
-		refCol[gv] = res.Relation
-	}
-	if es := cleanDB.Pool().EncodingStats(); es.PagesEncoded == 0 {
-		t.Fatal("columnar chaos config never encoded a page")
-	}
-	cleanDB.Close()
-
-	// Transient-fault pass: every query succeeds and matches within the
-	// harness's float-reorder tolerance; no frame stays pinned.
-	fleet := &faultFleet{}
-	cfg := colCfg
-	cfg.DiskFactory = fleet.factory(storage.MemDiskFactory(),
-		storage.FaultPlan{Seed: 17, ReadErr: 0.05, WriteErr: 0.05, AllocErr: 0.05})
-	db, err := Open(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer db.Close()
-	loadChaosTables(t, db)
-	for pass := 0; pass < 2; pass++ {
-		for _, gv := range groupVars {
-			res, err := db.Query(&QuerySpec{View: "rs", GroupVars: []string{gv}})
+	for _, mode := range []struct {
+		name string
+		// tune applies the mode's execution knobs to an opened database.
+		tune func(db *Database)
+	}{
+		{"hash", func(db *Database) {}},
+		{"fused", func(db *Database) { db.Engine().FuseJoinGroupBy = true }},
+		{"sort", func(db *Database) {
+			db.Engine().SortGroupBy = true
+			// Small runs so the sorts spill and merge under faults.
+			db.Engine().SortRunTuples = 512
+		}},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			// Row-major reference for THIS path: bit-identity is a
+			// per-path contract (paths may emit groups in different
+			// orders, but layout never changes a path's answer).
+			rowDB, err := Open(chaosConfig())
 			if err != nil {
-				t.Fatalf("pass %d %s: %v", pass, gv, err)
+				t.Fatal(err)
 			}
-			if !matchesReference(res.Relation, refCol[gv]) {
-				t.Fatalf("pass %d %s: faulty columnar answer differs from fault-free", pass, gv)
+			loadChaosTables(t, rowDB)
+			mode.tune(rowDB)
+			ref := make(map[string]*relation.Relation)
+			for _, gv := range groupVars {
+				res, err := rowDB.Query(&QuerySpec{View: "rs", GroupVars: []string{gv}})
+				if err != nil {
+					t.Fatalf("row-major %s: %v", gv, err)
+				}
+				ref[gv] = res.Relation
 			}
-			if n := db.Pool().Pinned(); n != 0 {
-				t.Fatalf("pass %d %s: %d frames left pinned", pass, gv, n)
+			rowDB.Close()
+
+			// Fault-free columnar pass: bit-identical to row-major answers.
+			colCfg := chaosConfig()
+			colCfg.Columnar = true
+			cleanDB, err := Open(colCfg)
+			if err != nil {
+				t.Fatal(err)
 			}
-		}
-	}
-	st := db.Pool().Stats()
-	if st.Retries == 0 || st.TransientFaults == 0 {
-		t.Fatalf("fault schedule never exercised the retry path: %+v", st)
-	}
-	if es := db.Pool().EncodingStats(); es.PagesEncoded == 0 {
-		t.Fatal("faulty columnar run never encoded a page")
+			loadChaosTables(t, cleanDB)
+			mode.tune(cleanDB)
+			refCol := make(map[string]*relation.Relation)
+			for _, gv := range groupVars {
+				res, err := cleanDB.Query(&QuerySpec{View: "rs", GroupVars: []string{gv}})
+				if err != nil {
+					t.Fatalf("clean columnar %s: %v", gv, err)
+				}
+				if !relation.Equal(res.Relation, ref[gv], 0, 0) {
+					t.Fatalf("%s: columnar answer differs bit-wise from row-major", gv)
+				}
+				refCol[gv] = res.Relation
+			}
+			if es := cleanDB.Pool().EncodingStats(); es.PagesEncoded == 0 {
+				t.Fatal("columnar chaos config never encoded a page")
+			}
+			cleanDB.Close()
+
+			// Transient-fault pass: every query succeeds and matches within
+			// the harness's float-reorder tolerance; no frame stays pinned.
+			fleet := &faultFleet{}
+			cfg := colCfg
+			cfg.DiskFactory = fleet.factory(storage.MemDiskFactory(),
+				storage.FaultPlan{Seed: 17, ReadErr: 0.05, WriteErr: 0.05, AllocErr: 0.05})
+			db, err := Open(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			loadChaosTables(t, db)
+			mode.tune(db)
+			for pass := 0; pass < 2; pass++ {
+				for _, gv := range groupVars {
+					res, err := db.Query(&QuerySpec{View: "rs", GroupVars: []string{gv}})
+					if err != nil {
+						t.Fatalf("pass %d %s: %v", pass, gv, err)
+					}
+					if !matchesReference(res.Relation, refCol[gv]) {
+						t.Fatalf("pass %d %s: faulty columnar answer differs from fault-free", pass, gv)
+					}
+					if n := db.Pool().Pinned(); n != 0 {
+						t.Fatalf("pass %d %s: %d frames left pinned", pass, gv, n)
+					}
+				}
+			}
+			st := db.Pool().Stats()
+			if st.Retries == 0 || st.TransientFaults == 0 {
+				t.Fatalf("fault schedule never exercised the retry path: %+v", st)
+			}
+			if es := db.Pool().EncodingStats(); es.PagesEncoded == 0 {
+				t.Fatal("faulty columnar run never encoded a page")
+			}
+		})
 	}
 }

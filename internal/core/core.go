@@ -74,6 +74,13 @@ type Config struct {
 	// encoding compresses within pages, never across them). No effect
 	// when BatchSize is 1.
 	Columnar bool
+	// FuseJoinGroupBy, when true, pipelines GroupBy-over-Join plan pairs
+	// through a single fused operator that aggregates probe matches as
+	// they are produced, never materializing the join output (see
+	// exec.Engine.FuseJoinGroupBy). With Columnar also set, the fused
+	// operator consumes encoded probe batches directly. Results are
+	// byte-identical to the materializing pipeline.
+	FuseJoinGroupBy bool
 	// IORetries bounds how many times the buffer pool re-attempts an IO
 	// operation that failed with a transient fault (storage.IsTransient),
 	// with capped exponential backoff between attempts. 0 (the default)
@@ -165,6 +172,7 @@ func Open(cfg Config) (*Database, error) {
 	engine.BatchSize = cfg.BatchSize
 	engine.ReadAhead = cfg.ReadAhead
 	engine.Columnar = cfg.Columnar
+	engine.FuseJoinGroupBy = cfg.FuseJoinGroupBy
 	db := &Database{
 		cfg:      cfg,
 		pool:     pool,

@@ -209,6 +209,17 @@ func (h *hashBuild) lookup(buf []byte, n int) []buildRow {
 	return h.groups[gi]
 }
 
+// lookupIdx is lookup returning the dense key-group index as well, for
+// callers that cache per-group facts (the fused columnar kernel's
+// span-safety memo). gi is -1 on a miss.
+func (h *hashBuild) lookupIdx(buf []byte, n int) ([]buildRow, int) {
+	gi, ok := h.idx.get(buf, n)
+	if !ok {
+		return nil, -1
+	}
+	return h.groups[gi], gi
+}
+
 // buildBatch scans build's heap into a hashBuild keyed on buildCols.
 func (e *Engine) buildBatch(ctx context.Context, build *Table, buildCols []int, st *RunStats) (*hashBuild, error) {
 	hb := &hashBuild{idx: newKeyIndex(4*len(buildCols), int(build.Heap.NumTuples()))}

@@ -10,15 +10,17 @@ package exec
 // keyIndex — per-page dictionary codes only short-circuit lookups, never
 // key tables — so mixed columnar/row-major/fallback pages aggregate and
 // join consistently. Every kernel emits rows in exactly the scan order
-// of the row-major paths, and RLE aggregation folds measures row by row
-// within a run (never pre-summing the run), so results stay
-// byte-identical to row-major execution, float accumulation order
-// included.
+// of the row-major paths, and RLE aggregation folds measures in row
+// order within a run — collapsing a measure span in O(1) only when the
+// semiring proves the collapsed result bit-identical to the iterated
+// fold (fold.go) — so results stay byte-identical to row-major
+// execution, float accumulation order included.
 
 import (
 	"context"
 	"encoding/binary"
 
+	"mpf/internal/semiring"
 	"mpf/internal/storage"
 )
 
@@ -185,9 +187,10 @@ func (a *batchAgg) absorbAt(e *Engine, buf []byte, n int, row []int32, cols []in
 }
 
 // absorbRun folds one RLE run's measures into the group keyed by
-// buf[:n], in row order — one key lookup for the run, but per-row
-// semiring adds, so float accumulation order matches the row path.
-func (a *batchAgg) absorbRun(e *Engine, buf []byte, n int, row []int32, cols []int, meas []float64) {
+// buf[:n], in row order — one key lookup for the run, with spans of
+// repeated measures collapsed in O(1) when the semiring's RunFolder
+// proves the collapse bit-identical to the row path's iterated fold.
+func (a *batchAgg) absorbRun(e *Engine, rf semiring.RunFolder, buf []byte, n int, row []int32, cols []int, meas []float64) {
 	gi, seen := a.idx.get(buf, n)
 	i := 0
 	if !seen {
@@ -199,9 +202,7 @@ func (a *batchAgg) absorbRun(e *Engine, buf []byte, n int, row []int32, cols []i
 		a.idx.put(buf, n, gi)
 		i = 1
 	}
-	for ; i < len(meas); i++ {
-		a.meas[gi] = e.Sr.Add(a.meas[gi], meas[i])
-	}
+	a.meas[gi] = foldMeasures(e.Sr, rf, a.meas[gi], meas[i:])
 }
 
 // aggregateColBatch runs one encoded hash-aggregation pass over in. A
@@ -210,6 +211,7 @@ func (a *batchAgg) absorbRun(e *Engine, buf []byte, n int, row []int32, cols []i
 // gather rows and use the canonical path.
 func (e *Engine) aggregateColBatch(ctx context.Context, in *Table, cols []int, st *RunStats) (*batchAgg, error) {
 	agg := newBatchAgg(len(cols))
+	rf := e.runFolder()
 	keyBuf := keyBufFor(cols)
 	rowBuf := make([]int32, len(in.Attrs))
 	fbuf := make([][]int32, 0, len(in.Attrs))
@@ -235,7 +237,7 @@ func (e *Engine) aggregateColBatch(ctx context.Context, in *Table, cols []int, s
 				for _, r := range v.Runs {
 					binary.LittleEndian.PutUint32(keyBuf, uint32(r.Val))
 					rowBuf[c] = r.Val
-					agg.absorbRun(e, keyBuf, 4, rowBuf, cols, cb.Measures[i:i+r.Len])
+					agg.absorbRun(e, rf, keyBuf, 4, rowBuf, cols, cb.Measures[i:i+r.Len])
 					i += r.Len
 				}
 				continue
@@ -280,8 +282,14 @@ func (e *Engine) aggregateColBatch(ctx context.Context, in *Table, cols []int, s
 // hashJoinIntoColBatch is the encoded in-memory-build hash join: build
 // with the vectorized buildBatch (decoding works on any page format),
 // then probe encoded batches, memoizing the group lookup per dictionary
-// code (or per RLE run) on single-column join keys. Output rows are
-// emitted in exactly the row path's order.
+// code (or per RLE run) on single-column join keys. Multi-column keys
+// encode straight from the flattened KEY columns — no full-row gather —
+// and probe the build table once per composed span when every key
+// column run-length encodes. Output rows assemble in place: only the
+// probe columns the output actually carries (the left columns when the
+// probe is the left input, r's extra columns otherwise) are ever read,
+// so wide probe rows with few surviving columns cost what they keep.
+// Rows are emitted in exactly the row path's order.
 func (e *Engine) hashJoinIntoColBatch(ctx context.Context, l, build, probe *Table, buildCols, probeCols, rExtra []int, buildIsLeft bool, out *Table, st *RunStats) error {
 	hb, err := e.buildBatch(ctx, build, buildCols, st)
 	if err != nil {
@@ -289,36 +297,15 @@ func (e *Engine) hashJoinIntoColBatch(ctx context.Context, l, build, probe *Tabl
 	}
 	w := newBatchWriter(out, true, st)
 	rowBuf := make([]int32, len(out.Attrs))
-	probeBuf := make([]int32, len(probe.Attrs))
 	fbuf := make([][]int32, 0, len(probe.Attrs))
 	keyBuf := keyBufFor(probeCols)
 	nl := len(l.Attrs)
-	emit := func(rows []buildRow, probeRow []int32, pm float64) error {
-		for _, br := range rows {
-			var lv, rv []int32
-			var lm, rm float64
-			if buildIsLeft {
-				lv, lm, rv, rm = br.vals, br.measure, probeRow, pm
-			} else {
-				lv, lm, rv, rm = probeRow, pm, br.vals, br.measure
-			}
-			copy(rowBuf, lv)
-			for j, c := range rExtra {
-				rowBuf[nl+j] = rv[c]
-			}
-			if err := w.append(rowBuf, e.Sr.Mul(lm, rm)); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	lookup1 := func(val int32) []buildRow {
-		binary.LittleEndian.PutUint32(keyBuf, uint32(val))
-		return hb.lookup(keyBuf, 4)
-	}
 	single := len(probeCols) == 1
 	var memo [256][]buildRow // matches per code, per batch
 	var memoSet [256]bool
+	var kf [][]int32  // flattened key columns (multi-column path)
+	var spanIdx []int // per-key-column run cursor (all-RLE path)
+	var spanRem []int // rows left in each cursor's current run
 	it := e.scanCB(ctx, probe.Heap)
 	defer it.Close()
 	for {
@@ -331,17 +318,42 @@ func (e *Engine) hashJoinIntoColBatch(ctx context.Context, l, build, probe *Tabl
 		}
 		st.addBatches(1)
 		var fs [][]int32 // flattened on first match: all-miss batches skip decode
-		row := func(i int) []int32 {
+		emitAt := func(rows []buildRow, i int, pm float64) error {
 			if fs == nil {
 				fs = flatCols(cb, fbuf)
 				fbuf = fs
 			}
-			gatherRow(fs, i, probeBuf)
-			return probeBuf
+			if buildIsLeft {
+				for j, c := range rExtra {
+					rowBuf[nl+j] = fs[c][i]
+				}
+				for _, br := range rows {
+					copy(rowBuf[:nl], br.vals)
+					if err := w.append(rowBuf, e.Sr.Mul(br.measure, pm)); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			for c := 0; c < nl; c++ {
+				rowBuf[c] = fs[c][i]
+			}
+			for _, br := range rows {
+				for j, c := range rExtra {
+					rowBuf[nl+j] = br.vals[c]
+				}
+				if err := w.append(rowBuf, e.Sr.Mul(pm, br.measure)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		lookup1 := func(val int32) []buildRow {
+			binary.LittleEndian.PutUint32(keyBuf, uint32(val))
+			return hb.lookup(keyBuf, 4)
 		}
 		if single {
-			c := probeCols[0]
-			v := &cb.Cols[c]
+			v := &cb.Cols[probeCols[0]]
 			switch v.Enc {
 			case storage.EncRLE:
 				i := 0
@@ -352,7 +364,7 @@ func (e *Engine) hashJoinIntoColBatch(ctx context.Context, l, build, probe *Tabl
 						continue
 					}
 					for j := i; j < i+r.Len; j++ {
-						if err := emit(rows, row(j), cb.Measures[j]); err != nil {
+						if err := emitAt(rows, j, cb.Measures[j]); err != nil {
 							return err
 						}
 					}
@@ -380,20 +392,70 @@ func (e *Engine) hashJoinIntoColBatch(ctx context.Context, l, build, probe *Tabl
 					if len(rows) == 0 {
 						continue
 					}
-					if err := emit(rows, row(i), cb.Measures[i]); err != nil {
+					if err := emitAt(rows, i, cb.Measures[i]); err != nil {
 						return err
 					}
 				}
 				continue
 			}
 		}
-		for i := 0; i < cb.Len(); i++ {
-			n := encodeKey(row(i), probeCols, keyBuf)
-			rows := hb.lookup(keyBuf, n)
+		n := cb.Len()
+		allRLE := !single
+		for _, c := range probeCols {
+			if cb.Cols[c].Enc != storage.EncRLE {
+				allRLE = false
+				break
+			}
+		}
+		if allRLE {
+			// Every key column is RLE: walk the runs in lockstep and
+			// compose one key per maximal span over which all columns
+			// are constant — one encode + one probe per span instead of
+			// per row.
+			spanIdx = append(spanIdx[:0], make([]int, len(probeCols))...)
+			spanRem = spanRem[:0]
+			for _, c := range probeCols {
+				spanRem = append(spanRem, cb.Cols[c].Runs[0].Len)
+			}
+			for i := 0; i < n; {
+				span := n - i
+				for k, c := range probeCols {
+					binary.LittleEndian.PutUint32(keyBuf[4*k:], uint32(cb.Cols[c].Runs[spanIdx[k]].Val))
+					if spanRem[k] < span {
+						span = spanRem[k]
+					}
+				}
+				if rows := hb.lookup(keyBuf, 4*len(probeCols)); len(rows) != 0 {
+					for j := i; j < i+span; j++ {
+						if err := emitAt(rows, j, cb.Measures[j]); err != nil {
+							return err
+						}
+					}
+				}
+				i += span
+				for k := range spanRem {
+					if spanRem[k] -= span; spanRem[k] == 0 {
+						if spanIdx[k]++; spanIdx[k] < len(cb.Cols[probeCols[k]].Runs) {
+							spanRem[k] = cb.Cols[probeCols[k]].Runs[spanIdx[k]].Len
+						}
+					}
+				}
+			}
+			continue
+		}
+		kf = kf[:0]
+		for _, c := range probeCols {
+			kf = append(kf, cb.Cols[c].Flat())
+		}
+		for i := 0; i < n; i++ {
+			for k := range kf {
+				binary.LittleEndian.PutUint32(keyBuf[4*k:], uint32(kf[k][i]))
+			}
+			rows := hb.lookup(keyBuf, 4*len(probeCols))
 			if len(rows) == 0 {
 				continue
 			}
-			if err := emit(rows, probeBuf, cb.Measures[i]); err != nil {
+			if err := emitAt(rows, i, cb.Measures[i]); err != nil {
 				return err
 			}
 		}

@@ -106,6 +106,103 @@ func BenchmarkColumnarJoin(b *testing.B) {
 	}
 }
 
+// BenchmarkColumnarJoinMultiCol measures the documented worst case of
+// the encoded probe: a TWO-column join key where every probe row matches,
+// so per-row key assembly and output writing dominate and the encoding
+// buys no selectivity. The kernel composes spans from aligned RLE runs
+// (one probe per span) and assembles output rows without gathering the
+// full probe row.
+func BenchmarkColumnarJoinMultiCol(b *testing.B) {
+	l := benchColRel("l", 40000)
+	// r covers the full (X mod 64, Y) key space, so every probe matches.
+	r := relation.MustNew("r", []relation.Attr{{Name: "X", Domain: 40000/128 + 1}, {Name: "Y", Domain: 16}, {Name: "W", Domain: 4}})
+	rng := rand.New(rand.NewSource(23))
+	for x := 0; x < 40000/128+1; x++ {
+		for y := 0; y < 16; y++ {
+			r.MustAppend([]int32{int32(x), int32(y), int32((x + y) % 4)}, 0.1+rng.Float64())
+		}
+	}
+	for _, mode := range columnarModes {
+		b.Run(mode.name, func(b *testing.B) {
+			h := colHarness(b, 8192, mode.columnar, l, r)
+			pb := h.builder()
+			runPlanBench(b, h, func() *plan.Node {
+				sl, err := pb.Scan("l")
+				if err != nil {
+					b.Fatal(err)
+				}
+				sr, err := pb.Scan("r")
+				if err != nil {
+					b.Fatal(err)
+				}
+				return pb.Join(sl, sr)
+			})
+		})
+	}
+}
+
+// BenchmarkColumnarSort measures sort-based aggregation on the clustered
+// leading key: its RLE runs become pre-sorted blocks, so columnar run
+// generation stable-sorts O(blocks) descriptors and memmoves whole
+// blocks instead of comparing rows O(n log n) times.
+func BenchmarkColumnarSort(b *testing.B) {
+	rel := benchColRel("t", 40000)
+	for _, mode := range columnarModes {
+		b.Run(mode.name, func(b *testing.B) {
+			h := colHarness(b, 8192, mode.columnar, rel)
+			h.engine.SortGroupBy = true
+			h.engine.SortRunTuples = 65536
+			pb := h.builder()
+			runPlanBench(b, h, func() *plan.Node {
+				s, err := pb.Scan("t")
+				if err != nil {
+					b.Fatal(err)
+				}
+				g, err := pb.GroupBy(s, []string{"X"})
+				if err != nil {
+					b.Fatal(err)
+				}
+				return g
+			})
+		})
+	}
+}
+
+// BenchmarkColumnarFusedJoinGroupBy measures the fused columnar
+// join+aggregate: probe pages stay encoded end to end — per-run build
+// probes, per-code group-slot memos, and run-level measure folds — and
+// the join output is never materialized.
+func BenchmarkColumnarFusedJoinGroupBy(b *testing.B) {
+	l := benchColRel("l", 40000)
+	r := relation.MustNew("r", []relation.Attr{{Name: "Y", Domain: 16}, {Name: "W", Domain: 4}})
+	rng := rand.New(rand.NewSource(29))
+	for y := 0; y < 16; y++ {
+		r.MustAppend([]int32{int32(y), int32(y % 4)}, 0.1+rng.Float64())
+	}
+	for _, mode := range columnarModes {
+		b.Run(mode.name, func(b *testing.B) {
+			h := colHarness(b, 8192, mode.columnar, l, r)
+			h.engine.FuseJoinGroupBy = true
+			pb := h.builder()
+			runPlanBench(b, h, func() *plan.Node {
+				sl, err := pb.Scan("l")
+				if err != nil {
+					b.Fatal(err)
+				}
+				sr, err := pb.Scan("r")
+				if err != nil {
+					b.Fatal(err)
+				}
+				g, err := pb.GroupBy(pb.Join(sl, sr), []string{"W"})
+				if err != nil {
+					b.Fatal(err)
+				}
+				return g
+			})
+		})
+	}
+}
+
 // BenchmarkColumnarGroupBy measures hash aggregation on a byte-coded
 // group key: one keyIndex lookup per distinct code per batch instead of
 // one per row.

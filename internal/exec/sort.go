@@ -239,10 +239,23 @@ func (e *Engine) externalSort(ctx context.Context, in *Table, cols []int, st *Ru
 
 	var runs []*Table
 	var err error
-	if st != nil && st.sched != nil && in.Heap.NumTuples() > int64(runSize) {
-		runs, err = e.parallelRuns(ctx, in, cols, runSize, st)
-	} else {
-		runs, err = e.serialRuns(ctx, in, cols, runSize, st)
+	parallel := st != nil && st.sched != nil && in.Heap.NumTuples() > int64(runSize)
+	colDone := false
+	if e.colOn() {
+		// Encoded run generation (colsort.go); ok = false reports a
+		// non-order-preserving, non-mappable encoding and falls through
+		// to the row path below.
+		runs, colDone, err = e.colRuns(ctx, in, cols, runSize, parallel, st)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if !colDone {
+		if parallel {
+			runs, err = e.parallelRuns(ctx, in, cols, runSize, st)
+		} else {
+			runs, err = e.serialRuns(ctx, in, cols, runSize, st)
+		}
 	}
 	if err != nil {
 		return nil, err
@@ -416,9 +429,16 @@ func (e *Engine) sortGroupBy(ctx context.Context, in *Table, groupVars []string,
 	}
 	defer sorted.Drop()
 
-	out, err := e.newTemp(ctx, "γ("+in.Name+")", outAttrs)
+	out, err := e.newOutTemp(ctx, "γ("+in.Name+")", outAttrs)
 	if err != nil {
 		return nil, err
+	}
+	if e.colOn() {
+		if err := e.colSortedAgg(ctx, sorted, cols, out, st); err != nil {
+			out.Drop()
+			return nil, err
+		}
+		return out, nil
 	}
 	it := newRowIter(ctx, sorted)
 	defer it.Close()
@@ -495,7 +515,7 @@ func (e *Engine) sortMergeJoin(ctx context.Context, l, r *Table, st *RunStats) (
 	}
 	defer rs.Drop()
 
-	out, err := e.newTemp(ctx, "("+l.Name+"⋈*"+r.Name+")", outAttrs)
+	out, err := e.newOutTemp(ctx, "("+l.Name+"⋈*"+r.Name+")", outAttrs)
 	if err != nil {
 		return nil, err
 	}

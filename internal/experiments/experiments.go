@@ -58,6 +58,11 @@ type Config struct {
 	// kernels for experiment sessions. The columnar experiment compares
 	// the two layouts itself regardless of this setting.
 	Columnar bool
+	// Fuse pipelines GroupBy-over-Join pairs through the fused
+	// non-materializing operator for experiment sessions. The
+	// columnar-fuse experiment compares fused paths itself regardless of
+	// this setting.
+	Fuse bool
 	// FaultSeed, when non-zero, backs every experiment session with a
 	// seeded storage.FaultDisk injecting transient read/write faults at 2%
 	// per op (mpfbench -faults). Results must be byte-identical to a
@@ -167,6 +172,7 @@ func Registry() []struct {
 		{"plan-cache", PlanCacheExp},
 		{"loadgen", LoadGen},
 		{"columnar", ColumnarExec},
+		{"columnar-fuse", ColumnarFuse},
 	}
 }
 
@@ -219,6 +225,7 @@ func sessionConfig(cfg Config, frames int) core.Config {
 		BatchSize:        cfg.BatchSize,
 		ReadAhead:        cfg.ReadAhead,
 		Columnar:         cfg.Columnar,
+		FuseJoinGroupBy:  cfg.Fuse,
 		PlanCacheEntries: cfg.PlanCacheEntries,
 		PlanBudget:       cfg.PlanBudget,
 	}

@@ -40,8 +40,8 @@ type ColView struct {
 	// Dict maps an EncDict view's codes to values.
 	Dict []int32
 	// Runs holds the clipped runs of an EncRLE view.
-	Runs []ColRun
-	n    int
+	Runs    []ColRun
+	n       int
 	flat    []int32 // cached Flat() result; nil until materialized
 	flatBuf []int32 // reusable backing for flat
 }
