@@ -4,16 +4,17 @@
 
 GO ?= go
 
-.PHONY: all check build test test-race race bench bench-json bench-compare chaos columnar columnar-fuse experiments examples fmt vet clean docs-check loadgen server-smoke
+.PHONY: all check build test test-race race bench bench-json bench-compare chaos columnar columnar-fuse experiments examples fmt vet clean docs-check loadgen mvcc server-smoke
 
 all: check
 
 # Full gate: compile, vet, plain tests, the race-enabled suite (which
 # exercises the parallel executor with Parallelism > 1), the two
 # serving-layer smokes (a curl-driven endpoint walk of cmd/mpfserver and
-# a reduced concurrent load generation run over the wire), and the quick
-# columnar-layout and columnar-fuse identity checks.
-check: build vet test test-race server-smoke loadgen columnar columnar-fuse
+# a reduced concurrent load generation run over the wire), the quick
+# columnar-layout and columnar-fuse identity checks, and the MVCC
+# snapshot-isolation chaos run under the race detector.
+check: build vet test test-race server-smoke loadgen columnar columnar-fuse mvcc
 
 # Documentation gate: vet, the exported-identifier doc-comment check,
 # and markdown link verification (README/DESIGN/EXPERIMENTS/ARCHITECTURE).
@@ -73,6 +74,15 @@ columnar:
 # informative.
 columnar-fuse:
 	$(GO) run ./cmd/mpfbench -exp columnar-fuse -quick -seed 1
+
+# Snapshot-isolation chaos run under the race detector: analytical
+# readers concurrent with a sustained ingest stream on fault-injecting
+# disks, every answer checked byte-identical against a serial replay at
+# its pinned catalog version, plus a permanent write fault armed against
+# a mid-run commit (see EXPERIMENTS.md, `mvcc`). Drop -quick for the
+# full 64-commit acceptance run.
+mvcc:
+	$(GO) run -race ./cmd/mpfbench -exp mvcc -quick -seed 1
 
 # Concurrent serving smoke: mixed read/write sessions over HTTP against
 # internal/server with tight admission control. Fails on any answer that

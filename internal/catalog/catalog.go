@@ -107,6 +107,26 @@ func New() *Catalog {
 	}
 }
 
+// Clone returns a deep copy of the catalog: table statistics and view
+// definitions are copied, so mutations of either catalog never show
+// through the other. The multi-version catalog in internal/core clones
+// the current catalog at the start of every commit, keeping published
+// versions immutable while the writer edits its private copy.
+func (c *Catalog) Clone() *Catalog {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := New()
+	for name, t := range c.tables {
+		out.tables[name] = t.Clone()
+	}
+	for name, v := range c.views {
+		cp := *v
+		cp.Tables = append([]string(nil), v.Tables...)
+		out.views[name] = &cp
+	}
+	return out
+}
+
 // AddTable registers statistics for a table, replacing any previous entry
 // with the same name.
 func (c *Catalog) AddTable(t *TableStats) error {

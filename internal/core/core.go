@@ -87,6 +87,12 @@ type Config struct {
 	// selects 3 retries; negative disables retry. Permanent faults and
 	// checksum failures are never retried.
 	IORetries int
+	// SnapshotDisk, when non-nil, wraps every file disk opened by the
+	// snapshot Save/Load paths — fault injection for tests
+	// (storage.NewFaultDisk), checksum tampering, or instrumentation.
+	// Nil uses the file disk directly. Snapshot IO always runs under the
+	// same IORetries retry/backoff policy as regular query IO.
+	SnapshotDisk func(storage.Disk) storage.Disk
 	// PlanCacheEntries, when positive, enables the engine-level plan cache
 	// with this many LRU slots: finished plans are cached under a canonical
 	// query fingerprint embedding the semiring, optimizer, and base-table
@@ -104,39 +110,37 @@ type Config struct {
 	PlanBudget time.Duration
 }
 
-// Database is the engine facade. Concurrent read-only queries (Query,
-// Explain, QueryCached against an existing cache) are safe: the buffer
-// pool, catalog, table versions, and the result and plan caches are
-// internally synchronized and planning is pure. Writes — CreateTable,
-// CreateIndex, CreateView, Insert, Delete, Materialize, BuildCache,
-// Save — require external serialization with respect to each other and
-// to readers of the written tables; planning-only work (Explain, plan
-// cache probes, Metrics) is safe concurrently with writes, since the
-// state it reads is the synchronized subset.
+// Database is the engine facade. It is safe for fully concurrent use:
+// every query runs against an immutable catalog version pinned at
+// admission (a Snapshot, acquired per query or threaded explicitly via
+// WithSnapshot), and every write — CreateTable, CreateIndex,
+// CreateView, Insert, Delete, DropTable, DropView, Materialize — is a
+// serialized copy-on-write commit that publishes a new catalog version
+// without touching the one readers hold (see mvcc.go). Reads never
+// block behind writes and writes never block behind reads; superseded
+// versions are reclaimed when their last in-flight query finishes.
 type Database struct {
 	cfg     Config
 	pool    *storage.Pool
 	factory storage.DiskFactory
-	cat     *catalog.Catalog
-	rels    map[string]*relation.Relation
-	tables  map[string]*exec.Table
 	engine  *exec.Engine
-	caches  map[string]*infer.Cache
 	metrics *metrics.Registry
 	rcache  *exec.ResultCache
 	pcache  *planCache
-	// versions assigns each base table a value from verSeq, bumped on
-	// every write; plan and query fingerprints embed them, so a write
-	// lazily invalidates every cached subplan and plan that read the old
-	// contents (the old fingerprints can never be probed again). verSeq is
-	// global, not per-table, so dropping and recreating a table never
-	// reuses a version. verMu makes version reads (fingerprinting, plan
-	// cache probes) safe while a writer bumps versions, so planning may
-	// run concurrently with writes even though execution against written
-	// tables may not.
-	verMu    sync.RWMutex
-	versions map[string]int64
-	verSeq   int64
+
+	// commitMu serializes writers: one commit clones, builds, and
+	// publishes at a time. Readers never take it; the reader-visible
+	// effect of a commit is a single pointer swap under mv.mu.
+	commitMu sync.Mutex
+
+	// mv is the multi-version catalog state: the visible version
+	// pointer, snapshot pins, and reclamation counters (mvcc.go).
+	mv mvccState
+
+	// cachesMu guards the workload-cache registry (BuildCache,
+	// QueryCached); the caches themselves are immutable once built.
+	cachesMu sync.Mutex
+	caches   map[string]*infer.Cache
 }
 
 // Open creates a database with the given configuration.
@@ -174,17 +178,14 @@ func Open(cfg Config) (*Database, error) {
 	engine.Columnar = cfg.Columnar
 	engine.FuseJoinGroupBy = cfg.FuseJoinGroupBy
 	db := &Database{
-		cfg:      cfg,
-		pool:     pool,
-		factory:  factory,
-		cat:      catalog.New(),
-		rels:     make(map[string]*relation.Relation),
-		tables:   make(map[string]*exec.Table),
-		engine:   engine,
-		caches:   make(map[string]*infer.Cache),
-		metrics:  metrics.NewRegistry(),
-		versions: make(map[string]int64),
+		cfg:     cfg,
+		pool:    pool,
+		factory: factory,
+		engine:  engine,
+		caches:  make(map[string]*infer.Cache),
+		metrics: metrics.NewRegistry(),
 	}
+	db.initMVCC()
 	if cfg.ResultCacheBytes > 0 {
 		db.rcache = exec.NewResultCache(cfg.ResultCacheBytes)
 	}
@@ -195,25 +196,42 @@ func Open(cfg Config) (*Database, error) {
 }
 
 // Close releases all storage, result-cache materializations included.
+// Close requires quiescence: in-flight queries must have finished and
+// their snapshots been released (a version still pinned at Close leaks
+// until process exit). It reports the first heap-drop failure seen
+// during reclamation, including any page left pinned at drop time.
 func (db *Database) Close() error {
-	var first error
 	if db.rcache != nil {
 		db.rcache.Close()
 	}
-	for name, t := range db.tables {
-		if err := t.Heap.Drop(); err != nil && first == nil {
-			first = err
+	db.mv.mu.Lock()
+	cur := db.mv.cur
+	var drop []*tableVersion
+	if cur.current {
+		cur.current = false
+		if cur.pins == 0 {
+			drop = cur.releaseTablesLocked()
+			db.mv.live--
+			db.mv.reclaimed++
 		}
-		delete(db.tables, name)
 	}
-	return first
+	db.mv.mu.Unlock()
+	db.dropGenerations(drop)
+	db.mv.mu.Lock()
+	err := db.mv.dropErr
+	db.mv.mu.Unlock()
+	return err
 }
 
 // Semiring returns the database's measure semiring.
 func (db *Database) Semiring() semiring.Semiring { return db.cfg.Semiring }
 
-// Catalog exposes the statistics catalog.
-func (db *Database) Catalog() *catalog.Catalog { return db.cat }
+// Catalog exposes the statistics catalog of the current version.
+// Reading it is always safe. Mutating it directly (AddTable to refresh
+// or override statistics) edits the current version in place and is a
+// setup-time affordance only: concurrent snapshot holders of the same
+// version observe the change, so do it before serving traffic.
+func (db *Database) Catalog() *catalog.Catalog { return db.currentVersion().cat }
 
 // Pool exposes the buffer pool (for IO statistics).
 func (db *Database) Pool() *storage.Pool { return db.pool }
@@ -246,6 +264,7 @@ func (db *Database) Metrics() metrics.Snapshot {
 	if db.pcache != nil {
 		s.PlanCache = db.pcache.snapshot()
 	}
+	s.MVCC = db.mvccStats()
 	return s
 }
 
@@ -253,81 +272,90 @@ func (db *Database) Metrics() metrics.Snapshot {
 // database was opened without a cache budget (Config.ResultCacheBytes).
 func (db *Database) ResultCache() *exec.ResultCache { return db.rcache }
 
-// bumpVersion assigns table the next value of the database-wide version
-// sequence. Called on create and after every write, it is what makes
-// version-bearing plan fingerprints (and therefore result-cache keys)
-// stale the moment a table changes.
-func (db *Database) bumpVersion(table string) {
-	db.verMu.Lock()
-	db.verSeq++
-	db.versions[table] = db.verSeq
-	db.verMu.Unlock()
-}
-
-// tableVersion reports the current version of a base table; ok=false for
-// unknown names, which plan.Fingerprints treats as uncacheable.
-func (db *Database) tableVersion(name string) (int64, bool) {
-	db.verMu.RLock()
-	v, ok := db.versions[name]
-	db.verMu.RUnlock()
-	return v, ok
-}
-
 // CreateTable validates the relation as an FR, loads it into paged
-// storage, and registers its statistics.
+// storage, and publishes a new catalog version containing it.
 func (db *Database) CreateTable(r *relation.Relation) error {
 	if r.Name() == "" {
 		return fmt.Errorf("core: relation needs a name")
 	}
-	if _, dup := db.rels[r.Name()]; dup {
-		return fmt.Errorf("core: %w: %q", ErrDuplicateTable, r.Name())
-	}
 	if err := r.CheckFD(); err != nil {
 		return fmt.Errorf("core: %w: %w", ErrNotFunctional, err)
 	}
-	t, err := exec.LoadRelationColumnar(db.pool, db.factory, r, db.cfg.Columnar)
+	c := db.beginCommit()
+	if _, dup := c.next.rels[r.Name()]; dup {
+		return c.abort(fmt.Errorf("core: %w: %q", ErrDuplicateTable, r.Name()))
+	}
+	t, err := c.loadTable(r, nil)
 	if err != nil {
-		return err
+		return c.abort(err)
 	}
-	if err := db.cat.AddTable(catalog.AnalyzeRelation(r)); err != nil {
-		t.Heap.Drop()
-		return err
+	if err := c.put(r.Clone(), t); err != nil {
+		return c.abort(err)
 	}
-	db.rels[r.Name()] = r.Clone()
-	db.tables[r.Name()] = t
-	db.bumpVersion(r.Name())
-	return nil
+	return c.publish()
 }
 
 // CreateIndex builds a hash index on a base table's attribute; equality
 // selections on that attribute then fetch only matching pages instead of
-// scanning (§5.4's alternative access methods).
+// scanning (§5.4's alternative access methods). Under MVCC the table's
+// storage generation is rebuilt copy-on-write with the index attached;
+// contents and per-table version are unchanged, so cached plans and
+// results stay valid and in-flight readers keep their generation.
 func (db *Database) CreateIndex(table, attr string) error {
-	t, ok := db.tables[table]
+	c := db.beginCommit()
+	rel, ok := c.next.rels[table]
 	if !ok {
-		return fmt.Errorf("core: %w %q", ErrUnknownTable, table)
+		return c.abort(fmt.Errorf("core: %w %q", ErrUnknownTable, table))
 	}
-	idx, err := exec.BuildIndex(t, attr)
+	attrs := indexAttrs(c.next.tables[table].tab)
+	have := false
+	for _, a := range attrs {
+		if a == attr {
+			have = true
+			break
+		}
+	}
+	if !have {
+		attrs = append(attrs, attr)
+	}
+	t, err := c.loadTable(rel, attrs)
 	if err != nil {
-		return err
+		return c.abort(err)
 	}
-	t.AddIndex(idx)
-	return nil
+	c.replaceStorage(table, t)
+	return c.publish()
+}
+
+// indexAttrs lists the attributes a table generation has hash indexes
+// on, so a copy-on-write rebuild can reconstruct them.
+func indexAttrs(t *exec.Table) []string {
+	attrs := make([]string, 0, len(t.Indexes))
+	for attr := range t.Indexes {
+		attrs = append(attrs, attr)
+	}
+	return attrs
 }
 
 // CreateView registers an MPF view over existing tables (the SQL
 // extension "create mpfview ... measure = (* ...)").
 func (db *Database) CreateView(name string, tables []string) error {
-	return db.cat.AddView(&catalog.ViewDef{
+	c := db.beginCommit()
+	if err := c.next.cat.AddView(&catalog.ViewDef{
 		Name:     name,
 		Tables:   tables,
 		Semiring: db.cfg.Semiring.Name(),
-	})
+	}); err != nil {
+		return c.abort(err)
+	}
+	return c.publish()
 }
 
-// Relation returns the in-memory master copy of a base table.
+// Relation returns the in-memory master copy of a base table as of the
+// current catalog version. The returned relation is immutable (writes
+// publish fresh copies), so it stays consistent however long the
+// caller holds it.
 func (db *Database) Relation(name string) (*relation.Relation, error) {
-	r, ok := db.rels[name]
+	r, ok := db.currentVersion().rels[name]
 	if !ok {
 		return nil, fmt.Errorf("core: %w %q", ErrUnknownTable, name)
 	}
@@ -441,11 +469,17 @@ type Result struct {
 	// ANALYZE's data source); same slice as Exec.Trace, surfaced here for
 	// discoverability. Empty for MemoryExec.
 	Trace []exec.Span
+	// Snapshot is the catalog version sequence number the query ran
+	// against (Snapshot.Seq). Two results with equal Snapshot values saw
+	// exactly the same table contents; a reader can replay the answer
+	// serially at that version and expect byte-identical output.
+	Snapshot int64
 }
 
-// optQuery converts a spec to the optimizer-facing form.
-func (db *Database) optQuery(q *QuerySpec) (*opt.Query, error) {
-	v, err := db.cat.View(q.View)
+// optQuery converts a spec to the optimizer-facing form, resolving the
+// view against the query's snapshot.
+func (db *Database) optQuery(q *QuerySpec, snap *Snapshot) (*opt.Query, error) {
+	v, err := snap.v.cat.View(q.View)
 	if err != nil {
 		return nil, err
 	}
@@ -456,8 +490,8 @@ func (db *Database) optQuery(q *QuerySpec) (*opt.Query, error) {
 // query: each must name a view base table and preserve its variable
 // schema (alternate measures and alternate domain values are fine; the
 // variables themselves must match so the view's join structure is
-// unchanged).
-func (db *Database) validateHypothetical(q *QuerySpec, viewTables []string) error {
+// unchanged). Originals resolve against the query's snapshot.
+func (db *Database) validateHypothetical(q *QuerySpec, viewTables []string, snap *Snapshot) error {
 	inView := make(map[string]bool, len(viewTables))
 	for _, t := range viewTables {
 		inView[t] = true
@@ -466,9 +500,9 @@ func (db *Database) validateHypothetical(q *QuerySpec, viewTables []string) erro
 		if !inView[name] {
 			return fmt.Errorf("core: hypothetical table %q not in view %q", name, q.View)
 		}
-		orig, err := db.Relation(name)
-		if err != nil {
-			return err
+		orig, ok := snap.v.rels[name]
+		if !ok {
+			return fmt.Errorf("core: %w %q", ErrUnknownTable, name)
 		}
 		if err := h.CheckFD(); err != nil {
 			return fmt.Errorf("core: hypothetical %s: %w: %w", name, ErrNotFunctional, err)
@@ -488,11 +522,11 @@ func (db *Database) validateHypothetical(q *QuerySpec, viewTables []string) erro
 	return nil
 }
 
-// planCatalog returns the catalog to plan against: the database catalog,
-// or a per-query overlay with hypothetical tables re-analyzed.
-func (db *Database) planCatalog(q *QuerySpec, viewTables []string) (*catalog.Catalog, error) {
+// planCatalog returns the catalog to plan against: the snapshot's
+// catalog, or a per-query overlay with hypothetical tables re-analyzed.
+func (db *Database) planCatalog(q *QuerySpec, viewTables []string, snap *Snapshot) (*catalog.Catalog, error) {
 	if len(q.Hypothetical) == 0 {
-		return db.cat, nil
+		return snap.v.cat, nil
 	}
 	overlay := catalog.New()
 	for _, t := range viewTables {
@@ -502,7 +536,7 @@ func (db *Database) planCatalog(q *QuerySpec, viewTables []string) (*catalog.Cat
 			}
 			continue
 		}
-		st, err := db.cat.Table(t)
+		st, err := snap.v.cat.Table(t)
 		if err != nil {
 			return nil, err
 		}
@@ -545,7 +579,14 @@ func (db *Database) Explain(q *QuerySpec) (*plan.Node, time.Duration, error) {
 // an explain probes (and on miss populates) the cache exactly like a
 // query, and the returned duration is the probe time on a hit.
 func (db *Database) ExplainContext(ctx context.Context, q *QuerySpec) (*plan.Node, time.Duration, error) {
-	info, err := db.plan(ctx, q)
+	snap, owned, err := db.snapshotFor(ctx)
+	if err != nil {
+		return nil, 0, err
+	}
+	if owned {
+		defer snap.Release()
+	}
+	info, err := db.plan(ctx, q, snap)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -567,16 +608,20 @@ type planInfo struct {
 // and never cached), and on a miss run the configured optimizer under the
 // planning budget and adopt the winner. Planning time is recorded in the
 // engine metrics per planner kind, with cache-probe time on hits under
-// the synthetic "plan-cache" kind.
-func (db *Database) plan(ctx context.Context, q *QuerySpec) (planInfo, error) {
+// the synthetic "plan-cache" kind. All catalog state — view
+// definitions, statistics, and the table versions embedded in cache
+// fingerprints — comes from the query's snapshot, so cache keys are
+// correct per snapshot: an old-snapshot reader can neither hit nor
+// poison entries keyed to newer contents.
+func (db *Database) plan(ctx context.Context, q *QuerySpec, snap *Snapshot) (planInfo, error) {
 	if err := validateExec(q); err != nil {
 		return planInfo{}, err
 	}
-	oq, err := db.optQuery(q)
+	oq, err := db.optQuery(q, snap)
 	if err != nil {
 		return planInfo{}, err
 	}
-	if err := db.validateHypothetical(q, oq.Tables); err != nil {
+	if err := db.validateHypothetical(q, oq.Tables, snap); err != nil {
 		return planInfo{}, err
 	}
 	o := q.Optimizer
@@ -598,7 +643,7 @@ func (db *Database) plan(ctx context.Context, q *QuerySpec) (planInfo, error) {
 	if db.pcache != nil && len(q.Hypothetical) == 0 {
 		fp, ok := plan.QueryFingerprint(plan.FingerprintEnv{
 			Semiring:     db.cfg.Semiring.Name(),
-			TableVersion: db.tableVersion,
+			TableVersion: snap.v.tableVersionOf,
 		}, oq.Tables, oq.GroupVars, oq.Pred)
 		if ok {
 			key = o.Name() + "|" + fp
@@ -610,7 +655,7 @@ func (db *Database) plan(ctx context.Context, q *QuerySpec) (planInfo, error) {
 		}
 	}
 
-	cat, err := db.planCatalog(q, oq.Tables)
+	cat, err := db.planCatalog(q, oq.Tables, snap)
 	if err != nil {
 		return planInfo{}, err
 	}
@@ -640,16 +685,33 @@ func (db *Database) Query(q *QuerySpec) (*Result, error) {
 // through every physical operator down to buffer-pool page misses. A
 // canceled query returns an error matching both ErrCanceled and ctx's
 // error (context.Canceled or context.DeadlineExceeded), with all
-// temporary tables dropped and no buffer-pool frames left pinned. Every
-// query — finished, failed, or canceled — is recorded in the engine
-// metrics (Metrics).
+// temporary tables dropped, no buffer-pool frames left pinned, and its
+// snapshot pin released (so cancellation never leaks a catalog
+// version). Every query — finished, failed, or canceled — is recorded
+// in the engine metrics (Metrics).
+//
+// The query runs against the snapshot carried by ctx (WithSnapshot)
+// when present, else against a snapshot of the current catalog version
+// acquired at admission and released when the query returns; its
+// sequence number is reported in Result.Snapshot. Concurrent commits
+// never affect a running query.
 func (db *Database) QueryContext(ctx context.Context, q *QuerySpec) (*Result, error) {
-	info, err := db.plan(ctx, q)
+	snap, owned, err := db.snapshotFor(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if owned {
+		defer snap.Release()
+	}
+	info, err := db.plan(ctx, q, snap)
 	if err != nil {
 		return nil, err
 	}
 	db.metrics.QueryStarted()
-	out, err := db.execute(ctx, q, info)
+	out, err := db.execute(ctx, q, info, snap)
+	if out != nil {
+		out.Snapshot = snap.Seq()
+	}
 	db.metrics.QueryFinished(querySample(out, err))
 	return out, err
 }
@@ -684,10 +746,11 @@ func errorsIsCanceled(err error) bool {
 	return err != nil && errors.Is(err, ErrCanceled)
 }
 
-// execute runs an optimized plan in the spec's execution mode. It always
-// returns a non-nil Result carrying whatever stats were gathered, even
-// on error, so callers (and the metrics registry) see partial work.
-func (db *Database) execute(ctx context.Context, q *QuerySpec, info planInfo) (*Result, error) {
+// execute runs an optimized plan in the spec's execution mode against
+// the query's snapshot. It always returns a non-nil Result carrying
+// whatever stats were gathered, even on error, so callers (and the
+// metrics registry) see partial work.
+func (db *Database) execute(ctx context.Context, q *QuerySpec, info planInfo, snap *Snapshot) (*Result, error) {
 	p := info.p
 	out := &Result{Plan: p, Optimize: info.optimize}
 	out.Exec.Planner = info.planner
@@ -720,14 +783,14 @@ func (db *Database) execute(ctx context.Context, q *QuerySpec, info planInfo) (*
 			rc = db.rcache
 			fps = plan.Fingerprints(p, plan.FingerprintEnv{
 				Semiring:     db.cfg.Semiring.Name(),
-				TableVersion: db.tableVersion,
+				TableVersion: snap.v.tableVersionOf,
 			})
 		}
 		rel, st, err := db.engine.RunCachedContext(ctx, p, func(name string) (*exec.Table, error) {
 			if t, ok := hypTables[name]; ok {
 				return t, nil
 			}
-			t, ok := db.tables[name]
+			t, ok := snap.v.table(name)
 			if !ok {
 				return nil, fmt.Errorf("core: %w %q", ErrUnknownTable, name)
 			}
@@ -738,7 +801,7 @@ func (db *Database) execute(ctx context.Context, q *QuerySpec, info planInfo) (*
 		out.Exec.PlanCacheHit = info.cacheHit
 		out.Trace = st.Trace
 		if err != nil {
-			db.invalidateCorrupt(err)
+			db.invalidateCorrupt(err, snap)
 			return out, wrapCancel(err)
 		}
 		out.Relation = rel
@@ -748,7 +811,11 @@ func (db *Database) execute(ctx context.Context, q *QuerySpec, info planInfo) (*
 			if h, ok := q.Hypothetical[name]; ok {
 				return h, nil
 			}
-			return db.Relation(name)
+			r, ok := snap.v.rels[name]
+			if !ok {
+				return nil, fmt.Errorf("core: %w %q", ErrUnknownTable, name)
+			}
+			return r, nil
 		}, db.cfg.Semiring)
 		if err != nil {
 			return out, err
@@ -775,9 +842,9 @@ func (db *Database) execute(ctx context.Context, q *QuerySpec, info planInfo) (*
 // may hold the only healthy copy of the data, but serving it would hide
 // the corruption from readers who then trust the base table. The handle
 // carried by the *storage.CorruptPageError is mapped back to the base
-// table whose heap it identifies; corruption in a temp heap (no matching
-// table) invalidates nothing.
-func (db *Database) invalidateCorrupt(err error) {
+// table whose heap it identifies, within the failed query's snapshot;
+// corruption in a temp heap (no matching table) invalidates nothing.
+func (db *Database) invalidateCorrupt(err error, snap *Snapshot) {
 	if db.rcache == nil {
 		return
 	}
@@ -785,8 +852,8 @@ func (db *Database) invalidateCorrupt(err error) {
 	if !errors.As(err, &cpe) {
 		return
 	}
-	for name, t := range db.tables {
-		if t.Heap.Handle() == cpe.Handle {
+	for name, tv := range snap.v.tables {
+		if tv.tab.Heap.Handle() == cpe.Handle {
 			db.rcache.InvalidateTable(name)
 			return
 		}
@@ -837,30 +904,39 @@ func (db *Database) MaterializeContext(ctx context.Context, name string, q *Quer
 
 // BuildCache runs the VE-cache workload optimization (Algorithm 3) for a
 // view, materializing tables that satisfy the Definition 5 invariant.
-// order is the elimination order (nil for min-fill).
+// order is the elimination order (nil for min-fill). The cache is built
+// from one snapshot, so a commit racing the build cannot mix table
+// versions into it; a later write to any base table invalidates it.
 func (db *Database) BuildCache(view string, order []string) (*infer.Cache, error) {
-	v, err := db.cat.View(view)
+	snap := db.AcquireSnapshot()
+	defer snap.Release()
+	v, err := snap.v.cat.View(view)
 	if err != nil {
 		return nil, err
 	}
 	rels := make([]*relation.Relation, len(v.Tables))
 	for i, t := range v.Tables {
-		rels[i], err = db.Relation(t)
-		if err != nil {
-			return nil, err
+		r, ok := snap.v.rels[t]
+		if !ok {
+			return nil, fmt.Errorf("core: %w %q", ErrUnknownTable, t)
 		}
+		rels[i] = r
 	}
 	cache, err := infer.BuildVECache(db.cfg.Semiring, rels, order)
 	if err != nil {
 		return nil, err
 	}
+	db.cachesMu.Lock()
 	db.caches[view] = cache
+	db.cachesMu.Unlock()
 	return cache, nil
 }
 
 // Cache returns the workload cache previously built for a view.
 func (db *Database) Cache(view string) (*infer.Cache, error) {
+	db.cachesMu.Lock()
 	c, ok := db.caches[view]
+	db.cachesMu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("core: no cache built for view %q", view)
 	}
@@ -870,7 +946,10 @@ func (db *Database) Cache(view string) (*infer.Cache, error) {
 // QueryCached answers a single-variable query from a view's cache when
 // one exists, falling back to full evaluation otherwise.
 func (db *Database) QueryCached(view, variable string) (*relation.Relation, error) {
-	if c, ok := db.caches[view]; ok {
+	db.cachesMu.Lock()
+	c, ok := db.caches[view]
+	db.cachesMu.Unlock()
+	if ok {
 		return c.Answer(variable)
 	}
 	res, err := db.Query(&QuerySpec{View: view, GroupVars: []string{variable}})

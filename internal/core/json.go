@@ -165,6 +165,7 @@ type resultJSON struct {
 	Relation   *relation.Relation `json:"relation,omitempty"`
 	Plan       string             `json:"plan,omitempty"`
 	OptimizeNS int64              `json:"optimize_ns"`
+	Snapshot   int64              `json:"snapshot,omitempty"`
 	Exec       exec.RunStats      `json:"exec"`
 }
 
@@ -174,6 +175,7 @@ func (r *Result) MarshalJSON() ([]byte, error) {
 	w := resultJSON{
 		Relation:   r.Relation,
 		OptimizeNS: r.Optimize.Nanoseconds(),
+		Snapshot:   r.Snapshot,
 		Exec:       r.Exec,
 	}
 	if r.Plan != nil {
@@ -193,6 +195,7 @@ func (r *Result) UnmarshalJSON(data []byte) error {
 	*r = Result{
 		Relation: w.Relation,
 		Optimize: time.Duration(w.OptimizeNS),
+		Snapshot: w.Snapshot,
 		Exec:     w.Exec,
 	}
 	r.Trace = r.Exec.Trace

@@ -40,22 +40,54 @@ type manifestView struct {
 
 const manifestName = "catalog.json"
 
+// snapshotPool builds the buffer pool used for snapshot IO, carrying the
+// database's configured transient-fault retry policy (Config.IORetries)
+// instead of the pool defaults, so snapshot reads and writes survive the
+// same transient faults regular query IO survives.
+func snapshotPool(cfg Config) *storage.Pool {
+	p := storage.NewPool(64)
+	retries := cfg.IORetries
+	if retries == 0 {
+		retries = 3
+	}
+	p.SetRetry(retries, 0, 0)
+	return p
+}
+
+// openSnapshotDisk opens one snapshot heap file, applying the configured
+// wrapper (Config.SnapshotDisk) when present — the hook fault-injection
+// tests use to exercise the retry path.
+func openSnapshotDisk(cfg Config, path string) (storage.Disk, error) {
+	d, err := storage.OpenFileDisk(path)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.SnapshotDisk != nil {
+		return cfg.SnapshotDisk(d), nil
+	}
+	return d, nil
+}
+
 // Save writes a snapshot of the database — every base table in the heap
 // page format plus a JSON manifest of schemas, keys, and views — into
-// dir (created if necessary). Workload caches are not persisted; rebuild
-// them after Load.
+// dir (created if necessary). The snapshot is taken against one pinned
+// catalog version: a commit racing Save cannot mix table versions into
+// the saved image. Workload caches are not persisted; rebuild them after
+// Load.
 func (db *Database) Save(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("core: save: %w", err)
 	}
+	snap := db.AcquireSnapshot()
+	defer snap.Release()
 	man := snapshotManifest{Version: 1, Semiring: db.cfg.Semiring.Name()}
-	pool := storage.NewPool(64)
-	for _, name := range db.cat.Tables() {
-		rel, err := db.Relation(name)
-		if err != nil {
-			return err
+	pool := snapshotPool(db.cfg)
+	for _, name := range snap.v.cat.Tables() {
+		rel, ok := snap.v.rels[name]
+		if !ok {
+			return fmt.Errorf("core: save: %w %q", ErrUnknownTable, name)
 		}
-		st, err := db.cat.Table(name)
+		st, err := snap.v.cat.Table(name)
 		if err != nil {
 			return err
 		}
@@ -64,7 +96,7 @@ func (db *Database) Save(dir string) error {
 		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
 			return fmt.Errorf("core: save: %w", err)
 		}
-		disk, err := storage.OpenFileDisk(path)
+		disk, err := openSnapshotDisk(db.cfg, path)
 		if err != nil {
 			return err
 		}
@@ -96,8 +128,8 @@ func (db *Database) Save(dir string) error {
 		}
 		man.Tables = append(man.Tables, mt)
 	}
-	for _, v := range db.cat.Views() {
-		def, err := db.cat.View(v)
+	for _, v := range snap.v.cat.Views() {
+		def, err := snap.v.cat.View(v)
 		if err != nil {
 			return err
 		}
@@ -112,7 +144,8 @@ func (db *Database) Save(dir string) error {
 
 // Load opens a snapshot previously written by Save, returning a fresh
 // database with every table and view restored. The snapshot's semiring
-// overrides cfg.Semiring.
+// overrides cfg.Semiring. Snapshot reads run under cfg.IORetries and any
+// cfg.SnapshotDisk wrapper, like Save.
 func Load(dir string, cfg Config) (*Database, error) {
 	data, err := os.ReadFile(filepath.Join(dir, manifestName))
 	if err != nil {
@@ -134,13 +167,13 @@ func Load(dir string, cfg Config) (*Database, error) {
 	if err != nil {
 		return nil, err
 	}
-	pool := storage.NewPool(64)
+	pool := snapshotPool(cfg)
 	for _, mt := range man.Tables {
 		attrs := make([]relation.Attr, len(mt.Attrs))
 		for i, a := range mt.Attrs {
 			attrs[i] = relation.Attr{Name: a.Name, Domain: a.Domain}
 		}
-		rel, err := readHeapFile(pool, filepath.Join(dir, mt.File), mt.Name, attrs)
+		rel, err := readHeapFile(cfg, pool, filepath.Join(dir, mt.File), mt.Name, attrs)
 		if err != nil {
 			db.Close()
 			return nil, err
@@ -157,7 +190,7 @@ func Load(dir string, cfg Config) (*Database, error) {
 		if len(mt.Key) > 0 {
 			st := catalog.AnalyzeRelation(rel)
 			st.Key = mt.Key
-			if err := db.cat.AddTable(st); err != nil {
+			if err := db.Catalog().AddTable(st); err != nil {
 				db.Close()
 				return nil, err
 			}
@@ -173,8 +206,8 @@ func Load(dir string, cfg Config) (*Database, error) {
 }
 
 // readHeapFile loads a snapshot heap file into an in-memory relation.
-func readHeapFile(pool *storage.Pool, path, name string, attrs []relation.Attr) (*relation.Relation, error) {
-	disk, err := storage.OpenFileDisk(path)
+func readHeapFile(cfg Config, pool *storage.Pool, path, name string, attrs []relation.Attr) (*relation.Relation, error) {
+	disk, err := openSnapshotDisk(cfg, path)
 	if err != nil {
 		return nil, err
 	}

@@ -3,27 +3,29 @@ package core
 import (
 	"fmt"
 
-	"mpf/internal/catalog"
-	"mpf/internal/exec"
 	"mpf/internal/relation"
 )
 
 // Insert appends one tuple to a base table: the functional dependency is
-// enforced (no second measure for an existing variable assignment), the
-// stored heap and any hash indexes are updated incrementally, statistics
-// are refreshed, and workload caches over views containing the table are
-// invalidated (they no longer satisfy the Definition 5 invariant and must
-// be rebuilt with BuildCache).
+// enforced (no second measure for an existing variable assignment) and a
+// fresh copy-on-write generation of the table — relation, heap, and hash
+// indexes — is published as a new catalog version. Readers pinned to the
+// old version keep their generation; workload caches over views
+// containing the table are invalidated (they no longer satisfy the
+// Definition 5 invariant and must be rebuilt with BuildCache).
 func (db *Database) Insert(table string, vals []int32, measure float64) error {
-	rel, ok := db.rels[table]
+	c := db.beginCommit()
+	rel, ok := c.next.rels[table]
 	if !ok {
+		c.cancel()
 		return fmt.Errorf("core: %w %q", ErrUnknownTable, table)
 	}
-	// FD check: the assignment must be new.
 	arity := rel.Arity()
 	if len(vals) != arity {
+		c.cancel()
 		return fmt.Errorf("core: insert of %d values into arity-%d table %s", len(vals), arity, table)
 	}
+	// FD check: the assignment must be new.
 	for i := 0; i < rel.Len(); i++ {
 		row := rel.Row(i)
 		same := true
@@ -34,39 +36,45 @@ func (db *Database) Insert(table string, vals []int32, measure float64) error {
 			}
 		}
 		if same {
+			c.cancel()
 			return fmt.Errorf("core: insert into %s violates the FD: assignment %v already present", table, vals)
 		}
 	}
-	if err := rel.Append(vals, measure); err != nil {
+	fresh := rel.Clone()
+	if err := fresh.Append(vals, measure); err != nil {
+		c.cancel()
 		return err
 	}
-	t := db.tables[table]
-	page, slot, err := t.Heap.AppendLocated(rel.Row(rel.Len()-1), measure)
+	t, err := c.loadTable(fresh, indexAttrs(c.next.tables[table].tab))
 	if err != nil {
-		return err
+		return c.abort(err)
 	}
-	for _, idx := range t.Indexes {
-		idx.Add(rel.Row(rel.Len()-1), page, slot)
+	if err := c.put(fresh, t); err != nil {
+		return c.abort(err)
 	}
-	return db.afterWrite(table)
+	return c.publish(table)
 }
 
 // Delete removes the tuple with the given variable assignment, returning
-// whether it existed. The stored heap is rebuilt (heaps are append-only),
-// indexes are reconstructed, statistics refreshed, and dependent caches
-// invalidated.
+// whether it existed. A fresh generation without the row is built and
+// published copy-on-write; indexes are reconstructed, statistics
+// refreshed, and dependent caches invalidated.
 func (db *Database) Delete(table string, vals []int32) (bool, error) {
-	rel, ok := db.rels[table]
+	c := db.beginCommit()
+	rel, ok := c.next.rels[table]
 	if !ok {
+		c.cancel()
 		return false, fmt.Errorf("core: %w %q", ErrUnknownTable, table)
 	}
 	arity := rel.Arity()
 	if len(vals) != arity {
+		c.cancel()
 		return false, fmt.Errorf("core: delete of %d values from arity-%d table %s", len(vals), arity, table)
 	}
 	// Rebuild without the matching row.
 	fresh, err := relation.New(rel.Name(), rel.Attrs())
 	if err != nil {
+		c.cancel()
 		return false, err
 	}
 	removed := false
@@ -86,101 +94,61 @@ func (db *Database) Delete(table string, vals []int32) (bool, error) {
 		fresh.MustAppend(append([]int32(nil), row...), rel.Measure(i))
 	}
 	if !removed {
+		c.cancel()
 		return false, nil
 	}
-	// Swap in the rebuilt relation and storage.
-	newTable, err := exec.LoadRelation(db.pool, db.factory, fresh)
+	t, err := c.loadTable(fresh, indexAttrs(c.next.tables[table].tab))
 	if err != nil {
-		return false, err
+		return false, c.abort(err)
 	}
-	old := db.tables[table]
-	indexAttrs := make([]string, 0, len(old.Indexes))
-	for attr := range old.Indexes {
-		indexAttrs = append(indexAttrs, attr)
+	if err := c.put(fresh, t); err != nil {
+		return false, c.abort(err)
 	}
-	old.Heap.Drop()
-	db.rels[table] = fresh
-	db.tables[table] = newTable
-	for _, attr := range indexAttrs {
-		if err := db.CreateIndex(table, attr); err != nil {
-			return true, err
-		}
-	}
-	return true, db.afterWrite(table)
+	return true, c.publish(table)
 }
 
-// DropTable removes a base table and its storage. Tables referenced by a
-// view cannot be dropped; drop the view first.
+// DropTable removes a base table from the catalog. Tables referenced by
+// a view cannot be dropped; drop the view first. The dropped
+// generation's storage is reclaimed when the last snapshot pinning a
+// version that contains it is released.
 func (db *Database) DropTable(table string) error {
-	t, ok := db.tables[table]
-	if !ok {
+	c := db.beginCommit()
+	if _, ok := c.next.tables[table]; !ok {
+		c.cancel()
 		return fmt.Errorf("core: %w %q", ErrUnknownTable, table)
 	}
-	for _, v := range db.cat.Views() {
-		def, err := db.cat.View(v)
+	for _, v := range c.next.cat.Views() {
+		def, err := c.next.cat.View(v)
 		if err != nil {
 			continue
 		}
 		for _, vt := range def.Tables {
 			if vt == table {
+				c.cancel()
 				return fmt.Errorf("core: table %q is referenced by view %q", table, v)
 			}
 		}
 	}
-	if err := t.Heap.Drop(); err != nil {
-		return err
-	}
-	delete(db.tables, table)
-	delete(db.rels, table)
-	db.verMu.Lock()
-	delete(db.versions, table)
-	db.verMu.Unlock()
-	if db.rcache != nil {
-		db.rcache.InvalidateTable(table)
-	}
-	if db.pcache != nil {
-		db.pcache.invalidateTable(table)
-	}
-	db.cat.DropTable(table)
-	return nil
+	delete(c.next.rels, table)
+	delete(c.next.tables, table)
+	delete(c.next.versions, table)
+	c.next.cat.DropTable(table)
+	return c.publish(table)
 }
 
 // DropView removes a view definition and any workload cache built for it.
 func (db *Database) DropView(view string) error {
-	if _, err := db.cat.View(view); err != nil {
+	c := db.beginCommit()
+	if _, err := c.next.cat.View(view); err != nil {
+		c.cancel()
 		return err
 	}
-	db.cat.DropView(view)
+	c.next.cat.DropView(view)
+	if err := c.publish(); err != nil {
+		return err
+	}
+	db.cachesMu.Lock()
 	delete(db.caches, view)
-	return nil
-}
-
-// afterWrite refreshes statistics, bumps the table's version (lazily
-// invalidating result-cache and plan-cache entries through their
-// fingerprints, and eagerly through the InvalidateTable hooks), and
-// invalidates workload caches of views that reference the table.
-func (db *Database) afterWrite(table string) error {
-	db.bumpVersion(table)
-	if db.rcache != nil {
-		db.rcache.InvalidateTable(table)
-	}
-	if db.pcache != nil {
-		db.pcache.invalidateTable(table)
-	}
-	if err := db.cat.AddTable(catalog.AnalyzeRelation(db.rels[table])); err != nil {
-		return err
-	}
-	for view := range db.caches {
-		def, err := db.cat.View(view)
-		if err != nil {
-			continue
-		}
-		for _, t := range def.Tables {
-			if t == table {
-				delete(db.caches, view)
-				break
-			}
-		}
-	}
+	db.cachesMu.Unlock()
 	return nil
 }

@@ -173,6 +173,7 @@ func Registry() []struct {
 		{"loadgen", LoadGen},
 		{"columnar", ColumnarExec},
 		{"columnar-fuse", ColumnarFuse},
+		{"mvcc", MVCC},
 	}
 }
 

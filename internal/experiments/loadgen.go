@@ -79,8 +79,9 @@ func LoadGen(cfg Config) (*Table, error) {
 	fail := func(err error) { errOnce.Do(func() { firstErr = err }) }
 
 	// call posts one request, retrying typed admission rejections with
-	// backoff; anything else non-OK is a failure.
-	call := func(path string, body any) []byte {
+	// backoff; anything else non-OK is a failure. The successful
+	// attempt's latency lands in h, so phases keep separate histograms.
+	call := func(h *metrics.Histogram, path string, body any) []byte {
 		data, _ := json.Marshal(body)
 		for attempt := 0; ; attempt++ {
 			start := time.Now()
@@ -97,7 +98,7 @@ func LoadGen(cfg Config) (*Table, error) {
 			}
 			switch resp.StatusCode {
 			case http.StatusOK:
-				lat.Observe(time.Since(start))
+				h.Observe(time.Since(start))
 				okReqs.Add(1)
 				return out
 			case http.StatusTooManyRequests, http.StatusServiceUnavailable:
@@ -133,7 +134,7 @@ func LoadGen(cfg Config) (*Table, error) {
 		go func(r int) {
 			defer wg.Done()
 			var sessResp server.SessionResponse
-			if out := call("/v1/sessions", server.SessionRequest{TimeoutMS: 60_000}); out == nil {
+			if out := call(&lat, "/v1/sessions", server.SessionRequest{TimeoutMS: 60_000}); out == nil {
 				return
 			} else if err := json.Unmarshal(out, &sessResp); err != nil {
 				fail(err)
@@ -141,7 +142,7 @@ func LoadGen(cfg Config) (*Table, error) {
 			}
 			for i := 0; i < reqPerSession; i++ {
 				qi := (r + i) % len(specs)
-				out := call("/v1/query", server.QueryRequest{Session: sessResp.Session, Query: specs[qi]})
+				out := call(&lat, "/v1/query", server.QueryRequest{Session: sessResp.Session, Query: specs[qi]})
 				if out == nil {
 					return
 				}
@@ -169,7 +170,7 @@ func LoadGen(cfg Config) (*Table, error) {
 		go func(w int) {
 			defer wg.Done()
 			for j := 0; j < rowsPerWriter; j++ {
-				out := call("/v1/insert", server.InsertRequest{
+				out := call(&lat, "/v1/insert", server.InsertRequest{
 					Table:   "ledger",
 					Vals:    []int32{int32(w), int32(j)},
 					Measure: float64(w*rowsPerWriter + j),
@@ -183,6 +184,146 @@ func LoadGen(cfg Config) (*Table, error) {
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
+	}
+
+	// --- Reader-overlap phase: long analytical queries over the ledger
+	// view while a writer keeps ingesting. Every reader maps its answer
+	// back to its pinned catalog version (Result.Snapshot) and must match
+	// the serial replay at exactly that prefix — an answer mixing table
+	// versions would match no prefix (torn catalog). ---
+	overlapInserts, overlapReaders := 30, 8
+	if cfg.Quick {
+		overlapInserts, overlapReaders = 10, 4
+	}
+	if err := db.CreateView("book", []string{"ledger"}); err != nil {
+		return nil, err
+	}
+	overlapRow := func(i int) ([]int32, float64) {
+		// Accounts disjoint from the main-phase writers, so overlap rows
+		// never collide with theirs.
+		return []int32{int32(256 + i%16), int32(i)}, float64(i)*1.25 + 0.5
+	}
+	bookSpec := &mpf.QuerySpec{View: "book", GroupVars: []string{"acct"}}
+
+	// Serial replay prefixes on a shadow database: the main-phase ledger
+	// in (writer, seq) order — per-account row order matches the serving
+	// database, and group-by sums only mix measures within an account —
+	// then one expected answer per overlap commit.
+	shadowLedger, err := emptyLedger()
+	if err != nil {
+		return nil, err
+	}
+	for w := 0; w < writers; w++ {
+		for j := 0; j < rowsPerWriter; j++ {
+			shadowLedger.MustAppend([]int32{int32(w), int32(j)}, float64(w*rowsPerWriter+j))
+		}
+	}
+	shadow, err := mpf.Open(mpf.Config{PoolFrames: cfg.frames(), Parallelism: cfg.Parallelism, BatchSize: cfg.BatchSize})
+	if err != nil {
+		return nil, err
+	}
+	defer shadow.Close()
+	if err := shadow.CreateTable(shadowLedger); err != nil {
+		return nil, err
+	}
+	if err := shadow.CreateView("book", []string{"ledger"}); err != nil {
+		return nil, err
+	}
+	expectedOv := make([]*mpf.Relation, overlapInserts+1)
+	for p := 0; p <= overlapInserts; p++ {
+		if p > 0 {
+			vals, m := overlapRow(p - 1)
+			if err := shadow.Insert("ledger", vals, m); err != nil {
+				return nil, err
+			}
+		}
+		res, err := shadow.Query(bookSpec)
+		if err != nil {
+			return nil, err
+		}
+		res.Relation.Sort()
+		expectedOv[p] = res.Relation
+	}
+
+	// Solo baseline for the reader-p99 comparison, then the base
+	// sequence s0: the overlap writer is the only committer from here, so
+	// a reader pinned after its p-th commit reports snapshot s0+p.
+	var baseLat metrics.Histogram
+	for i := 0; i < 12; i++ {
+		if out := call(&baseLat, "/v1/query", server.QueryRequest{Query: bookSpec}); out == nil {
+			return nil, firstErr
+		}
+	}
+	probe, err := db.Query(bookSpec)
+	if err != nil {
+		return nil, err
+	}
+	s0 := probe.Snapshot
+
+	var (
+		overlapLat     metrics.Histogram
+		overlapQueries atomic.Int64
+		torn           atomic.Int64
+		ovDone         = make(chan struct{})
+		ovWG           sync.WaitGroup
+	)
+	for r := 0; r < overlapReaders; r++ {
+		ovWG.Add(1)
+		go func() {
+			defer ovWG.Done()
+			for {
+				select {
+				case <-ovDone:
+					return
+				default:
+				}
+				out := call(&overlapLat, "/v1/query", server.QueryRequest{Query: bookSpec})
+				if out == nil {
+					return
+				}
+				var qr server.QueryResponse
+				if err := json.Unmarshal(out, &qr); err != nil {
+					fail(err)
+					return
+				}
+				prefix := int(qr.Result.Snapshot - s0)
+				if prefix < 0 || prefix > overlapInserts {
+					torn.Add(1)
+					fail(fmt.Errorf("overlap reader pinned snapshot %d outside [%d,%d]: torn catalog",
+						qr.Result.Snapshot, s0, s0+int64(overlapInserts)))
+					return
+				}
+				got := qr.Result.Relation
+				got.Sort()
+				if !sameRelation(got, expectedOv[prefix]) {
+					torn.Add(1)
+					fail(fmt.Errorf("overlap answer at snapshot %d differs from serial replay at prefix %d",
+						qr.Result.Snapshot, prefix))
+					return
+				}
+				overlapQueries.Add(1)
+			}
+		}()
+	}
+	for i := 0; i < overlapInserts; i++ {
+		vals, m := overlapRow(i)
+		if out := call(&lat, "/v1/insert", server.InsertRequest{Table: "ledger", Vals: vals, Measure: m}); out == nil {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(ovDone)
+	ovWG.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	finalOv, err := db.Query(bookSpec)
+	if err != nil {
+		return nil, err
+	}
+	finalOv.Relation.Sort()
+	if !sameRelation(finalOv.Relation, expectedOv[overlapInserts]) {
+		return nil, fmt.Errorf("post-overlap answer differs from full serial replay")
 	}
 
 	// Drain: the server refuses new work typed and goes idle.
@@ -207,7 +348,8 @@ func LoadGen(cfg Config) (*Table, error) {
 		return nil, fmt.Errorf("%d buffer-pool frames left pinned after drain", n)
 	}
 
-	// Serial replay of the writer workload on a fresh ledger.
+	// Serial replay of the full writer workload (main phase plus overlap
+	// phase) on a fresh ledger.
 	replay, err := emptyLedger()
 	if err != nil {
 		return nil, err
@@ -216,6 +358,10 @@ func LoadGen(cfg Config) (*Table, error) {
 		for j := 0; j < rowsPerWriter; j++ {
 			replay.MustAppend([]int32{int32(w), int32(j)}, float64(w*rowsPerWriter+j))
 		}
+	}
+	for i := 0; i < overlapInserts; i++ {
+		vals, m := overlapRow(i)
+		replay.MustAppend(vals, m)
 	}
 	final, err := db.Relation("ledger")
 	if err != nil {
@@ -230,6 +376,8 @@ func LoadGen(cfg Config) (*Table, error) {
 
 	st := srv.Stats()
 	lstats := lat.Stats()
+	baseStats := baseLat.Stats()
+	ovStats := overlapLat.Stats()
 	return &Table{
 		ID:     "loadgen",
 		Title:  fmt.Sprintf("wire serving under %d concurrent sessions (mixed read/write)", sessions),
@@ -242,11 +390,16 @@ func LoadGen(cfg Config) (*Table, error) {
 			{"wrong answers", fmt.Sprintf("%d", wrong.Load())},
 			{"ledger rows", fmt.Sprintf("%d (serial replay matches)", final.Len())},
 			{"client latency", fmt.Sprintf("p50 %v  p99 %v  max %v", lstats.P50, lstats.P99, lstats.Max)},
+			{"overlap readers", fmt.Sprintf("%d queries over %d readers during %d-commit ingest, %d torn-catalog reads",
+				overlapQueries.Load(), overlapReaders, overlapInserts, torn.Load())},
+			{"overlap reader p99", fmt.Sprintf("solo %v -> overlapped %v (reads do not block behind writes)",
+				baseStats.P99, ovStats.P99)},
 			{"server admitted", fmt.Sprintf("%d (rejected %d rate / %d queue / %d drain)",
 				st.Admitted, st.RejectedRate, st.RejectedQueue, st.RejectedDrain)},
 		},
 		Notes: "acceptance: zero wrong answers and zero untyped rejections under sustained concurrent sessions; " +
-			"admission pressure surfaces only as typed 429/503; drain leaves no pinned frames",
+			"admission pressure surfaces only as typed 429/503; drain leaves no pinned frames; " +
+			"overlap readers pin consistent snapshots (answers match serial replay at their version, zero torn reads)",
 	}, nil
 }
 

@@ -215,6 +215,9 @@ type Snapshot struct {
 	// Server is the network serving layer's state and counters, filled by
 	// internal/server on databases it serves; Enabled is false otherwise.
 	Server ServerStats `json:"server"`
+	// MVCC is the multi-version catalog's state and counters, filled by
+	// core at snapshot time.
+	MVCC MVCCStats `json:"mvcc"`
 	// OpKinds aggregates operators by kind.
 	OpKinds map[string]OpKindStats `json:"op_kinds"`
 	// Planning aggregates planning time by planner kind.
@@ -269,6 +272,44 @@ type PlanCacheStats struct {
 	Inserts       int64 `json:"inserts"`
 	Evictions     int64 `json:"evictions"`
 	Invalidations int64 `json:"invalidations"`
+}
+
+// MVCCStats reports the multi-version catalog in a metrics snapshot:
+// how many catalog versions are live or already reclaimed, commit
+// outcomes, snapshot pin traffic, how long writers waited on each other
+// (readers never contribute — they don't take the writer lock), and the
+// age of the oldest snapshot still pinning an old version (the epoch
+// horizon that bounds reclamation).
+type MVCCStats struct {
+	// Enabled reports whether the database runs the multi-version
+	// catalog (always true for databases opened by core.Open).
+	Enabled bool `json:"enabled"`
+	// Seq is the current catalog version sequence number, bumped once
+	// per published commit.
+	Seq int64 `json:"seq"`
+	// VersionsLive counts catalog versions not yet reclaimed (the
+	// current version plus superseded versions still pinned by
+	// snapshots); VersionsReclaimed counts superseded versions whose
+	// storage references were dropped.
+	VersionsLive      int64 `json:"versions_live"`
+	VersionsReclaimed int64 `json:"versions_reclaimed"`
+	// Commits counts published commits; CommitFailures counts commits
+	// aborted by an error (e.g. a write-path IO fault) with the old
+	// version left fully served.
+	Commits        int64 `json:"commits"`
+	CommitFailures int64 `json:"commit_failures"`
+	// SnapshotsAcquired/SnapshotsReleased count snapshot pins over the
+	// database's lifetime; SnapshotsActive is the point-in-time pin
+	// count.
+	SnapshotsAcquired int64 `json:"snapshots_acquired"`
+	SnapshotsReleased int64 `json:"snapshots_released"`
+	SnapshotsActive   int64 `json:"snapshots_active"`
+	// WriterStall sums the time commits spent waiting for the writer
+	// lock (writer-on-writer serialization; readers never hold it).
+	WriterStall time.Duration `json:"writer_stall_ns"`
+	// OldestSnapshotAge is the age of the oldest live snapshot at
+	// snapshot time — the bound on how far reclamation lags.
+	OldestSnapshotAge time.Duration `json:"oldest_snapshot_age_ns"`
 }
 
 // Snapshot returns a consistent copy of the counters; pool is the buffer
@@ -340,6 +381,15 @@ func (s Snapshot) String() string {
 		fmt.Fprintf(&b, "plan cache: %d/%d entries\n", pc.Entries, pc.Capacity)
 		fmt.Fprintf(&b, "  %d hits, %d misses, %d inserts, %d evictions, %d invalidations\n",
 			pc.Hits, pc.Misses, pc.Inserts, pc.Evictions, pc.Invalidations)
+	}
+	mv := s.MVCC
+	if !mv.Enabled {
+		b.WriteString("mvcc: disabled\n")
+	} else {
+		fmt.Fprintf(&b, "mvcc: version %d, %d live / %d reclaimed; %d commits (%d failed)\n",
+			mv.Seq, mv.VersionsLive, mv.VersionsReclaimed, mv.Commits, mv.CommitFailures)
+		fmt.Fprintf(&b, "  snapshots: %d active (%d acquired, %d released), oldest %v; writer stall %v\n",
+			mv.SnapshotsActive, mv.SnapshotsAcquired, mv.SnapshotsReleased, mv.OldestSnapshotAge, mv.WriterStall)
 	}
 	sv := s.Server
 	if !sv.Enabled {

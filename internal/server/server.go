@@ -26,18 +26,17 @@ type Config struct {
 
 // Server serves one Database over the HTTP/JSON wire protocol. It is an
 // http.Handler; the caller owns the listener (net/http Server,
-// httptest, ...). Queries run concurrently; writes (insert, delete,
-// materialize) are serialized against all other requests with a
-// read-write lock, because the engine's update path mutates base
-// relations in place.
+// httptest, ...). Queries and writes run fully concurrently: the
+// engine's multi-version catalog pins every query to an immutable
+// snapshot at admission, and writes are copy-on-write commits the
+// engine serializes internally, so the server needs no read-write lock
+// of its own — a long analytical query never stalls ingest and a slow
+// insert never stalls readers.
 type Server struct {
 	db    *mpf.Database
 	cfg   Config
 	admit *admitter
 	mux   *http.ServeMux
-
-	// rw serializes writes against concurrent reads.
-	rw sync.RWMutex
 
 	// mu guards the session registry, the in-flight request registry,
 	// and the drain flag; drained broadcasts in-flight reaching zero.
@@ -325,9 +324,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer done()
 	ctx, cancel := override(ctx, req.TimeoutMS, req.MaxTempTuples, req.MaxRows)
 	defer cancel()
-	s.rw.RLock()
 	res, err := sess.Query(ctx, req.Query)
-	s.rw.RUnlock()
 	if err != nil {
 		writeError(w, err)
 		return
@@ -356,9 +353,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	defer done()
 	ctx, cancel := override(ctx, req.TimeoutMS, req.MaxTempTuples, req.MaxRows)
 	defer cancel()
-	s.rw.RLock()
 	res, err := sess.Explain(ctx, req.Query)
-	s.rw.RUnlock()
 	if err != nil {
 		writeError(w, err)
 		return
@@ -390,9 +385,7 @@ func (s *Server) handleMaterialize(w http.ResponseWriter, r *http.Request) {
 	defer done()
 	ctx, cancel := override(ctx, req.TimeoutMS, req.MaxTempTuples, req.MaxRows)
 	defer cancel()
-	s.rw.Lock()
 	rel, err := sess.Materialize(ctx, req.Name, req.Query)
-	s.rw.Unlock()
 	if err != nil {
 		writeError(w, err)
 		return
@@ -415,9 +408,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer done()
-	s.rw.Lock()
 	err = sess.Insert(req.Table, req.Vals, req.Measure)
-	s.rw.Unlock()
 	if err != nil {
 		writeError(w, err)
 		return
@@ -440,9 +431,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer done()
-	s.rw.Lock()
 	existed, err := sess.Delete(req.Table, req.Vals)
-	s.rw.Unlock()
 	if err != nil {
 		writeError(w, err)
 		return
@@ -451,8 +440,6 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
-	s.rw.RLock()
-	defer s.rw.RUnlock()
 	cat := s.db.Catalog()
 	resp := CatalogResponse{Tables: []CatalogTable{}, Views: []CatalogView{}}
 	for _, name := range cat.Tables() {

@@ -653,6 +653,36 @@ func (p *Pool) Unpin(h, no int64, dirty bool) error {
 	return nil
 }
 
+// FlushDisk writes back every dirty unpinned page of one registered
+// disk, leaving other disks' dirty pages resident. Commit paths use it
+// to make a freshly built heap durable before the owning catalog
+// version becomes visible: a write fault surfaces to the committing
+// writer here, instead of to an innocent reader at a later eviction.
+// Pinned dirty pages of the disk are an error.
+func (p *Pool) FlushDisk(h int64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	d, ok := p.disks[h]
+	if !ok {
+		return fmt.Errorf("bufferpool: flush of unregistered disk %d", h)
+	}
+	for i := range p.frames {
+		f := &p.frames[i]
+		if !f.valid || !f.dirty || f.key.disk != h {
+			continue
+		}
+		if f.pins > 0 {
+			return fmt.Errorf("bufferpool: flush with pinned dirty page %d/%d", f.key.disk, f.key.no)
+		}
+		if err := p.diskWrite(context.Background(), d, f.key.no, f.buf); err != nil {
+			return &WritebackError{Handle: f.key.disk, Page: f.key.no, Err: err}
+		}
+		p.stats.Writes++
+		f.dirty = false
+	}
+	return nil
+}
+
 // FlushAll writes back every dirty unpinned page. Pinned dirty pages are
 // an error.
 func (p *Pool) FlushAll() error {

@@ -105,6 +105,14 @@ type (
 	// ResultCacheStats reports the inter-query result cache
 	// (Config.ResultCacheBytes) in a MetricsSnapshot.
 	ResultCacheStats = metrics.ResultCacheStats
+	// Snapshot pins one immutable catalog version for snapshot-isolation
+	// reads: acquire with Database.AcquireSnapshot, thread through
+	// contexts with WithSnapshot, release exactly once when done.
+	Snapshot = core.Snapshot
+	// MVCCStats reports the multi-version catalog (versions live and
+	// reclaimed, commit outcomes, snapshot pins, writer stall) in a
+	// MetricsSnapshot.
+	MVCCStats = metrics.MVCCStats
 	// CancelError wraps the context error that ended a query; it matches
 	// both ErrCanceled and the wrapped context error via errors.Is.
 	CancelError = core.CancelError

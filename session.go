@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"mpf/internal/core"
 	"mpf/internal/exec"
 	"mpf/internal/relation"
 )
@@ -22,6 +23,20 @@ type BudgetError = exec.BudgetError
 // honored by Database.QueryContext and MaterializeContext.
 func WithBudget(ctx context.Context, b Budget) context.Context {
 	return exec.WithBudget(ctx, b)
+}
+
+// WithSnapshot returns a context that pins every query run through it to
+// the snapshot's catalog version — the snapshot-isolation analogue of
+// WithBudget. Without it, each query implicitly pins the version current
+// at its admission. The caller keeps ownership of the snapshot and must
+// Release it when done.
+func WithSnapshot(ctx context.Context, s *Snapshot) context.Context {
+	return core.WithSnapshot(ctx, s)
+}
+
+// SnapshotFromContext returns the snapshot carried by ctx, if any.
+func SnapshotFromContext(ctx context.Context) (*Snapshot, bool) {
+	return core.SnapshotFromContext(ctx)
 }
 
 // SessionOptions are the per-client defaults a Session applies to every
@@ -105,8 +120,10 @@ func (s *Session) Materialize(ctx context.Context, name string, q *QuerySpec) (*
 	return s.db.MaterializeContext(ctx, name, q)
 }
 
-// Insert adds one row to a base table (write calls are not budgeted;
-// they are serialized by the caller or the serving layer).
+// Insert adds one row to a base table. Write calls are not budgeted;
+// the engine serializes them against each other (one copy-on-write
+// commit at a time) while concurrent queries keep reading their pinned
+// snapshots.
 func (s *Session) Insert(table string, vals []int32, measure float64) error {
 	return s.db.Insert(table, vals, measure)
 }
